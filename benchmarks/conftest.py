@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates (a tiny-scale version of) one of the paper's
+tables or figures.  The heavy experiment drivers are run once per benchmark
+(``rounds=1``) — the interesting output is the table itself, recorded in
+EXPERIMENTS.md by the standalone runner — while the per-algorithm kernels use
+pytest-benchmark's normal calibration so their relative cost (h-BZ vs h-LB vs
+h-LB+UB) is measured meaningfully.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ExperimentConfig:
+    """Configuration used by the table/figure regeneration benchmarks."""
+    return ExperimentConfig(scale="tiny", seed=0, h_values=(2, 3),
+                            num_landmarks=5, num_query_pairs=25,
+                            hclub_time_budget_seconds=10.0)
+
+
+@pytest.fixture(scope="session")
+def collaboration_graph():
+    """caHe stand-in at tiny scale (dense-ish collaboration network)."""
+    return load_dataset("caHe", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def social_graph():
+    """FBco stand-in at tiny scale (social network)."""
+    return load_dataset("FBco", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def road_graph():
+    """rnPA stand-in at tiny scale (road network)."""
+    return load_dataset("rnPA", scale="tiny", seed=0)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment driver exactly once under the benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,24 @@
+"""Benchmark: Appendix B — distance-generalized cocktail party queries."""
+
+from conftest import run_once
+
+from repro.applications.community import cocktail_party
+from repro.core import core_decomposition
+from repro.experiments import appendix_cocktail_party
+from repro.experiments.common import ExperimentConfig
+from repro.traversal.components import largest_component
+
+
+def test_cocktail_party_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", datasets=("caHe",), h_values=(2,))
+    rows = run_once(benchmark, appendix_cocktail_party.run, config)
+    assert rows
+    assert all(row["community size"] >= row["|Q|"] for row in rows)
+
+
+def test_cocktail_party_kernel(benchmark, social_graph):
+    component = sorted(largest_component(social_graph), key=repr)
+    query = component[:2]
+    decomposition = core_decomposition(social_graph, 2)
+    result = benchmark(cocktail_party, social_graph, query, 2, decomposition)
+    assert set(query) <= result.vertices

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 3 (fraction of vertices per (k,h)-core)."""
+
+from conftest import run_once
+
+from repro.experiments import figure3_core_sizes
+from repro.experiments.common import ExperimentConfig
+
+
+def test_figure3_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", h_values=(1, 2, 3),
+                              datasets=("caAs", "FBco"))
+    rows = run_once(benchmark, figure3_core_sizes.run, config)
+    assert len(rows) == 6
+    for row in rows:
+        series = [row[key] for key in row if str(key).startswith("k/C^=")]
+        assert series == sorted(series, reverse=True)
+
+
+def test_core_sizes_kernel(benchmark, social_graph):
+    from repro.core import core_decomposition
+    decomposition = core_decomposition(social_graph, 2)
+    sizes = benchmark(decomposition.core_sizes)
+    assert sizes[0] == social_graph.num_vertices

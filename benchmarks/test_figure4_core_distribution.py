@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 4 (distribution of normalized core indices)."""
+
+from conftest import run_once
+
+from repro.experiments import figure4_core_distribution
+from repro.experiments.common import ExperimentConfig
+
+
+def test_figure4_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", h_values=(1, 2, 3),
+                              datasets=("caAs",))
+    rows = run_once(benchmark, figure4_core_distribution.run, config)
+    assert len(rows) == 3
+    for row in rows:
+        bins = [row[key] for key in row if str(key).startswith("(")]
+        assert abs(sum(bins) - 1.0) < 0.05
+
+
+def test_normalized_core_index_kernel(benchmark, collaboration_graph):
+    from repro.core import core_decomposition
+    decomposition = core_decomposition(collaboration_graph, 2)
+    normalized = benchmark(decomposition.normalized_core_index)
+    assert max(normalized.values()) == 1.0

@@ -1,0 +1,33 @@
+"""Benchmark: Figure 5 — h-LB+UB runtime on snowball samples of growing size."""
+
+from conftest import run_once
+
+from repro.core import h_lb_ub
+from repro.datasets import load_dataset
+from repro.experiments import figure5_scalability
+from repro.experiments.common import ExperimentConfig
+from repro.graph.sampling import snowball_sample
+
+
+def test_figure5_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", h_values=(2,))
+    config.extra["sample_sizes"] = (25, 50, 100)
+    config.extra["samples_per_size"] = 2
+    rows = run_once(benchmark, figure5_scalability.run, config)
+    assert len(rows) == 3
+    times = [row["mean time (s)"] for row in rows]
+    # Larger samples should not be (meaningfully) cheaper than smaller ones.
+    assert times[-1] >= times[0] * 0.5
+
+
+def test_snowball_sampling_kernel(benchmark):
+    base = load_dataset("lj", scale="tiny", seed=0)
+    sample = benchmark(snowball_sample, base, 60, 1)
+    assert sample.num_vertices == 60
+
+
+def test_h_lb_ub_on_sample_kernel(benchmark):
+    base = load_dataset("lj", scale="tiny", seed=0)
+    sample = snowball_sample(base, 80, seed=1)
+    result = benchmark(h_lb_ub, sample, 2)
+    assert result.degeneracy > 0

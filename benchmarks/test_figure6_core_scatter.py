@@ -1,0 +1,20 @@
+"""Benchmark: Figure 6 — scatter of core indices, h = 1 vs h = 2..5."""
+
+from conftest import run_once
+
+from repro.experiments import figure6_core_scatter
+from repro.experiments.common import ExperimentConfig
+
+
+def test_figure6_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", datasets=("caAs",))
+    rows = run_once(benchmark, figure6_core_scatter.run, config)
+    assert len(rows) == 4
+    assert all(-1.0 <= row["pearson"] <= 1.0 for row in rows)
+
+
+def test_figure6_with_points(tiny_config):
+    """Not a timing benchmark: the raw scatter points are produced on demand."""
+    config = ExperimentConfig(scale="tiny", datasets=("caAs",))
+    rows = figure6_core_scatter.run(config, return_points=True)
+    assert all("points" in row and row["points"] for row in rows)

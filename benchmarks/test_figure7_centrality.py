@@ -1,0 +1,20 @@
+"""Benchmark: Figure 7 — closeness centrality vs core index."""
+
+from conftest import run_once
+
+from repro.experiments import figure7_centrality
+from repro.experiments.common import ExperimentConfig
+from repro.traversal.centrality import closeness_centrality
+
+
+def test_figure7_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", datasets=("caAs",), h_values=(1, 2, 3))
+    rows = run_once(benchmark, figure7_centrality.run, config)
+    assert len(rows) == 3
+    # The paper's observation: the correlation strengthens as h grows.
+    assert rows[-1]["spearman(closeness, core)"] >= rows[0]["spearman(closeness, core)"] - 0.2
+
+
+def test_closeness_kernel(benchmark, collaboration_graph):
+    values = benchmark(closeness_centrality, collaboration_graph)
+    assert len(values) == collaboration_graph.num_vertices

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 1 (dataset characteristics)."""
+
+from conftest import run_once
+
+from repro.experiments import table1_datasets
+from repro.graph.stats import summarize
+
+
+def test_table1_regeneration(benchmark, tiny_config):
+    rows = run_once(benchmark, table1_datasets.run, tiny_config)
+    assert len(rows) == 13
+    assert all(row["|V|"] > 0 for row in rows)
+
+
+def test_table1_summary_kernel(benchmark, collaboration_graph):
+    summary = benchmark(summarize, collaboration_graph, "caHe")
+    assert summary.num_vertices == collaboration_graph.num_vertices

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 2 (max core index / number of distinct cores)."""
+
+from conftest import run_once
+
+from repro.core import core_decomposition
+from repro.experiments import table2_characterization
+from repro.experiments.common import ExperimentConfig
+
+
+def test_table2_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", h_values=(1, 2, 3),
+                              datasets=("coli", "cele", "jazz", "caHe"))
+    rows = run_once(benchmark, table2_characterization.run, config)
+    assert len(rows) == 4
+    for row in rows:
+        first = int(row["h=1"].split("/")[0])
+        last = int(row["h=3"].split("/")[0])
+        assert last >= first  # the maximum core index grows with h
+
+
+def test_characterization_kernel_h3(benchmark, collaboration_graph):
+    decomposition = benchmark(core_decomposition, collaboration_graph, 3)
+    assert decomposition.degeneracy > 0

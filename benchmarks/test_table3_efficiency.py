@@ -1,0 +1,58 @@
+"""Benchmark: Table 3 — the head-to-head of h-BZ vs h-LB vs h-LB+UB.
+
+This is the paper's central efficiency comparison, so in addition to the
+one-shot table regeneration the three algorithm kernels are benchmarked
+individually on the same (dataset, h) cell; pytest-benchmark's comparison
+output then directly shows the ordering the paper reports.
+"""
+
+from conftest import run_once
+
+from repro.core import h_bz, h_lb, h_lb_ub
+from repro.experiments import table3_efficiency
+from repro.experiments.common import ExperimentConfig
+from repro.instrumentation import Counters
+
+
+def test_table3_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", h_values=(2,),
+                              datasets=("caHe", "caAs", "rnPA"))
+    rows = run_once(benchmark, table3_efficiency.run, config)
+    assert len(rows) == 3
+    for row in rows:
+        assert row["h-LB visits"] <= row["h-BZ visits"]
+
+
+def test_h_bz_kernel_h2(benchmark, collaboration_graph):
+    result = benchmark(h_bz, collaboration_graph, 2)
+    assert result.degeneracy > 0
+
+
+def test_h_lb_kernel_h2(benchmark, collaboration_graph):
+    result = benchmark(h_lb, collaboration_graph, 2)
+    assert result.degeneracy > 0
+
+
+def test_h_lb_ub_kernel_h2(benchmark, collaboration_graph):
+    result = benchmark(h_lb_ub, collaboration_graph, 2)
+    assert result.degeneracy > 0
+
+
+def test_h_bz_kernel_h3(benchmark, collaboration_graph):
+    benchmark.pedantic(h_bz, args=(collaboration_graph, 3), rounds=1, iterations=1)
+
+
+def test_h_lb_kernel_h3(benchmark, collaboration_graph):
+    benchmark.pedantic(h_lb, args=(collaboration_graph, 3), rounds=1, iterations=1)
+
+
+def test_h_lb_ub_kernel_h3(benchmark, collaboration_graph):
+    benchmark.pedantic(h_lb_ub, args=(collaboration_graph, 3), rounds=1, iterations=1)
+
+
+def test_visit_counts_ordering(collaboration_graph):
+    """Not a timing benchmark: assert the 'visits' ordering of Table 3."""
+    bz_counters, lb_counters = Counters(), Counters()
+    h_bz(collaboration_graph, 2, counters=bz_counters)
+    h_lb(collaboration_graph, 2, counters=lb_counters)
+    assert lb_counters.vertices_visited < bz_counters.vertices_visited

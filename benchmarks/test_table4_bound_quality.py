@@ -1,0 +1,27 @@
+"""Benchmark: Table 4 — quality of the lower/upper bounds."""
+
+from conftest import run_once
+
+from repro.core import lower_bound_lb2, upper_bound
+from repro.experiments import table4_bounds
+from repro.experiments.common import ExperimentConfig
+
+
+def test_table4_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", h_values=(2,),
+                              datasets=("caHe", "rnPA"))
+    rows = run_once(benchmark, table4_bounds.run, config)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["LB2 err"] <= row["LB1 err"] + 1e-9
+        assert row["UB err"] <= row["h-degree err"] + 1e-9
+
+
+def test_lb2_kernel(benchmark, collaboration_graph):
+    bounds = benchmark(lower_bound_lb2, collaboration_graph, 2)
+    assert len(bounds) == collaboration_graph.num_vertices
+
+
+def test_upper_bound_kernel(benchmark, collaboration_graph):
+    bounds = benchmark(upper_bound, collaboration_graph, 2)
+    assert len(bounds) == collaboration_graph.num_vertices

@@ -1,0 +1,26 @@
+"""Benchmark: Table 5 — effect of each bound on running time (ablation)."""
+
+from conftest import run_once
+
+from repro.core import h_lb, h_lb_ub
+from repro.experiments import table5_bound_ablation
+from repro.experiments.common import ExperimentConfig
+
+
+def test_table5_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", h_values=(2,),
+                              datasets=("caHe", "rnPA"))
+    rows = run_once(benchmark, table5_bound_ablation.run, config)
+    assert len(rows) == 2
+    expected_columns = {"no LB (s)", "LB1 (s)", "LB2 (s)", "h-degree UB (s)", "UB (s)"}
+    assert expected_columns <= set(rows[0])
+
+
+def test_h_lb_with_lb1_only_kernel(benchmark, collaboration_graph):
+    result = benchmark(h_lb, collaboration_graph, 2, use_lb1_only=True)
+    assert result.degeneracy > 0
+
+
+def test_h_lb_ub_with_hdegree_bound_kernel(benchmark, collaboration_graph):
+    result = benchmark(h_lb_ub, collaboration_graph, 2, use_hdegree_as_upper_bound=True)
+    assert result.degeneracy > 0

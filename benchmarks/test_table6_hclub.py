@@ -1,0 +1,38 @@
+"""Benchmark: Table 6 — maximum h-club with and without the core wrapper."""
+
+from conftest import run_once
+
+from repro.applications.hclub import DBCSolver, ITDBCSolver, maximum_h_club_with_core
+from repro.core import core_decomposition
+from repro.experiments import table6_hclub
+from repro.experiments.common import ExperimentConfig
+
+
+def test_table6_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", h_values=(2,),
+                              datasets=("amzn", "rnPA", "rnTX"),
+                              hclub_time_budget_seconds=10.0)
+    rows = run_once(benchmark, table6_hclub.run, config)
+    assert len(rows) == 3
+    assert all(row["max h-club size"] != "NT" for row in rows)
+
+
+def test_standalone_itdbc_kernel(benchmark, road_graph):
+    result = benchmark(ITDBCSolver(time_budget_seconds=30.0).solve, road_graph, 2)
+    assert result.optimal
+
+
+def test_wrapped_dbc_kernel(benchmark, road_graph):
+    decomposition = core_decomposition(road_graph, 2)
+    result = benchmark(maximum_h_club_with_core, road_graph, 2,
+                       DBCSolver(time_budget_seconds=30.0), decomposition)
+    assert result.optimal
+
+
+def test_wrapper_and_standalone_agree(road_graph):
+    """Not a timing benchmark: the wrapper must find the same optimum."""
+    standalone = ITDBCSolver(time_budget_seconds=30.0).solve(road_graph, 2)
+    wrapped = maximum_h_club_with_core(road_graph, 2,
+                                       solver=ITDBCSolver(time_budget_seconds=30.0))
+    assert standalone.optimal and wrapped.optimal
+    assert standalone.size == wrapped.size

@@ -1,0 +1,32 @@
+"""Benchmark: Table 7 — landmark selection for distance estimation."""
+
+from conftest import run_once
+
+from repro.applications.landmarks import LandmarkOracle, evaluate_landmarks, select_landmarks
+from repro.experiments import table7_landmarks
+from repro.experiments.common import ExperimentConfig
+
+
+def test_table7_regeneration(benchmark):
+    config = ExperimentConfig(scale="tiny", datasets=("caHe", "doub"),
+                              num_landmarks=5, num_query_pairs=20)
+    rows = run_once(benchmark, table7_landmarks.run, config)
+    strategies = {row["strategy"] for row in rows}
+    assert "closeness" in strategies and "max core h=4" in strategies
+
+
+def test_max_core_selection_kernel(benchmark, social_graph):
+    landmarks = benchmark(select_landmarks, social_graph, 5, "max-core", 3, 0)
+    assert len(landmarks) == 5
+
+
+def test_oracle_construction_kernel(benchmark, social_graph):
+    landmarks = select_landmarks(social_graph, 5, strategy="closeness")
+    oracle = benchmark(LandmarkOracle, social_graph, landmarks)
+    assert oracle.landmarks == landmarks
+
+
+def test_evaluation_kernel(benchmark, social_graph):
+    landmarks = select_landmarks(social_graph, 5, strategy="max-core", h=3, seed=0)
+    evaluation = benchmark(evaluate_landmarks, social_graph, landmarks, 25, 1)
+    assert evaluation.num_pairs > 0

@@ -1,0 +1,59 @@
+"""Distance-h coloring for conflict-free scheduling (§5.1).
+
+Scenario from the paper: assign sessions (colors) so that no two entities
+that are socially connected within h hops share a session — e.g. courtroom
+scheduling, register allocation across a window of calls, or radio-frequency
+assignment where interference propagates a couple of hops.
+
+The distance-h chromatic number is NP-hard for h >= 2 (McCormick), but
+Theorem 1 bounds it by ``1 + Ĉ_h(G)`` and the greedy coloring in reverse
+smallest-last order stays close to that bound in practice.
+
+Run with::
+
+    python examples/scheduling_with_distance_coloring.py
+"""
+
+from repro.applications.coloring import (
+    chromatic_number_upper_bound,
+    distance_h_greedy_coloring,
+    is_valid_distance_h_coloring,
+)
+from repro.core import core_decomposition
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    # A road-network-like conflict graph: interference is local, so the
+    # distance-h structure matters and the graph stays sparse.
+    graph = load_dataset("rnPA", scale="small", seed=0)
+    print(f"conflict graph: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+
+    print(f"{'h':>2} | {'colors used':>11} | {'Theorem 1 bound':>15} | {'degeneracy':>10}")
+    print("-" * 50)
+    for h in (1, 2, 3, 4):
+        colors = distance_h_greedy_coloring(graph, h)
+        assert is_valid_distance_h_coloring(graph, h, colors)
+        used = len(set(colors.values()))
+        bound = chromatic_number_upper_bound(graph, h)
+        degeneracy = core_decomposition(graph, h).degeneracy
+        print(f"{h:>2} | {used:>11} | {bound:>15} | {degeneracy:>10}")
+
+    # Show the actual schedule for h = 2: one line per session.
+    h = 2
+    colors = distance_h_greedy_coloring(graph, h)
+    sessions = {}
+    for vertex, color in colors.items():
+        sessions.setdefault(color, []).append(vertex)
+    print(f"\nschedule for h = {h}: {len(sessions)} sessions")
+    for color in sorted(sessions)[:5]:
+        members = sorted(sessions[color])
+        preview = ", ".join(str(v) for v in members[:10])
+        suffix = "..." if len(members) > 10 else ""
+        print(f"  session {color:>2} ({len(members):>3} slots): {preview}{suffix}")
+    if len(sessions) > 5:
+        print(f"  ... and {len(sessions) - 5} more sessions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Social-network analysis with distance-generalized cores.
+
+Scenario from the paper's introduction: on a social graph, the classic
+core index saturates quickly (most users sit in a handful of shells), while
+the (k,h)-core index for h = 2..4 gives a much finer "engagement spectrum"
+per user.  This example:
+
+1. loads the Facebook-like synthetic dataset,
+2. computes the core "spectrum" (core index for h = 1..4) of each vertex,
+3. extracts the distance-2 densest subgraph approximation (Theorem 4), and
+4. answers a cocktail-party (community search) query around two seed users.
+
+Run with::
+
+    python examples/social_network_analysis.py
+"""
+
+from repro.applications.community import cocktail_party
+from repro.applications.densest import densest_core_approximation
+from repro.core import core_decomposition
+from repro.datasets import load_dataset
+from repro.traversal.components import largest_component
+
+H_VALUES = (1, 2, 3, 4)
+
+
+def main() -> None:
+    graph = load_dataset("FBco", scale="small", seed=0)
+    print(f"social graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    # 1-2. Per-vertex core spectrum across h values.
+    decompositions = {h: core_decomposition(graph, h) for h in H_VALUES}
+    print("\ncore spectrum of the ten highest-degree users "
+          "(core index for h = 1, 2, 3, 4):")
+    by_degree = sorted(graph.vertices(), key=lambda v: -graph.degree(v))[:10]
+    for vertex in by_degree:
+        spectrum = [decompositions[h][vertex] for h in H_VALUES]
+        print(f"  user {vertex:>4} (degree {graph.degree(vertex):>3}): {spectrum}")
+
+    for h in H_VALUES:
+        decomposition = decompositions[h]
+        print(f"h={h}: degeneracy {decomposition.degeneracy:>4}, "
+              f"{decomposition.num_distinct_cores:>3} distinct cores, "
+              f"innermost core size {len(decomposition.innermost_core())}")
+
+    # 3. Distance-2 densest subgraph via the core approximation.
+    densest = densest_core_approximation(graph, 2, decomposition=decompositions[2])
+    print(f"\ndistance-2 densest-subgraph approximation: "
+          f"{densest.size} vertices, average 2-degree {densest.density:.2f}")
+
+    # 4. Community search around two well-connected seed users.
+    component = sorted(largest_component(graph), key=repr)
+    seeds = [component[0], component[1]]
+    community = cocktail_party(graph, seeds, h=2, decomposition=decompositions[2])
+    print(f"\ncocktail-party community for seeds {seeds}: "
+          f"{community.size} members, minimum 2-degree {community.min_h_degree} "
+          f"(found in the ({community.k},2)-core)")
+
+
+if __name__ == "__main__":
+    main()

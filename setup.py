@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``python setup.py develop`` works on environments whose setuptools predates
+the bundled ``bdist_wheel`` command (PEP 660 editable installs need the
+``wheel`` package, which may not be available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Applications of the distance-generalized core decomposition (§5, §6.5-6.6).
+
+* :mod:`repro.applications.coloring` — distance-h coloring and the chromatic
+  number bound of Theorem 1.
+* :mod:`repro.applications.hclique` — h-cliques (and their relation to the
+  power graph).
+* :mod:`repro.applications.hclub` — exact maximum h-club solvers and the
+  (k,h)-core wrapper of Algorithm 7 / Theorem 3.
+* :mod:`repro.applications.densest` — the distance-h densest subgraph and the
+  core-based approximation of Theorem 4.
+* :mod:`repro.applications.community` — the distance-generalized cocktail
+  party (community search) problem of Appendix B.
+* :mod:`repro.applications.landmarks` — landmark selection for shortest-path
+  distance estimation (§6.6).
+"""
+
+from repro.applications.coloring import (
+    distance_h_greedy_coloring,
+    chromatic_number_upper_bound,
+    is_valid_distance_h_coloring,
+    exact_distance_h_chromatic_number,
+)
+from repro.applications.hclique import (
+    is_h_clique,
+    maximum_h_clique,
+    greedy_h_clique,
+)
+from repro.applications.hclub import (
+    is_h_club,
+    drop_heuristic_h_club,
+    DBCSolver,
+    ITDBCSolver,
+    maximum_h_club,
+    maximum_h_club_with_core,
+)
+from repro.applications.densest import (
+    average_h_degree,
+    densest_core_approximation,
+    greedy_peeling_densest,
+    exact_densest_subgraph,
+)
+from repro.applications.community import cocktail_party
+from repro.applications.landmarks import (
+    LandmarkOracle,
+    select_landmarks,
+    evaluate_landmarks,
+    LANDMARK_STRATEGIES,
+)
+
+__all__ = [
+    "distance_h_greedy_coloring",
+    "chromatic_number_upper_bound",
+    "is_valid_distance_h_coloring",
+    "exact_distance_h_chromatic_number",
+    "is_h_clique",
+    "maximum_h_clique",
+    "greedy_h_clique",
+    "is_h_club",
+    "drop_heuristic_h_club",
+    "DBCSolver",
+    "ITDBCSolver",
+    "maximum_h_club",
+    "maximum_h_club_with_core",
+    "average_h_degree",
+    "densest_core_approximation",
+    "greedy_peeling_densest",
+    "exact_densest_subgraph",
+    "cocktail_party",
+    "LandmarkOracle",
+    "select_landmarks",
+    "evaluate_landmarks",
+    "LANDMARK_STRATEGIES",
+]

@@ -1,0 +1,147 @@
+"""Distance-h coloring and the chromatic-number bound (§5.1, Theorem 1).
+
+A distance-h coloring assigns colors so that any two vertices of the same
+color are more than ``h`` hops apart (equivalently: a proper coloring of the
+h-power graph).  Finding the distance-h chromatic number is NP-hard for any
+fixed h >= 2 (McCormick), but Theorem 1 bounds it by ``1 + Ĉ_h(G)`` where
+``Ĉ_h(G)`` is the h-degeneracy, and a greedy coloring in reverse peeling
+(smallest-last) order realizes a small number of colors in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import InvalidDistanceThresholdError, ParameterError
+from repro.graph.graph import Graph, Vertex
+from repro.core.decomposition import core_decomposition
+from repro.core.hlb import h_lb
+from repro.core.classic import classic_core_decomposition
+from repro.traversal.hneighborhood import h_neighborhood
+
+
+def _validate_h(h: int) -> None:
+    if not isinstance(h, int) or isinstance(h, bool) or h < 1:
+        raise InvalidDistanceThresholdError(h)
+
+
+def smallest_last_order(graph: Graph, h: int) -> List[Vertex]:
+    """Return a smallest-last (degeneracy) ordering w.r.t. h-degrees.
+
+    The order is the removal order of the peeling algorithm: the vertex
+    removed first (smallest current h-degree) comes first.  Coloring in the
+    *reverse* of this order is the greedy strategy of Theorem 1's proof.
+    """
+    _validate_h(h)
+    if h == 1:
+        decomposition = classic_core_decomposition(graph)
+    else:
+        decomposition = h_lb(graph, h)
+    assert decomposition.removal_order is not None
+    return decomposition.removal_order
+
+
+def distance_h_greedy_coloring(graph: Graph, h: int,
+                               order: Optional[Sequence[Vertex]] = None
+                               ) -> Dict[Vertex, int]:
+    """Greedily build a valid distance-h coloring of ``graph``.
+
+    Vertices are colored in the given order (default: reverse smallest-last
+    order); each vertex receives the smallest color not used by any
+    already-colored vertex within distance ``h`` **in the full graph**, so the
+    returned coloring is always a valid distance-h coloring.
+
+    Returns
+    -------
+    dict
+        ``vertex -> color`` with colors ``0 .. num_colors - 1``.
+    """
+    _validate_h(h)
+    if order is None:
+        order = list(reversed(smallest_last_order(graph, h)))
+    else:
+        order = list(order)
+        if set(order) != set(graph.vertices()):
+            raise ParameterError("the coloring order must contain every vertex exactly once")
+
+    colors: Dict[Vertex, int] = {}
+    for v in order:
+        forbidden = {
+            colors[u]
+            for u in h_neighborhood(graph, v, h)
+            if u in colors
+        }
+        color = 0
+        while color in forbidden:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def is_valid_distance_h_coloring(graph: Graph, h: int,
+                                 colors: Dict[Vertex, int]) -> bool:
+    """Check that ``colors`` is a valid distance-h coloring of ``graph``."""
+    _validate_h(h)
+    for v in graph.vertices():
+        if v not in colors:
+            return False
+        for u in h_neighborhood(graph, v, h):
+            if colors.get(u) == colors[v]:
+                return False
+    return True
+
+
+def chromatic_number_upper_bound(graph: Graph, h: int) -> int:
+    """Return ``1 + Ĉ_h(G)``, the Theorem 1 upper bound on χ_h(G)."""
+    _validate_h(h)
+    if graph.num_vertices == 0:
+        return 0
+    return 1 + core_decomposition(graph, h).degeneracy
+
+
+def exact_distance_h_chromatic_number(graph: Graph, h: int,
+                                      max_vertices: int = 24) -> int:
+    """Return the exact distance-h chromatic number by backtracking search.
+
+    Exponential in the worst case — guarded by ``max_vertices`` — and used
+    only as a test oracle and in the tiny illustrative examples.
+    """
+    _validate_h(h)
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    if n > max_vertices:
+        raise ParameterError(
+            f"exact chromatic number limited to {max_vertices} vertices (got {n})"
+        )
+    vertices = sorted(graph.vertices(), key=repr)
+    conflict = {v: h_neighborhood(graph, v, h) for v in vertices}
+    # Order vertices by decreasing conflict degree: hard vertices first prunes better.
+    vertices.sort(key=lambda v: -len(conflict[v]))
+
+    def can_color(num_colors: int) -> bool:
+        colors: Dict[Vertex, int] = {}
+
+        def backtrack(index: int) -> bool:
+            if index == len(vertices):
+                return True
+            v = vertices[index]
+            forbidden = {colors[u] for u in conflict[v] if u in colors}
+            used_so_far = max(colors.values(), default=-1)
+            # Only try one brand-new color (symmetry breaking).
+            limit = min(num_colors, used_so_far + 2)
+            for color in range(limit):
+                if color in forbidden:
+                    continue
+                colors[v] = color
+                if backtrack(index + 1):
+                    return True
+                del colors[v]
+            return False
+
+        return backtrack(0)
+
+    for num_colors in range(1, n + 1):
+        if can_color(num_colors):
+            return num_colors
+    return n

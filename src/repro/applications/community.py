@@ -1,0 +1,102 @@
+"""Distance-generalized cocktail party / community search (Appendix B).
+
+Given a set of query vertices ``Q``, find a connected vertex set containing
+``Q`` that maximizes the *minimum h-degree* of its members — the
+distance-generalization of Sozio & Gionis' cocktail-party problem.  The
+optimal solution is the connected component, inside the (k,h)-core with the
+largest ``k`` that keeps all query vertices connected, that contains them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Set
+
+from repro.errors import InvalidDistanceThresholdError, ParameterError, VertexNotFoundError
+from repro.graph.graph import Graph, Vertex
+from repro.core.decomposition import core_decomposition
+from repro.core.result import CoreDecomposition
+from repro.traversal.components import connected_components
+from repro.applications.densest import average_h_degree
+from repro.traversal.hneighborhood import all_h_degrees
+
+
+@dataclass
+class CommunityResult:
+    """Solution of a distance-generalized cocktail-party query."""
+
+    vertices: Set[Vertex] = field(default_factory=set)
+    min_h_degree: int = 0
+    k: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the community."""
+        return len(self.vertices)
+
+
+def cocktail_party(graph: Graph, query_vertices: Iterable[Vertex], h: int,
+                   decomposition: Optional[CoreDecomposition] = None,
+                   algorithm: str = "auto") -> CommunityResult:
+    """Solve the distance-generalized cocktail-party problem (Problem 2).
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    query_vertices:
+        Non-empty set of query vertices that must be contained (and mutually
+        connected) in the returned community.
+    h:
+        Distance threshold for the h-degree objective.
+    decomposition:
+        Optionally reuse a precomputed decomposition.
+    algorithm:
+        Decomposition algorithm used when ``decomposition`` is None.
+
+    Returns
+    -------
+    CommunityResult
+        The connected component of the deepest core that contains all query
+        vertices; its ``min_h_degree`` is the achieved objective value.
+
+    Raises
+    ------
+    ParameterError
+        If the query set is empty or the query vertices can never be
+        connected (they lie in different connected components of the graph).
+    """
+    if not isinstance(h, int) or isinstance(h, bool) or h < 1:
+        raise InvalidDistanceThresholdError(h)
+    query = set(query_vertices)
+    if not query:
+        raise ParameterError("the cocktail-party query needs at least one vertex")
+    for q in query:
+        if q not in graph:
+            raise VertexNotFoundError(q)
+
+    if decomposition is None:
+        decomposition = core_decomposition(graph, h, algorithm=algorithm)
+
+    # The community can be at best as deep as the shallowest query vertex.
+    k_start = min(decomposition.core_index[q] for q in query)
+    for k in range(k_start, -1, -1):
+        core_vertices = decomposition.core(k)
+        if not query <= core_vertices:
+            continue
+        for component in connected_components(graph, alive=core_vertices):
+            if query <= component:
+                degrees = all_h_degrees(graph, h, alive=component, vertices=component)
+                return CommunityResult(
+                    vertices=component,
+                    min_h_degree=min(degrees.values()) if degrees else 0,
+                    k=k,
+                )
+    raise ParameterError(
+        "the query vertices lie in different connected components of the graph"
+    )
+
+
+def community_density(graph: Graph, community: CommunityResult, h: int) -> float:
+    """Convenience helper: the average h-degree of a community's vertex set."""
+    return average_h_degree(graph, community.vertices, h)

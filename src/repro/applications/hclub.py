@@ -1,0 +1,355 @@
+"""Maximum h-club: exact solvers and the (k,h)-core wrapper (§5.2, Alg. 7).
+
+An h-club (Definition 5) is a vertex set whose *induced subgraph* has
+diameter at most ``h``.  Finding a maximum h-club is NP-hard and, unlike
+cliques, h-clubs are not closed under set inclusion, which makes the problem
+notoriously awkward.  The paper's contribution here (Theorem 3) is that every
+h-club of size ``k + 1`` is contained in the (k,h)-core, so any exact solver
+can be wrapped to run on a (much smaller) core instead of the whole graph
+(Algorithm 7).
+
+The paper uses the Gurobi-based DBC and ITDBC integer-programming solvers of
+Moradi & Balasundaram as the black box.  No IP solver is available offline,
+so this module provides pure-Python exact solvers with the same roles:
+
+* :class:`DBCSolver` — a combinatorial branch-and-bound over "far pairs"
+  (Bourjolly-style): if the current candidate set has two vertices farther
+  than ``h`` apart in its induced subgraph, branch by excluding one or the
+  other.
+* :class:`ITDBCSolver` — an iterative variant that solves one
+  h-neighborhood-restricted subproblem per vertex (every h-club containing
+  ``v`` lies inside ``N_G(v, h) ∪ {v}``), carrying the incumbent across
+  subproblems.
+
+Both are exact (when they terminate within their time budget) and expose the
+same interface, so Algorithm 7 can wrap either — which is all Table 6 needs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from repro.errors import InvalidDistanceThresholdError, ParameterError
+from repro.graph.graph import Graph, Vertex
+from repro.core.decomposition import core_decomposition
+from repro.core.result import CoreDecomposition
+from repro.traversal.bfs import h_bounded_bfs
+from repro.traversal.hneighborhood import h_neighborhood
+
+
+def _validate_h(h: int) -> None:
+    if not isinstance(h, int) or isinstance(h, bool) or h < 1:
+        raise InvalidDistanceThresholdError(h)
+
+
+def _far_map(graph: Graph, members: Set[Vertex], h: int) -> Dict[Vertex, Set[Vertex]]:
+    """For each member, the other members farther than ``h`` away in G[members]."""
+    far: Dict[Vertex, Set[Vertex]] = {}
+    for v in members:
+        reachable = set(h_bounded_bfs(graph, v, h, alive=members))
+        far[v] = members - reachable
+    return far
+
+
+def is_h_club(graph: Graph, vertices: Set[Vertex], h: int) -> bool:
+    """Return True if ``vertices`` induces a subgraph of diameter at most ``h``."""
+    _validate_h(h)
+    members = set(vertices)
+    if not members <= set(graph.vertices()):
+        return False
+    if len(members) <= 1:
+        return True
+    far = _far_map(graph, members, h)
+    return all(not far_set for far_set in far.values())
+
+
+def drop_heuristic_h_club(graph: Graph, h: int,
+                          candidate: Optional[Set[Vertex]] = None) -> Set[Vertex]:
+    """Return an h-club by the DROP heuristic (Bourjolly, Laporte & Pesant).
+
+    Starting from ``candidate`` (default: all vertices), repeatedly remove
+    the vertex involved in the largest number of "far" (distance > h) pairs
+    until the remaining set is an h-club.  The result is a feasible h-club
+    used as the branch-and-bound incumbent.
+    """
+    _validate_h(h)
+    members = set(candidate) if candidate is not None else set(graph.vertices())
+    members &= set(graph.vertices())
+    while len(members) > 1:
+        far = _far_map(graph, members, h)
+        worst = max(members, key=lambda v: (len(far[v]), repr(v)))
+        if not far[worst]:
+            return members
+        members.discard(worst)
+    return members
+
+
+@dataclass
+class HClubResult:
+    """Outcome of a maximum-h-club computation."""
+
+    vertices: Set[Vertex] = field(default_factory=set)
+    optimal: bool = True
+    nodes_explored: int = 0
+    seconds: float = 0.0
+    solver: str = "DBC"
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the best h-club found."""
+        return len(self.vertices)
+
+
+class _BranchAndBound:
+    """Include/exclude branch-and-bound with far-vertex propagation.
+
+    The search state is a candidate set ``members`` and a set of ``required``
+    vertices that any solution in this subtree must contain.  At every node:
+
+    * vertices that are farther than ``h`` (within ``G[members]``) from a
+      required vertex can never join it in an h-club, so they are removed
+      (propagation);
+    * if no far pair remains, ``members`` itself is an h-club;
+    * otherwise the search branches on the most conflicted optional vertex:
+      either it is excluded, or it is required (which immediately removes all
+      vertices currently far from it).
+
+    The bound ``max_v |members| - |far(v)|`` (the largest closed
+    h-neighborhood inside the candidate subgraph) prunes subtrees that cannot
+    beat the incumbent.
+    """
+
+    def __init__(self, graph: Graph, h: int, deadline: Optional[float]) -> None:
+        self.graph = graph
+        self.h = h
+        self.deadline = deadline
+        self.nodes = 0
+        self.timed_out = False
+
+    def search(self, members: Set[Vertex], best: Set[Vertex],
+               required: Optional[Set[Vertex]] = None) -> Set[Vertex]:
+        """Return the best h-club within ``members`` (containing ``required``)
+        that beats ``best``, or ``best`` itself."""
+        required = set() if required is None else required
+        self.nodes += 1
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            self.timed_out = True
+            return best
+        if len(members) <= len(best):
+            return best
+        far = _far_map(self.graph, members, self.h)
+
+        # Propagation: anything far from a required vertex must go; if two
+        # required vertices are mutually far, this subtree is infeasible.
+        to_remove: Set[Vertex] = set()
+        for vertex in required:
+            to_remove |= far[vertex]
+        if to_remove & required:
+            return best
+        if to_remove:
+            return self.search(members - to_remove, best, required)
+
+        conflicted = [v for v in members if far[v]]
+        if not conflicted:
+            return set(members)
+
+        # Upper bound: any h-club inside `members` containing v fits inside
+        # v's closed h-neighborhood within G[members] (|members| - |far(v)|).
+        upper_bound = max(len(members) - len(far_set) for far_set in far.values())
+        if upper_bound <= len(best):
+            return best
+
+        # Branch on the optional vertex with the most far partners: excluding
+        # it resolves many conflicts, requiring it removes many vertices.
+        pivot = max((v for v in conflicted if v not in required),
+                    key=lambda v: (len(far[v]), repr(v)), default=None)
+        if pivot is None:
+            # Only required vertices are conflicted, which propagation already
+            # ruled out — nothing feasible here.
+            return best
+        best = self.search(members - {pivot}, best, required)
+        if not self.timed_out:
+            best = self.search(members - far[pivot], best, required | {pivot})
+        return best
+
+
+class DBCSolver:
+    """Exact maximum-h-club solver on the whole candidate set.
+
+    Stand-in for the paper's DBC integer-programming solver: same role (an
+    exact black-box A(G, h)), different machinery (combinatorial far-pair
+    branch and bound with a DROP-heuristic incumbent).
+    """
+
+    name = "DBC"
+
+    def __init__(self, time_budget_seconds: Optional[float] = None) -> None:
+        self.time_budget_seconds = time_budget_seconds
+
+    def solve(self, graph: Graph, h: int,
+              candidate: Optional[Set[Vertex]] = None,
+              initial_best: Optional[Set[Vertex]] = None) -> HClubResult:
+        """Return a maximum h-club within ``candidate`` (default: all vertices)."""
+        _validate_h(h)
+        start = time.perf_counter()
+        deadline = (start + self.time_budget_seconds
+                    if self.time_budget_seconds is not None else None)
+        members = set(candidate) if candidate is not None else set(graph.vertices())
+        members &= set(graph.vertices())
+        best = set(initial_best) if initial_best else set()
+        if len(members) > len(best):
+            incumbent = drop_heuristic_h_club(graph, h, candidate=members)
+            if len(incumbent) > len(best):
+                best = incumbent
+        engine = _BranchAndBound(graph, h, deadline)
+        best = engine.search(members, best)
+        return HClubResult(
+            vertices=best,
+            optimal=not engine.timed_out,
+            nodes_explored=engine.nodes,
+            seconds=time.perf_counter() - start,
+            solver=self.name,
+        )
+
+
+class ITDBCSolver:
+    """Iterative exact maximum-h-club solver.
+
+    Every h-club containing ``v`` lies inside ``N_G(v, h) ∪ {v}``, so the
+    global maximum can be found by solving one neighborhood-restricted
+    subproblem per vertex, carrying the incumbent along and skipping any
+    vertex whose closed h-neighborhood is already no larger than the
+    incumbent.  Mirrors the role of the paper's ITDBC baseline: typically far
+    less memory-hungry than the single monolithic search.
+    """
+
+    name = "ITDBC"
+
+    def __init__(self, time_budget_seconds: Optional[float] = None) -> None:
+        self.time_budget_seconds = time_budget_seconds
+
+    def solve(self, graph: Graph, h: int,
+              candidate: Optional[Set[Vertex]] = None,
+              initial_best: Optional[Set[Vertex]] = None) -> HClubResult:
+        """Return a maximum h-club within ``candidate`` (default: all vertices)."""
+        _validate_h(h)
+        start = time.perf_counter()
+        deadline = (start + self.time_budget_seconds
+                    if self.time_budget_seconds is not None else None)
+        universe = set(candidate) if candidate is not None else set(graph.vertices())
+        universe &= set(graph.vertices())
+        best = set(initial_best) if initial_best else set()
+        nodes = 0
+        timed_out = False
+
+        neighborhoods = {
+            v: ({u for u in h_neighborhood(graph, v, h) if u in universe} | {v})
+            for v in universe
+        }
+        # Large neighborhoods first: they are the likeliest to contain the optimum
+        # and give strong incumbents early.  After a vertex's subproblem is
+        # solved the vertex is retired from the remaining subproblems (every
+        # club containing it has been accounted for), which keeps the later
+        # subproblems small.
+        order = sorted(universe, key=lambda v: (-len(neighborhoods[v]), repr(v)))
+        remaining = set(universe)
+        for v in order:
+            if deadline is not None and time.perf_counter() > deadline:
+                timed_out = True
+                break
+            candidate = (neighborhoods[v] & remaining) | {v}
+            if len(candidate) <= len(best):
+                remaining.discard(v)
+                continue
+            engine = _BranchAndBound(graph, h, deadline)
+            best = engine.search(candidate, best, required={v})
+            nodes += engine.nodes
+            if engine.timed_out:
+                timed_out = True
+                break
+            remaining.discard(v)
+        return HClubResult(
+            vertices=best,
+            optimal=not timed_out,
+            nodes_explored=nodes,
+            seconds=time.perf_counter() - start,
+            solver=self.name,
+        )
+
+
+def maximum_h_club(graph: Graph, h: int, method: str = "dbc",
+                   time_budget_seconds: Optional[float] = None) -> HClubResult:
+    """Return a maximum h-club of ``graph`` with the chosen exact solver."""
+    _validate_h(h)
+    if method.lower() == "dbc":
+        return DBCSolver(time_budget_seconds).solve(graph, h)
+    if method.lower() == "itdbc":
+        return ITDBCSolver(time_budget_seconds).solve(graph, h)
+    raise ParameterError(f"unknown maximum h-club method {method!r}; use 'dbc' or 'itdbc'")
+
+
+def maximum_h_club_with_core(graph: Graph, h: int,
+                             solver: Optional[object] = None,
+                             decomposition: Optional[CoreDecomposition] = None,
+                             algorithm: str = "auto") -> HClubResult:
+    """Maximum h-club via the (k,h)-core wrapper (Algorithm 7, Theorem 3).
+
+    The black-box solver is only ever run on (k,h)-cores, starting from the
+    innermost one: an h-club of size ``S > k`` found inside the (k,h)-core is
+    globally maximum (any larger club would have to live in a higher core,
+    which does not exist); otherwise the search continues in the core of
+    index ``min(S, k - 1)``.
+
+    Parameters
+    ----------
+    graph, h:
+        Problem instance.
+    solver:
+        Object with a ``solve(graph, h, candidate=..., initial_best=...)``
+        method (a :class:`DBCSolver` by default).
+    decomposition:
+        Optionally reuse an existing decomposition (the experiment harness
+        computes it once per dataset/h pair).
+    algorithm:
+        Decomposition algorithm to use when ``decomposition`` is None.
+    """
+    _validate_h(h)
+    if solver is None:
+        solver = DBCSolver()
+    start = time.perf_counter()
+    if decomposition is None:
+        decomposition = core_decomposition(graph, h, algorithm=algorithm)
+    total_nodes = 0
+    best: Set[Vertex] = set()
+    k_current = decomposition.degeneracy
+    while k_current >= 0:
+        core_vertices = decomposition.core(k_current)
+        if not core_vertices:
+            k_current -= 1
+            continue
+        result = solver.solve(graph, h, candidate=core_vertices, initial_best=best)
+        total_nodes += result.nodes_explored
+        if result.size > len(best):
+            best = set(result.vertices)
+        if not result.optimal:
+            return HClubResult(vertices=best, optimal=False,
+                               nodes_explored=total_nodes,
+                               seconds=time.perf_counter() - start,
+                               solver=f"Alg7+{getattr(solver, 'name', 'solver')}")
+        if result.size > k_current or k_current == 0:
+            # Theorem 3: any h-club of size > k_current would live in a higher
+            # core, which we have already searched — the incumbent is optimal.
+            break
+        if result.size > 0:
+            k_current = min(result.size, k_current - 1)
+        else:
+            k_current -= 1
+    return HClubResult(
+        vertices=best,
+        optimal=True,
+        nodes_explored=total_nodes,
+        seconds=time.perf_counter() - start,
+        solver=f"Alg7+{getattr(solver, 'name', 'solver')}",
+    )

@@ -1,0 +1,195 @@
+"""Landmark selection for shortest-path distance estimation (§6.6, Table 7).
+
+Given a set ``L`` of landmarks with precomputed single-source distances, the
+distance ``d(s, t)`` is sandwiched by the triangle-inequality bounds
+
+    max_{u in L} |d(s,u) - d(u,t)|   <=   d(s,t)   <=   min_{u in L} d(s,u) + d(u,t)
+
+and estimated by the midpoint of the two bounds.  The paper's hypothesis —
+confirmed by Table 7 — is that picking landmarks at random from the **maximum
+(k,h)-core** (for h around 3-4) beats the standard closeness / betweenness /
+degree heuristics, because inner-core vertices sit inside a large dense
+region and are therefore close to most of the network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph.graph import Graph, Vertex
+from repro.core.decomposition import core_decomposition
+from repro.core.result import CoreDecomposition
+from repro.traversal.bfs import bfs_distances
+from repro.traversal.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    top_k_by_centrality,
+)
+from repro.traversal.hneighborhood import all_h_degrees
+
+#: Selection strategies accepted by :func:`select_landmarks`.
+LANDMARK_STRATEGIES = (
+    "max-core",       # random vertices from the maximum (k,h)-core (the paper's proposal)
+    "closeness",      # top-ℓ closeness centrality
+    "betweenness",    # top-ℓ betweenness centrality
+    "h-degree",       # top-ℓ h-degree (deg^h_G)
+    "degree",         # top-ℓ plain degree (h-degree with h = 1)
+    "random",         # uniform random vertices (sanity baseline)
+)
+
+
+def select_landmarks(graph: Graph, num_landmarks: int, strategy: str = "max-core",
+                     h: int = 3, seed: Optional[int] = None,
+                     decomposition: Optional[CoreDecomposition] = None
+                     ) -> List[Vertex]:
+    """Return ``num_landmarks`` landmark vertices chosen by ``strategy``.
+
+    ``h`` is used by the ``"max-core"`` and ``"h-degree"`` strategies; the
+    other strategies ignore it.  When the maximum core is smaller than the
+    requested number of landmarks, lower cores are added until enough
+    vertices are available (so the function always returns exactly
+    ``min(num_landmarks, |V|)`` landmarks).
+    """
+    if num_landmarks <= 0:
+        raise ParameterError("num_landmarks must be positive")
+    if strategy not in LANDMARK_STRATEGIES:
+        raise ParameterError(
+            f"unknown landmark strategy {strategy!r}; expected one of {LANDMARK_STRATEGIES}"
+        )
+    vertices = sorted(graph.vertices(), key=repr)
+    num_landmarks = min(num_landmarks, len(vertices))
+    rng = random.Random(seed)
+
+    if strategy == "random":
+        return rng.sample(vertices, num_landmarks)
+    if strategy == "closeness":
+        return top_k_by_centrality(closeness_centrality(graph), num_landmarks)
+    if strategy == "betweenness":
+        return top_k_by_centrality(betweenness_centrality(graph), num_landmarks)
+    if strategy in ("h-degree", "degree"):
+        effective_h = 1 if strategy == "degree" else h
+        degrees = all_h_degrees(graph, effective_h)
+        ranked = sorted(degrees.items(), key=lambda item: (-item[1], repr(item[0])))
+        return [v for v, _ in ranked[:num_landmarks]]
+
+    # strategy == "max-core": random vertices from the deepest (k,h)-core,
+    # falling back to progressively lower cores if it is too small.
+    if decomposition is None:
+        decomposition = core_decomposition(graph, h)
+    chosen: List[Vertex] = []
+    k = decomposition.degeneracy
+    already = set()
+    while len(chosen) < num_landmarks and k >= 0:
+        candidates = sorted(decomposition.core(k) - already, key=repr)
+        take = min(num_landmarks - len(chosen), len(candidates))
+        if take > 0:
+            picked = rng.sample(candidates, take)
+            chosen.extend(picked)
+            already.update(picked)
+        k -= 1
+    return chosen
+
+
+class LandmarkOracle:
+    """A landmark-based approximate shortest-path-distance oracle.
+
+    Precomputes one BFS per landmark; queries combine the stored distances
+    with the triangle inequality to produce a lower bound, an upper bound,
+    and a midpoint estimate.
+    """
+
+    def __init__(self, graph: Graph, landmarks: Sequence[Vertex]) -> None:
+        if not landmarks:
+            raise ParameterError("at least one landmark is required")
+        for landmark in landmarks:
+            if landmark not in graph:
+                raise VertexNotFoundError(landmark)
+        self.graph = graph
+        self.landmarks = list(landmarks)
+        self._distances: Dict[Vertex, Dict[Vertex, int]] = {
+            landmark: bfs_distances(graph, landmark) for landmark in self.landmarks
+        }
+
+    def bounds(self, s: Vertex, t: Vertex) -> Tuple[Optional[int], Optional[int]]:
+        """Return ``(lower_bound, upper_bound)`` on ``d(s, t)``.
+
+        Either bound is None when no landmark reaches both endpoints.
+        """
+        if s == t:
+            return 0, 0
+        lower: Optional[int] = None
+        upper: Optional[int] = None
+        for landmark in self.landmarks:
+            table = self._distances[landmark]
+            if s not in table or t not in table:
+                continue
+            ds, dt = table[s], table[t]
+            pair_lower = abs(ds - dt)
+            pair_upper = ds + dt
+            lower = pair_lower if lower is None else max(lower, pair_lower)
+            upper = pair_upper if upper is None else min(upper, pair_upper)
+        return lower, upper
+
+    def estimate(self, s: Vertex, t: Vertex) -> Optional[float]:
+        """Return the midpoint estimate ``(LB + UB) / 2`` (None if unbounded)."""
+        lower, upper = self.bounds(s, t)
+        if lower is None or upper is None:
+            return None
+        return (lower + upper) / 2.0
+
+
+@dataclass
+class LandmarkEvaluation:
+    """Aggregated approximation quality of one landmark selection."""
+
+    strategy: str
+    h: int
+    num_landmarks: int
+    num_pairs: int
+    mean_relative_error: float
+    errors: List[float] = field(default_factory=list)
+
+
+def evaluate_landmarks(graph: Graph, landmarks: Sequence[Vertex],
+                       num_pairs: int = 500, seed: Optional[int] = None,
+                       strategy: str = "", h: int = 0) -> LandmarkEvaluation:
+    """Measure the mean relative error of the midpoint estimate on random pairs.
+
+    Pairs are sampled uniformly among connected (s, t) pairs with ``s != t``;
+    the error of one pair is ``|estimate - d(s,t)| / d(s,t)`` — the metric of
+    Table 7.
+    """
+    rng = random.Random(seed)
+    oracle = LandmarkOracle(graph, landmarks)
+    vertices = sorted(graph.vertices(), key=repr)
+    if len(vertices) < 2:
+        return LandmarkEvaluation(strategy, h, len(landmarks), 0, 0.0, [])
+
+    errors: List[float] = []
+    attempts = 0
+    max_attempts = num_pairs * 20
+    while len(errors) < num_pairs and attempts < max_attempts:
+        attempts += 1
+        s, t = rng.sample(vertices, 2)
+        true_distances = bfs_distances(graph, s)
+        if t not in true_distances:
+            continue
+        true_distance = true_distances[t]
+        if true_distance == 0:
+            continue
+        estimate = oracle.estimate(s, t)
+        if estimate is None:
+            continue
+        errors.append(abs(estimate - true_distance) / true_distance)
+    mean_error = sum(errors) / len(errors) if errors else 0.0
+    return LandmarkEvaluation(
+        strategy=strategy,
+        h=h,
+        num_landmarks=len(landmarks),
+        num_pairs=len(errors),
+        mean_relative_error=mean_error,
+        errors=errors,
+    )

@@ -1,0 +1,99 @@
+"""Command-line interface: decompose an edge-list file.
+
+Usage::
+
+    python -m repro input.edges --h 2                 # print core indices
+    python -m repro input.edges --h 3 --algorithm h-LB+UB --output cores.txt
+    python -m repro input.edges --h 2 --summary       # only aggregate stats
+    python -m repro --demo --h 2                      # run on a built-in demo graph
+
+The input format is a plain edge list (one ``u v`` pair per line, ``#``/``%``
+comments allowed — the SNAP convention).  The output is one ``vertex core``
+pair per line, or a short summary with ``--summary``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import core_decomposition_with_report
+from repro.errors import ReproError
+from repro.graph import Graph, read_edge_list
+from repro.graph.generators import relaxed_caveman_graph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Distance-generalized ((k,h)-core) decomposition of an edge list.",
+    )
+    parser.add_argument("input", nargs="?", help="edge-list file (u v per line)")
+    parser.add_argument("--demo", action="store_true",
+                        help="use a built-in demo graph instead of an input file")
+    parser.add_argument("--h", type=int, default=2, dest="h",
+                        help="distance threshold h (default: 2)")
+    parser.add_argument("--algorithm", default="auto",
+                        choices=("auto", "classic", "naive", "h-BZ", "h-LB", "h-LB+UB"),
+                        help="decomposition algorithm (default: auto)")
+    parser.add_argument("--partition-size", type=int, default=1,
+                        help="partition size S for h-LB+UB (default: 1)")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="threads for bulk h-degree computation (default: 1)")
+    parser.add_argument("--output", help="write 'vertex core' lines to this file")
+    parser.add_argument("--summary", action="store_true",
+                        help="print only aggregate statistics")
+    return parser
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.demo:
+        return relaxed_caveman_graph(8, 8, 0.15, seed=0)
+    if not args.input:
+        raise ReproError("either an input file or --demo is required")
+    return read_edge_list(args.input)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        graph = _load_graph(args)
+        report = core_decomposition_with_report(
+            graph, args.h, algorithm=args.algorithm,
+            dataset_name=args.input or "demo",
+            partition_size=args.partition_size, num_threads=args.threads)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    result = report.result
+    print(f"# graph: {graph.num_vertices} vertices, {graph.num_edges} edges", file=sys.stderr)
+    print(f"# algorithm: {result.algorithm}, h = {args.h}", file=sys.stderr)
+    print(f"# time: {report.seconds:.3f}s, h-BFS visits: {report.visits}", file=sys.stderr)
+    print(f"# h-degeneracy: {result.degeneracy}, distinct cores: {result.num_distinct_cores}",
+          file=sys.stderr)
+
+    if args.summary:
+        sizes = result.core_sizes()
+        for k in sorted(sizes):
+            print(f"core {k}: {sizes[k]} vertices")
+        return 0
+
+    lines = [f"{vertex} {core}" for vertex, core in
+             sorted(result.core_index.items(), key=lambda item: repr(item[0]))]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"# wrote {len(lines)} lines to {args.output}", file=sys.stderr)
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

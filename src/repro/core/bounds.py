@@ -1,0 +1,173 @@
+"""Lower and upper bounds on the (k,h)-core index (§4.2, §4.4, §4.5).
+
+* ``LB1(v) = deg^{⌊h/2⌋}(v)`` (Observation 1): every vertex in the
+  ⌊h/2⌋-neighborhood of ``v`` is within distance h of every other, so they
+  form a mutually supporting group.
+* ``LB2(v) = max{LB1(u) : d(u,v) ≤ ⌈h/2⌉} ∪ {LB1(v)}`` (Observation 2).
+* ``UB(v)``: the classic core index of ``v`` in the (implicit) h-power graph
+  ``G^h`` (Algorithm 5).  The power graph is never materialized: each time a
+  vertex is popped its h-neighborhood in the *original* graph is recomputed
+  and the surviving neighbors' estimated degrees are decremented by one.
+* ``ImproveLB`` (Algorithm 6): within a candidate partition ``V[k]``, the
+  minimum h-degree is itself a lower bound for every member (Property 3), and
+  vertices that certainly cannot reach core index ``k`` are cleaned away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.errors import InvalidDistanceThresholdError
+from repro.graph.graph import Graph, Vertex
+from repro.core.buckets import BucketQueue
+from repro.core.parallel import compute_h_degrees
+from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.traversal.hneighborhood import h_degree, h_neighborhood
+
+
+def _validate_h(h: int) -> None:
+    if not isinstance(h, int) or isinstance(h, bool) or h < 1:
+        raise InvalidDistanceThresholdError(h)
+
+
+# --------------------------------------------------------------------- #
+# lower bounds
+# --------------------------------------------------------------------- #
+def lower_bound_lb1(graph: Graph, h: int,
+                    vertices: Optional[Iterable[Vertex]] = None,
+                    counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
+    """Return ``LB1(v) = deg^{⌊h/2⌋}_G(v)`` for every vertex (Observation 1).
+
+    For ``h`` in {2, 3} the half-radius is 1 and LB1 is just the ordinary
+    degree, which needs no BFS at all.
+    """
+    _validate_h(h)
+    half = h // 2
+    targets = list(vertices) if vertices is not None else list(graph.vertices())
+    if half == 0:
+        # h = 1: the half-neighborhood is empty, so the only safe cheap lower
+        # bound is 0 (the classic decomposition never uses LB1 anyway).
+        return {v: 0 for v in targets}
+    if half == 1:
+        return {v: graph.degree(v) for v in targets}
+    return {
+        v: h_degree(graph, v, half, counters=counters)
+        for v in targets
+    }
+
+
+def lower_bound_lb2(graph: Graph, h: int,
+                    lb1: Optional[Dict[Vertex, int]] = None,
+                    counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
+    """Return ``LB2(v)`` for every vertex (Observation 2).
+
+    ``LB2(v)`` is the maximum LB1 value over the ⌈h/2⌉-neighborhood of ``v``
+    (including ``v`` itself), which is still a valid lower bound because every
+    ⌊h/2⌋-neighbor of a ⌈h/2⌉-neighbor of ``v`` is within distance ``h`` of
+    ``v``.
+    """
+    _validate_h(h)
+    if lb1 is None:
+        lb1 = lower_bound_lb1(graph, h, counters=counters)
+    half_up = (h + 1) // 2
+    lb2: Dict[Vertex, int] = {}
+    for v in graph.vertices():
+        best = lb1[v]
+        for u in h_neighborhood(graph, v, half_up, counters=counters):
+            if lb1[u] > best:
+                best = lb1[u]
+        lb2[v] = best
+    return lb2
+
+
+# --------------------------------------------------------------------- #
+# upper bound (Algorithm 5)
+# --------------------------------------------------------------------- #
+def upper_bound(graph: Graph, h: int,
+                initial_h_degrees: Optional[Dict[Vertex, int]] = None,
+                counters: Counters = NULL_COUNTERS,
+                num_threads: int = 1) -> Dict[Vertex, int]:
+    """Return ``UB(v)``: the classic core index of ``v`` in the h-power graph.
+
+    Implements Algorithm 5.  The power graph is kept implicit: when a vertex
+    is popped, its h-neighborhood is recomputed in the **original** graph
+    (power-graph adjacency is defined by original distances), and the
+    estimated degree of every still-unprocessed neighbor is decreased by one.
+    Because removing a vertex can reduce a true h-degree by more than one,
+    the value obtained is an upper bound of the (k,h)-core index.
+
+    Parameters
+    ----------
+    initial_h_degrees:
+        Optional precomputed ``deg^h_G(v)`` map; when the caller (h-LB+UB)
+        already computed it, passing it here avoids a second full pass.
+    """
+    _validate_h(h)
+    vertices = set(graph.vertices())
+    if not vertices:
+        return {}
+    if initial_h_degrees is None:
+        initial_h_degrees = compute_h_degrees(graph, h, vertices=vertices,
+                                              num_threads=num_threads,
+                                              counters=counters)
+    estimate: Dict[Vertex, int] = dict(initial_h_degrees)
+    buckets = BucketQueue(counters)
+    for v, d in estimate.items():
+        buckets.insert(v, d)
+
+    ub: Dict[Vertex, int] = {}
+    unprocessed = set(vertices)
+    k = 0
+    while unprocessed:
+        if buckets.is_empty(k):
+            k += 1
+            continue
+        vertex = buckets.pop_from(k)
+        ub[vertex] = k
+        unprocessed.discard(vertex)
+        # Power-graph adjacency = h-neighborhood in the original graph.
+        for u in h_neighborhood(graph, vertex, h, counters=counters):
+            if u in unprocessed:
+                estimate[u] -= 1
+                counters.record_decrement()
+                buckets.move(u, max(estimate[u], k))
+    return ub
+
+
+# --------------------------------------------------------------------- #
+# ImproveLB (Algorithm 6)
+# --------------------------------------------------------------------- #
+def improve_lb(graph: Graph, h: int, candidate: Set[Vertex], k: int,
+               counters: Counters = NULL_COUNTERS,
+               num_threads: int = 1) -> Tuple[Set[Vertex], int]:
+    """Clean ``candidate`` = V[k] and return ``(surviving vertices, min h-degree)``.
+
+    Implements Algorithm 6.  The minimum h-degree over the candidate set is a
+    lower bound for the core index of every member (Property 3); the caller
+    combines it with LB2 to obtain LB3.  Vertices whose (decrement-estimated)
+    h-degree inside the candidate subgraph falls below ``k`` certainly do not
+    belong to any core of index ≥ k and are removed, often emptying the
+    partition entirely when it contains no core.
+    """
+    _validate_h(h)
+    alive = set(candidate)
+    if not alive:
+        return alive, 0
+    degrees = compute_h_degrees(graph, h, vertices=alive, alive=alive,
+                                num_threads=num_threads, counters=counters)
+    min_degree = min(degrees.values())
+    pending = {v for v, d in degrees.items() if d < k}
+    while pending:
+        vertex = pending.pop()
+        if vertex not in alive:
+            continue
+        neighborhood = h_neighborhood(graph, vertex, h, alive=alive,
+                                      counters=counters)
+        alive.discard(vertex)
+        for u in neighborhood:
+            if u in alive:
+                degrees[u] -= 1
+                counters.record_decrement()
+                if degrees[u] < k:
+                    pending.add(u)
+    return alive, min_degree

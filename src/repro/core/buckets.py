@@ -1,0 +1,105 @@
+"""The bucket structure used by all peeling algorithms.
+
+The paper (§4.1, footnote 2) models the bucket vector ``B`` as a *vector of
+lists* rather than the flat array used by Khaouid et al. for the classic
+decomposition, because deleting one vertex can decrease the h-degree of an
+h-neighbor by more than 1, and a flat array would need a linear number of
+swaps per move.  :class:`BucketQueue` keeps one set per degree value plus a
+position map, so insert / move / pop are all O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.instrumentation import Counters, NULL_COUNTERS
+
+Vertex = Hashable
+
+
+class BucketQueue:
+    """Vertices bucketed by an integer key, with O(1) moves.
+
+    The decomposition algorithms drive the bucket index ``k`` externally, so
+    this class only provides the storage: :meth:`insert`, :meth:`move`,
+    :meth:`pop_from`, :meth:`remove` and emptiness checks.
+    """
+
+    __slots__ = ("_buckets", "_position", "_counters")
+
+    def __init__(self, counters: Counters = NULL_COUNTERS) -> None:
+        self._buckets: Dict[int, Set[Vertex]] = {}
+        self._position: Dict[Vertex, int] = {}
+        self._counters = counters
+
+    def __len__(self) -> int:
+        return len(self._position)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._position
+
+    def insert(self, vertex: Vertex, key: int) -> None:
+        """Insert ``vertex`` with bucket ``key`` (it must not be present)."""
+        if vertex in self._position:
+            raise ValueError(f"vertex {vertex!r} is already in the bucket queue")
+        if key < 0:
+            raise ValueError("bucket keys must be non-negative")
+        self._buckets.setdefault(key, set()).add(vertex)
+        self._position[vertex] = key
+
+    def move(self, vertex: Vertex, key: int) -> None:
+        """Move ``vertex`` to bucket ``key`` (no-op if it is already there)."""
+        current = self._position.get(vertex)
+        if current is None:
+            raise KeyError(f"vertex {vertex!r} is not in the bucket queue")
+        if current == key:
+            return
+        if key < 0:
+            raise ValueError("bucket keys must be non-negative")
+        bucket = self._buckets[current]
+        bucket.discard(vertex)
+        if not bucket:
+            del self._buckets[current]
+        self._buckets.setdefault(key, set()).add(vertex)
+        self._position[vertex] = key
+        self._counters.record_bucket_move()
+
+    def key_of(self, vertex: Vertex) -> int:
+        """Return the current bucket key of ``vertex``."""
+        return self._position[vertex]
+
+    def remove(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` from the queue entirely."""
+        key = self._position.pop(vertex)
+        bucket = self._buckets[key]
+        bucket.discard(vertex)
+        if not bucket:
+            del self._buckets[key]
+
+    def is_empty(self, key: int) -> bool:
+        """Return True if bucket ``key`` contains no vertices."""
+        return not self._buckets.get(key)
+
+    def pop_from(self, key: int) -> Optional[Vertex]:
+        """Pop and return an arbitrary vertex from bucket ``key`` (or None)."""
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return None
+        vertex = bucket.pop()
+        if not bucket:
+            del self._buckets[key]
+        del self._position[vertex]
+        return vertex
+
+    def occupied_keys(self) -> List[int]:
+        """Return the sorted list of non-empty bucket keys."""
+        return sorted(self._buckets)
+
+    def min_key(self) -> Optional[int]:
+        """Return the smallest non-empty bucket key, or None if empty."""
+        return min(self._buckets) if self._buckets else None
+
+    def clear(self) -> None:
+        """Remove every vertex."""
+        self._buckets.clear()
+        self._position.clear()

@@ -1,0 +1,159 @@
+"""h-LB+UB: top-down, partitioned (k,h)-core decomposition (Algorithm 4).
+
+The upper bound ``UB(v)`` (classic core index in the implicit h-power graph,
+Algorithm 5) lets the computation be split into totally independent
+sub-computations: all (k,h)-cores with ``k >= i`` live inside
+``V[i] = {v : UB(v) >= i}`` (Observation 3).  The partitions are visited
+top-down, so the expensive high-core vertices are peeled early and never
+touched again, and each partition is first cleaned and re-bounded by
+``ImproveLB`` (Algorithm 6, bound LB3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import InvalidDistanceThresholdError, ParameterError
+from repro.graph.graph import Graph, Vertex
+from repro.core.bounds import improve_lb, lower_bound_lb1, lower_bound_lb2, upper_bound
+from repro.core.buckets import BucketQueue
+from repro.core.parallel import compute_h_degrees
+from repro.core.peeling import core_decomp
+from repro.core.result import CoreDecomposition
+from repro.instrumentation import Counters, NULL_COUNTERS
+
+
+def build_partitions(upper_bounds: Dict[Vertex, int], min_lower_bound: int,
+                     partition_size: int) -> List[Tuple[int, int]]:
+    """Return the top-down list of ``(kmin, kmax)`` intervals (Algorithm 4, line 11).
+
+    The distinct upper-bound values, together with ``min_lower_bound - 1``,
+    are sorted in descending order and grouped ``partition_size`` values at a
+    time; each group becomes one interval ``[next_value + 1, first_value]``.
+
+    Example (paper, Example 4): with upper bounds {5,10,15,20,25,30},
+    ``min_lower_bound = 3`` and S = 2 the partitions are
+    ``[(30, 21), (20, 11), (10, 3)]`` expressed as (kmax, kmin) pairs —
+    we return them as ``(kmin, kmax)`` tuples: ``[(21, 30), (11, 20), (3, 10)]``.
+    """
+    if partition_size < 1:
+        raise ParameterError("partition size S must be a positive integer")
+    values = set(upper_bounds.values())
+    values.add(min_lower_bound - 1)
+    ordered = sorted(values, reverse=True)
+    partitions: List[Tuple[int, int]] = []
+    index = 0
+    while index < len(ordered) - 1 or (index == 0 and len(ordered) == 1):
+        kmax = ordered[index]
+        next_index = index + partition_size
+        if next_index < len(ordered):
+            kmin = ordered[next_index] + 1
+        else:
+            kmin = ordered[-1] + 1
+        kmin = max(kmin, 0)
+        if kmin > kmax:
+            kmin = kmax
+        partitions.append((kmin, kmax))
+        if next_index >= len(ordered):
+            break
+        index = next_index
+    return partitions
+
+
+def h_lb_ub(graph: Graph, h: int,
+            partition_size: int = 1,
+            counters: Counters = NULL_COUNTERS,
+            num_threads: int = 1,
+            use_hdegree_as_upper_bound: bool = False,
+            precomputed_upper_bound: Optional[Dict[Vertex, int]] = None
+            ) -> CoreDecomposition:
+    """Compute the (k,h)-core decomposition with the h-LB+UB algorithm.
+
+    Parameters
+    ----------
+    graph:
+        Undirected, unweighted input graph.
+    h:
+        Distance threshold (h >= 1).
+    partition_size:
+        The parameter ``S``: how many consecutive distinct upper-bound values
+        each partition covers (the paper uses small values; S = 1 yields the
+        finest top-down exploration).
+    counters:
+        Instrumentation sink.
+    num_threads:
+        Threads used for the bulk h-degree computations (§4.6).
+    use_hdegree_as_upper_bound:
+        If True, use the plain h-degree as the upper bound instead of the
+        power-graph core index.  Reproduces the "h-degree" column of the
+        bound-ablation experiment (Table 5); default is the published UB.
+    precomputed_upper_bound:
+        Optionally reuse an already-computed UB map (used by experiments that
+        evaluate bound quality separately from runtime).
+
+    Returns
+    -------
+    CoreDecomposition
+    """
+    if not isinstance(h, int) or isinstance(h, bool) or h < 1:
+        raise InvalidDistanceThresholdError(h)
+
+    all_vertices: Set[Vertex] = set(graph.vertices())
+    core_index: Dict[Vertex, int] = {}
+    if not all_vertices:
+        return CoreDecomposition(graph, h, core_index, algorithm="h-LB+UB")
+
+    # Lines 3-6: initial h-degrees and the LB2 lower bound.
+    initial_degrees = compute_h_degrees(graph, h, vertices=all_vertices,
+                                        num_threads=num_threads,
+                                        counters=counters)
+    lb1 = lower_bound_lb1(graph, h, counters=counters)
+    lb2 = lower_bound_lb2(graph, h, lb1=lb1, counters=counters)
+    lb3: Dict[Vertex, int] = {v: 0 for v in all_vertices}
+
+    # Line 7: the upper bound (Algorithm 5), or the h-degree ablation variant.
+    if precomputed_upper_bound is not None:
+        ub = precomputed_upper_bound
+    elif use_hdegree_as_upper_bound:
+        ub = dict(initial_degrees)
+    else:
+        ub = upper_bound(graph, h, initial_h_degrees=initial_degrees,
+                         counters=counters, num_threads=num_threads)
+
+    # Lines 8-11: partition the interval [min LB2, max UB] top-down.
+    min_lb = min(lb2.values())
+    partitions = build_partitions(ub, min_lb, partition_size)
+
+    # Lines 11-18: process each partition independently, top-down.
+    for kmin, kmax in partitions:
+        candidate = {v for v in all_vertices if ub[v] >= kmin}
+        if not candidate:
+            continue
+        cleaned, min_degree = improve_lb(graph, h, candidate, kmin,
+                                         counters=counters,
+                                         num_threads=num_threads)
+        if not cleaned:
+            continue
+        for v in cleaned:
+            lb3[v] = max(lb3[v], lb2[v], min_degree)
+
+        buckets = BucketQueue(counters)
+        set_lb: Dict[Vertex, bool] = {}
+        stored_degree: Dict[Vertex, int] = {}
+        alive = set(cleaned)
+        for v in alive:
+            assigned = core_index.get(v, 0)
+            buckets.insert(v, max(assigned, lb3[v], kmin - 1, 0))
+            set_lb[v] = True
+
+        core_decomp(graph, h, kmin=kmin, kmax=kmax, buckets=buckets,
+                    set_lb=set_lb, alive=alive, stored_degree=stored_degree,
+                    core_index=core_index, counters=counters)
+
+    # Vertices never assigned belong to core 0 (isolated or below the lowest
+    # partition; the lowest kmin equals the minimum LB2, which is 0 for them).
+    for v in all_vertices:
+        core_index.setdefault(v, 0)
+
+    algorithm = "h-LB+UB(h-degree)" if use_hdegree_as_upper_bound else "h-LB+UB"
+    return CoreDecomposition(graph, h, core_index, algorithm=algorithm)

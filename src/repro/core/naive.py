@@ -1,0 +1,79 @@
+"""Naive reference implementations.
+
+These are *oracles*, deliberately simple and obviously correct, used by the
+test suite (including the hypothesis property tests) to validate the three
+fast algorithms.  They recompute every h-degree from scratch after each
+removal, so they are quadratic-ish and must only be run on small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import InvalidDistanceThresholdError
+from repro.graph.graph import Graph, Vertex
+from repro.core.result import CoreDecomposition
+from repro.traversal.hneighborhood import all_h_degrees
+
+
+def _validate_h(h: int) -> None:
+    if not isinstance(h, int) or isinstance(h, bool) or h < 1:
+        raise InvalidDistanceThresholdError(h)
+
+
+def naive_kh_core(graph: Graph, k: int, h: int) -> Set[Vertex]:
+    """Return the (k,h)-core by fixed-point deletion (Definition 2 verbatim).
+
+    Repeatedly remove any vertex whose h-degree within the surviving induced
+    subgraph is below ``k`` until none remains.
+    """
+    _validate_h(h)
+    alive: Set[Vertex] = set(graph.vertices())
+    changed = True
+    while changed and alive:
+        changed = False
+        degrees = all_h_degrees(graph, h, alive=alive)
+        to_remove = {v for v, d in degrees.items() if d < k}
+        if to_remove:
+            alive -= to_remove
+            changed = True
+    return alive
+
+
+def naive_core_decomposition(graph: Graph, h: int) -> CoreDecomposition:
+    """Compute the full (k,h)-core decomposition by repeated full recomputation.
+
+    Standard min-degree peeling, recomputing *every* alive h-degree after each
+    removal.  Obviously correct, unbearably slow — test oracle only.
+    """
+    _validate_h(h)
+    alive: Set[Vertex] = set(graph.vertices())
+    core_index: Dict[Vertex, int] = {}
+    current_k = 0
+    while alive:
+        degrees = all_h_degrees(graph, h, alive=alive)
+        min_vertex = min(degrees, key=lambda v: (degrees[v], repr(v)))
+        current_k = max(current_k, degrees[min_vertex])
+        core_index[min_vertex] = current_k
+        alive.discard(min_vertex)
+    return CoreDecomposition(graph, h, core_index, algorithm="naive")
+
+
+def naive_core_index_by_membership(graph: Graph, h: int) -> Dict[Vertex, int]:
+    """Compute core indices by testing (k,h)-core membership for every k.
+
+    An even more direct oracle than :func:`naive_core_decomposition`: for
+    every k from 0 upwards, compute the (k,h)-core by fixed point and record,
+    for every vertex, the largest k whose core still contains it.
+    """
+    _validate_h(h)
+    core_index: Dict[Vertex, int] = {v: 0 for v in graph.vertices()}
+    k = 1
+    while True:
+        members = naive_kh_core(graph, k, h)
+        if not members:
+            break
+        for v in members:
+            core_index[v] = k
+        k += 1
+    return core_index

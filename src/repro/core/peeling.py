@@ -1,0 +1,109 @@
+"""The shared CoreDecomp peeling routine (Algorithm 3).
+
+Both h-LB (over the whole graph) and h-LB+UB (per partition) drive their
+peeling through :func:`core_decomp`.  The routine maintains, per vertex,
+either a *lower bound* on its core index (``set_lb`` is True — the stored
+bucket key is only a lower bound and the true h-degree has not been computed
+yet for the current vertex set) or its *exact* current h-degree (``set_lb``
+is False).  Deferring the first exact computation until the bucket index
+reaches the lower bound is what saves the bulk of the h-bounded BFS
+traversals compared to the baseline h-BZ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.graph.graph import Graph, Vertex
+from repro.core.buckets import BucketQueue
+from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.traversal.hneighborhood import h_degree, h_neighbors_with_distance
+
+
+def core_decomp(graph: Graph, h: int, kmin: int, kmax: int,
+                buckets: BucketQueue,
+                set_lb: Dict[Vertex, bool],
+                alive: Set[Vertex],
+                stored_degree: Dict[Vertex, int],
+                core_index: Dict[Vertex, int],
+                counters: Counters = NULL_COUNTERS,
+                removal_order: Optional[List[Vertex]] = None) -> None:
+    """Peel ``alive`` and assign core indices in ``[kmin, kmax]`` (Algorithm 3).
+
+    Parameters
+    ----------
+    graph:
+        The base graph; traversals are restricted to ``alive``.
+    h:
+        Distance threshold.
+    kmin, kmax:
+        Only core indices in ``[kmin, kmax]`` are assigned; vertices peeled at
+        bucket ``kmin - 1`` are removed without assignment (they belong to a
+        lower partition and will be handled there).
+    buckets:
+        Bucket queue pre-populated with every vertex of ``alive``, keyed by a
+        valid lower bound on its core index (or by its exact degree).
+    set_lb:
+        ``set_lb[v]`` is True while ``v``'s bucket key is only a lower bound.
+    alive:
+        The surviving vertex set; mutated in place.
+    stored_degree:
+        Exact current h-degrees for vertices with ``set_lb[v] == False``;
+        mutated in place.
+    core_index:
+        Output map; only vertices whose core index lies in ``[kmin, kmax]``
+        (and is not yet assigned) are written.
+    removal_order:
+        Optional list that receives every removed vertex in removal order
+        (used to extract a smallest-last degeneracy ordering for the
+        distance-h coloring application).
+    """
+    k = max(kmin - 1, 0)
+    while k <= kmax:
+        vertex = buckets.pop_from(k)
+        if vertex is None:
+            k += 1
+            continue
+        if set_lb[vertex]:
+            # First time this vertex surfaces in this computation: its bucket
+            # key was only a lower bound, so compute the real h-degree and
+            # re-bucket (Algorithm 3, lines 4-7).  The max() with k guards the
+            # case where peeling of same-core vertices earlier in this bucket
+            # already dropped the degree below k; the core index is then
+            # exactly k and the vertex must stay in the current bucket.
+            degree = h_degree(graph, vertex, h, alive=alive, counters=counters)
+            counters.count_hdegree()
+            stored_degree[vertex] = degree
+            buckets.insert(vertex, max(degree, k))
+            set_lb[vertex] = False
+            continue
+
+        # Exact-degree vertex popped at bucket k: its core index is k
+        # (Algorithm 3, lines 9-11), unless k < kmin, in which case the
+        # vertex belongs to a lower partition and is peeled silently.
+        if k >= kmin and vertex not in core_index:
+            core_index[vertex] = k
+        set_lb[vertex] = True
+        if removal_order is not None:
+            removal_order.append(vertex)
+
+        neighborhood = h_neighbors_with_distance(graph, vertex, h, alive=alive,
+                                                 counters=counters)
+        alive.discard(vertex)
+        for u, distance in neighborhood.items():
+            if set_lb[u]:
+                # Bucket key is a lower bound on core(u) >= k: no update needed.
+                continue
+            if distance < h:
+                # Removing the vertex may have destroyed shortest paths that
+                # passed through it: recompute from scratch (line 15).
+                stored_degree[u] = h_degree(graph, u, h, alive=alive,
+                                            counters=counters)
+                counters.count_hdegree()
+            else:
+                # A neighbor at distance exactly h can only lose the removed
+                # vertex itself (no path through it can stay within h), so a
+                # O(1) decrement suffices (line 17).
+                stored_degree[u] -= 1
+                counters.record_decrement()
+            buckets.move(u, max(stored_degree[u], k))

@@ -1,0 +1,136 @@
+"""Result object for (k,h)-core decompositions."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.graph.graph import Graph
+from repro.graph.views import SubgraphView
+
+Vertex = Hashable
+
+
+class CoreDecomposition:
+    """The outcome of a (k,h)-core decomposition.
+
+    Holds the core index ``core_h(v)`` for every vertex and offers the derived
+    views the paper works with: the (k,h)-core as a vertex set or subgraph,
+    the h-degeneracy ``Ĉ_h(G)`` (maximum core index), the number of distinct
+    cores (Table 2), and the innermost core (used by the h-club wrapper and
+    the landmark selection).
+
+    Parameters
+    ----------
+    graph:
+        The decomposed graph (kept by reference, not copied).
+    h:
+        The distance threshold used.
+    core_index:
+        Mapping ``vertex -> core index``; must cover every graph vertex.
+    algorithm:
+        Name of the algorithm that produced the result (for reports).
+    """
+
+    def __init__(self, graph: Graph, h: int, core_index: Dict[Vertex, int],
+                 algorithm: str = "unknown",
+                 removal_order: Optional[List[Vertex]] = None) -> None:
+        missing = [v for v in graph.vertices() if v not in core_index]
+        if missing:
+            raise ValueError(
+                f"core_index is missing {len(missing)} vertices (e.g. {missing[:3]!r})"
+            )
+        self.graph = graph
+        self.h = h
+        self.core_index = dict(core_index)
+        self.algorithm = algorithm
+        #: Order in which the peeling removed the vertices (a "smallest-last"
+        #: degeneracy ordering), when the producing algorithm records it.
+        #: h-BZ and h-LB do; h-LB+UB peels top-down so it does not.
+        self.removal_order = list(removal_order) if removal_order is not None else None
+
+    # ------------------------------------------------------------------ #
+    # scalar summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def degeneracy(self) -> int:
+        """The h-degeneracy ``Ĉ_h(G)``: the largest k with a non-empty (k,h)-core."""
+        return max(self.core_index.values(), default=0)
+
+    @property
+    def max_core_index(self) -> int:
+        """Alias of :attr:`degeneracy` (the paper uses both phrasings)."""
+        return self.degeneracy
+
+    @property
+    def num_distinct_cores(self) -> int:
+        """Number of distinct non-empty cores (the right-hand numbers of Table 2).
+
+        Two cores C_k and C_{k+1} differ exactly when some vertex has core
+        index k, so this equals the number of distinct positive core-index
+        values (the 0-core equals V and is not counted as "distinct" unless
+        some vertex has index 0, matching how the paper counts).
+        """
+        return len(set(self.core_index.values()))
+
+    # ------------------------------------------------------------------ #
+    # core views
+    # ------------------------------------------------------------------ #
+    def core(self, k: int) -> Set[Vertex]:
+        """Return the vertex set of the (k,h)-core (may be empty)."""
+        return {v for v, c in self.core_index.items() if c >= k}
+
+    def core_subgraph(self, k: int) -> Graph:
+        """Return the (k,h)-core as a standalone :class:`Graph`."""
+        return self.graph.subgraph(self.core(k))
+
+    def core_view(self, k: int) -> SubgraphView:
+        """Return the (k,h)-core as a read-only view over the base graph."""
+        return SubgraphView(self.graph, self.core(k))
+
+    def innermost_core(self) -> Set[Vertex]:
+        """Return the core of maximum index C_{k*} (empty iff the graph is empty)."""
+        return self.core(self.degeneracy) if self.core_index else set()
+
+    def shells(self) -> Dict[int, Set[Vertex]]:
+        """Return ``{k: vertices with core index exactly k}`` (the k-shells)."""
+        shells: Dict[int, Set[Vertex]] = {}
+        for v, c in self.core_index.items():
+            shells.setdefault(c, set()).add(v)
+        return shells
+
+    def core_sizes(self) -> Dict[int, int]:
+        """Return ``{k: |C_k|}`` for k = 0 .. degeneracy (Figure 3's series)."""
+        degeneracy = self.degeneracy
+        sizes = {k: 0 for k in range(degeneracy + 1)}
+        for c in self.core_index.values():
+            for k in range(0, c + 1):
+                sizes[k] += 1
+        return sizes
+
+    def vertices_with_core(self, k: int) -> List[Vertex]:
+        """Return the vertices whose core index is exactly ``k``."""
+        return [v for v, c in self.core_index.items() if c == k]
+
+    def normalized_core_index(self) -> Dict[Vertex, float]:
+        """Return ``core(v) / Ĉ_h(G)`` per vertex (0 when the degeneracy is 0)."""
+        degeneracy = self.degeneracy
+        if degeneracy == 0:
+            return {v: 0.0 for v in self.core_index}
+        return {v: c / degeneracy for v, c in self.core_index.items()}
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, vertex: Vertex) -> int:
+        return self.core_index[vertex]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoreDecomposition):
+            return NotImplemented
+        return self.h == other.h and self.core_index == other.core_index
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreDecomposition(h={self.h}, degeneracy={self.degeneracy}, "
+            f"|V|={len(self.core_index)}, algorithm={self.algorithm!r})"
+        )

@@ -1,0 +1,30 @@
+"""Synthetic stand-ins for the paper's thirteen real-world datasets.
+
+The paper evaluates on public graphs from SNAP / KONECT / networkrepository
+(Table 1), up to 4.8 million vertices.  This environment has no network
+access and a single CPU core, so each real dataset is replaced by a synthetic
+graph of the same *structural family* (social, collaboration, biological,
+road, co-purchasing) at a laptop-friendly scale.  DESIGN.md §3 documents the
+substitution; :func:`paper_characteristics` keeps the original Table 1 values
+available for side-by-side reporting.
+"""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+    load_many,
+    dataset_spec,
+    paper_characteristics,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "available_datasets",
+    "load_dataset",
+    "load_many",
+    "dataset_spec",
+    "paper_characteristics",
+]

@@ -1,0 +1,187 @@
+"""Dataset registry: named synthetic stand-ins for the paper's graphs.
+
+Every entry maps one of the paper's dataset names (coli, cele, jazz, FBco,
+caHe, caAs, doub, amzn, rnPA, rnTX, sytb, hyves, lj) to a deterministic
+generator of a structurally similar synthetic graph.  Three scales are
+supported so the test-suite, the examples and the benchmark harness can pick
+the size appropriate for their time budget:
+
+* ``"tiny"``   — a few dozen vertices (unit tests).
+* ``"small"``  — one-to-three hundred vertices (default; benchmark tables).
+* ``"medium"`` — several hundred to ~1500 vertices (scalability figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DatasetNotFoundError, ParameterError
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    relaxed_caveman_graph,
+    road_network_graph,
+)
+
+#: Scale factors applied to the base (``"small"``) size of each dataset.
+SCALES: Dict[str, float] = {"tiny": 0.35, "small": 1.0, "medium": 2.5}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one synthetic stand-in dataset."""
+
+    name: str
+    family: str
+    description: str
+    builder: Callable[[float, int], Graph]
+    paper_num_vertices: int
+    paper_num_edges: int
+    paper_avg_degree: float
+    paper_max_degree: int
+    paper_diameter: int
+
+    def build(self, scale: str = "small", seed: int = 0) -> Graph:
+        """Generate the graph at the requested scale with the given seed."""
+        if scale not in SCALES:
+            raise ParameterError(
+                f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+            )
+        return self.builder(SCALES[scale], seed)
+
+
+def _scaled(base: int, factor: float, minimum: int = 12) -> int:
+    return max(minimum, int(round(base * factor)))
+
+
+def _biological(base_n: int, m: int, triangle_p: float
+                ) -> Callable[[float, int], Graph]:
+    def build(factor: float, seed: int) -> Graph:
+        return powerlaw_cluster_graph(_scaled(base_n, factor), m, triangle_p, seed=seed)
+    return build
+
+
+def _social(base_n: int, m: int) -> Callable[[float, int], Graph]:
+    def build(factor: float, seed: int) -> Graph:
+        return barabasi_albert_graph(_scaled(base_n, factor), m, seed=seed)
+    return build
+
+
+def _collaboration(base_cliques: int, clique_size: int, rewire_p: float
+                   ) -> Callable[[float, int], Graph]:
+    def build(factor: float, seed: int) -> Graph:
+        cliques = _scaled(base_cliques, factor, minimum=3)
+        return relaxed_caveman_graph(cliques, clique_size, rewire_p, seed=seed)
+    return build
+
+
+def _copurchase(base_groups: int, group_size: int, p_in: float, p_out: float
+                ) -> Callable[[float, int], Graph]:
+    def build(factor: float, seed: int) -> Graph:
+        groups = _scaled(base_groups, factor, minimum=4)
+        return planted_partition_graph(groups, group_size, p_in, p_out, seed=seed)
+    return build
+
+
+def _road(base_rows: int, base_cols: int) -> Callable[[float, int], Graph]:
+    def build(factor: float, seed: int) -> Graph:
+        side_factor = factor ** 0.5
+        rows = _scaled(base_rows, side_factor, minimum=5)
+        cols = _scaled(base_cols, side_factor, minimum=5)
+        return road_network_graph(rows, cols, extra_edge_p=0.05, removal_p=0.05,
+                                  seed=seed)
+    return build
+
+
+_REGISTRY: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("coli", "biological",
+                    "E. coli metabolic-like sparse power-law graph",
+                    _biological(150, 1, 0.3), 328, 456, 2.78, 100, 14),
+        DatasetSpec("cele", "biological",
+                    "C. elegans metabolic-like power-law graph with clustering",
+                    _biological(160, 2, 0.4), 346, 1493, 8.63, 186, 7),
+        DatasetSpec("jazz", "collaboration",
+                    "jazz-musician-like dense overlapping-community graph",
+                    _collaboration(14, 8, 0.10), 198, 2742, 27.70, 100, 6),
+        DatasetSpec("FBco", "social",
+                    "Facebook-ego-like preferential-attachment graph",
+                    _social(180, 3), 4039, 88234, 43.69, 1045, 8),
+        DatasetSpec("caHe", "collaboration",
+                    "HEP-Ph-collaboration-like community graph",
+                    _collaboration(24, 6, 0.15), 11204, 117619, 19.74, 491, 13),
+        DatasetSpec("caAs", "collaboration",
+                    "AstroPh-collaboration-like community graph",
+                    _collaboration(30, 6, 0.20), 17903, 196972, 21.10, 504, 14),
+        DatasetSpec("doub", "social",
+                    "Douban-like sparse social graph",
+                    _social(220, 2), 154908, 327162, 4.22, 287, 9),
+        DatasetSpec("amzn", "co-purchasing",
+                    "Amazon-co-purchase-like many-small-community graph",
+                    _copurchase(28, 8, 0.55, 0.004), 334863, 925872, 3.38, 549, 44),
+        DatasetSpec("rnPA", "road",
+                    "Pennsylvania-road-like perturbed grid",
+                    _road(14, 14), 1090920, 1541898, 2.83, 9, 786),
+        DatasetSpec("rnTX", "road",
+                    "Texas-road-like perturbed grid",
+                    _road(15, 14), 1393383, 1921660, 2.76, 12, 1054),
+        DatasetSpec("sytb", "social",
+                    "YouTube-like sparse heavy-tailed social graph",
+                    _social(260, 2), 495957, 1936748, 3.91, 25409, 21),
+        DatasetSpec("hyves", "social",
+                    "Hyves-like sparse heavy-tailed social graph",
+                    _social(300, 2), 1402673, 2777419, 3.96, 31883, 10),
+        DatasetSpec("lj", "social",
+                    "LiveJournal-like denser preferential-attachment graph",
+                    _social(700, 4), 4847571, 68993773, 14.23, 14815, 16),
+    ]
+}
+
+#: Canonical order of dataset names (the order of the paper's Table 1).
+DATASET_NAMES: Tuple[str, ...] = tuple(_REGISTRY)
+
+
+def available_datasets() -> List[str]:
+    """Return the names of every registered dataset."""
+    return list(DATASET_NAMES)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the :class:`DatasetSpec` registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DatasetNotFoundError(name, DATASET_NAMES) from None
+
+
+def load_dataset(name: str, scale: str = "small", seed: int = 0) -> Graph:
+    """Build and return the synthetic stand-in graph for dataset ``name``."""
+    return dataset_spec(name).build(scale=scale, seed=seed)
+
+
+def load_many(names: Optional[Iterable[str]] = None, scale: str = "small",
+              seed: int = 0) -> Dict[str, Graph]:
+    """Build several datasets at once, returned as ``{name: graph}``."""
+    chosen = list(names) if names is not None else list(DATASET_NAMES)
+    return {name: load_dataset(name, scale=scale, seed=seed) for name in chosen}
+
+
+def paper_characteristics() -> List[Dict[str, object]]:
+    """Return the paper's Table 1 rows (the original datasets' statistics)."""
+    rows = []
+    for name in DATASET_NAMES:
+        spec = _REGISTRY[name]
+        rows.append({
+            "dataset": name,
+            "|V|": spec.paper_num_vertices,
+            "|E|": spec.paper_num_edges,
+            "avg deg": spec.paper_avg_degree,
+            "max deg": spec.paper_max_degree,
+            "diam": spec.paper_diameter,
+            "family": spec.family,
+        })
+    return rows

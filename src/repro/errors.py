@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses signal problems with
+graph construction, algorithm parameters, or experiment configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Problem with a graph's structure or with an operation on it."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex identifier was not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm received an invalid parameter value."""
+
+
+class InvalidDistanceThresholdError(ParameterError):
+    """The distance threshold ``h`` must be a positive integer."""
+
+    def __init__(self, h: object) -> None:
+        super().__init__(f"distance threshold h must be a positive integer, got {h!r}")
+        self.h = h
+
+
+class GraphFormatError(GraphError):
+    """A graph file could not be parsed."""
+
+
+class DatasetNotFoundError(ReproError, KeyError):
+    """A named dataset is not present in the dataset registry."""
+
+    def __init__(self, name: str, available: tuple) -> None:
+        super().__init__(
+            f"unknown dataset {name!r}; available datasets: {', '.join(available)}"
+        )
+        self.name = name
+        self.available = available
+
+
+class SolverTimeoutError(ReproError):
+    """An exact solver exceeded its configured time budget."""
+
+    def __init__(self, budget_seconds: float) -> None:
+        super().__init__(f"solver exceeded its time budget of {budget_seconds:.1f}s")
+        self.budget_seconds = budget_seconds
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is inconsistent or cannot be run."""

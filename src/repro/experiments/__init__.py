@@ -1,0 +1,16 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(config) -> rows`` (a list of dict rows that mirror
+the paper's table/series layout) and ``main()`` which prints them.  The
+shared :class:`~repro.experiments.common.ExperimentConfig` controls the
+dataset scale, seeds and parameter grids, so the same code can drive the fast
+benchmark suite (tiny/small scale) and a longer standalone reproduction run
+(medium scale).
+
+Run everything with ``python -m repro.experiments`` or a single experiment
+with e.g. ``python -m repro.experiments table3``.
+"""
+
+from repro.experiments.common import ExperimentConfig, format_table
+
+__all__ = ["ExperimentConfig", "format_table"]

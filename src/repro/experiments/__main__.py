@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.experiments`` to run the experiment suite."""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

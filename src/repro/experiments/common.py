@@ -1,0 +1,80 @@
+"""Shared configuration and formatting helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.datasets import load_dataset
+from repro.graph.graph import Graph
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by every experiment.
+
+    Attributes
+    ----------
+    scale:
+        Dataset scale passed to the registry (``"tiny"``, ``"small"``,
+        ``"medium"``).  Benchmarks default to ``"small"``.
+    seed:
+        Seed used both for dataset generation and for any sampling inside
+        the experiment, so runs are reproducible.
+    h_values:
+        The distance thresholds a (multi-h) experiment sweeps over.
+    datasets:
+        Optional restriction of the datasets an experiment uses; None means
+        the experiment's own default selection.
+    num_landmarks / num_query_pairs:
+        Parameters of the landmark experiment (paper: 20 and 500).
+    hclub_time_budget_seconds:
+        Per-solver-call budget for the maximum h-club experiment; calls that
+        exceed it are reported as "NT" like the paper does for 24h timeouts.
+    """
+
+    scale: str = "small"
+    seed: int = 0
+    h_values: Sequence[int] = (2, 3, 4)
+    datasets: Optional[Sequence[str]] = None
+    num_landmarks: int = 10
+    num_query_pairs: int = 100
+    hclub_time_budget_seconds: float = 20.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def graphs(self, default_names: Sequence[str]) -> Dict[str, Graph]:
+        """Load the configured (or default) datasets at the configured scale."""
+        names = list(self.datasets) if self.datasets is not None else list(default_names)
+        return {name: load_dataset(name, scale=self.scale, seed=self.seed)
+                for name in names}
+
+
+def format_table(rows: Iterable[Dict[str, object]], title: Optional[str] = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for c in columns:
+            widths[c] = max(widths[c], len(_fmt(row.get(c, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(" | ".join(_fmt(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,62 @@
+"""Figure 5 — Scalability of h-LB+UB on snowball samples.
+
+The paper samples subgraphs of 100 / 1k / 10k / 100k vertices from the lj
+network by snowball sampling (10 samples per size) and plots the average
+runtime of h-LB+UB for h = 2 and h = 3 — near-linear growth for h = 2, and a
+steeper rise for h = 3 on the larger samples.
+
+The stand-in uses the lj-like Barabási–Albert graph from the registry and a
+geometric ladder of sample sizes scaled to this environment.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import h_lb_ub
+from repro.datasets import load_dataset
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.graph.sampling import snowball_sample
+
+DEFAULT_SIZES: Sequence[int] = (50, 100, 200, 400)
+DEFAULT_SAMPLES_PER_SIZE = 3
+DEFAULT_H_VALUES: Sequence[int] = (2, 3)
+
+
+def run(config: Optional[ExperimentConfig] = None) -> List[Dict[str, object]]:
+    """Time h-LB+UB on snowball samples of increasing size."""
+    config = config or ExperimentConfig(h_values=DEFAULT_H_VALUES)
+    sizes = config.extra.get("sample_sizes", DEFAULT_SIZES)
+    samples_per_size = int(config.extra.get("samples_per_size", DEFAULT_SAMPLES_PER_SIZE))
+    base_graph = load_dataset("lj", scale=config.scale, seed=config.seed)
+    h_values = tuple(config.h_values) if config.h_values else DEFAULT_H_VALUES
+
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        for h in h_values:
+            durations = []
+            for sample_index in range(samples_per_size):
+                sample = snowball_sample(base_graph, size,
+                                         seed=config.seed + sample_index)
+                start = time.perf_counter()
+                h_lb_ub(sample, h)
+                durations.append(time.perf_counter() - start)
+            rows.append({
+                "sample size": size,
+                "h": h,
+                "mean time (s)": round(statistics.mean(durations), 4),
+                "std time (s)": round(statistics.pstdev(durations), 4),
+                "samples": samples_per_size,
+            })
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 5 series (runtime vs snowball-sample size)."""
+    print(format_table(run(), title="Figure 5: h-LB+UB runtime vs snowball sample size"))
+
+
+if __name__ == "__main__":
+    main()

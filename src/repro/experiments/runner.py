@@ -1,0 +1,115 @@
+"""Command-line runner for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments                 # run everything (small scale)
+    python -m repro.experiments table3 table6   # run a subset
+    python -m repro.experiments --scale tiny    # faster, smaller graphs
+    repro-experiments --list                    # show available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.experiments import (
+    appendix_cocktail_party,
+    figure3_core_sizes,
+    figure4_core_distribution,
+    figure5_scalability,
+    figure6_core_scatter,
+    figure7_centrality,
+    table1_datasets,
+    table2_characterization,
+    table3_efficiency,
+    table4_bounds,
+    table5_bound_ablation,
+    table6_hclub,
+    table7_landmarks,
+)
+
+#: Registry of experiment name -> (module runner, human title).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (table1_datasets.run, "Table 1: dataset characteristics"),
+    "table2": (table2_characterization.run, "Table 2: max core index / distinct cores"),
+    "figure3": (figure3_core_sizes.run, "Figure 3: |C_k|/|V| vs k/Ĉ_h"),
+    "figure4": (figure4_core_distribution.run, "Figure 4: core-index distribution"),
+    "table3": (table3_efficiency.run, "Table 3: runtime and h-BFS visits"),
+    "table4": (table4_bounds.run, "Table 4: bound quality"),
+    "table5": (table5_bound_ablation.run, "Table 5: bound ablation runtimes"),
+    "figure5": (figure5_scalability.run, "Figure 5: scalability on snowball samples"),
+    "table6": (table6_hclub.run, "Table 6: maximum h-club runtimes"),
+    "table7": (table7_landmarks.run, "Table 7: landmark selection error"),
+    "figure6": (figure6_core_scatter.run, "Figure 6: core-index scatter"),
+    "figure7": (figure7_centrality.run, "Figure 7: closeness vs core index"),
+    "cocktail": (appendix_cocktail_party.run, "Appendix B: cocktail party"),
+}
+
+
+def run_experiments(names: Sequence[str], config: ExperimentConfig,
+                    output: Callable[[str], None] = print) -> Dict[str, List[dict]]:
+    """Run the named experiments and print each resulting table.
+
+    Returns the raw rows keyed by experiment name (useful programmatically).
+    """
+    results: Dict[str, List[dict]] = {}
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise ExperimentError(
+                f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+            )
+        runner, title = EXPERIMENTS[name]
+        start = time.perf_counter()
+        rows = runner(config)
+        elapsed = time.perf_counter() - start
+        results[name] = rows
+        output(format_table(rows, title=f"{title}  [{elapsed:.1f}s]"))
+        output("")
+    return results
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the paper.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiments to run (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"),
+                        help="dataset scale (default: small)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--h", type=int, nargs="+", default=None,
+                        help="override the h values swept by multi-h experiments")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.experiments`` / ``repro-experiments``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name, (_, title) in EXPERIMENTS.items():
+            print(f"{name:10s} {title}")
+        return 0
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    if args.h:
+        config.h_values = tuple(args.h)
+    names = args.experiments or list(EXPERIMENTS)
+    try:
+        run_experiments(names, config)
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Table 5 — Effect of the bounds on running time (ablation).
+
+Left half of the paper's table: no lower bound (h-BZ), LB1 only (h-LB with
+LB1), LB2 (the full h-LB).  Right half: h-LB+UB with the plain h-degree as
+upper bound versus the real power-graph UB.
+
+Shape to reproduce: adding a lower bound saves about an order of magnitude;
+LB2 beats LB1 more clearly as h and density grow; the real UB beats the
+h-degree upper bound on the harder instances and is roughly neutral on the
+easy ones (e.g. road networks).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.core import h_bz, h_lb, h_lb_ub
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.instrumentation import Counters
+
+DEFAULT_DATASETS = ("caHe", "caAs", "amzn", "rnPA")
+
+
+def _timed(function, *args, **kwargs):
+    counters = Counters()
+    start = time.perf_counter()
+    function(*args, counters=counters, **kwargs)
+    return time.perf_counter() - start, counters.vertices_visited
+
+
+def run(config: Optional[ExperimentConfig] = None) -> List[Dict[str, object]]:
+    """Run the five ablation variants on every (dataset, h) cell."""
+    config = config or ExperimentConfig()
+    graphs = config.graphs(DEFAULT_DATASETS)
+    rows: List[Dict[str, object]] = []
+    for name, graph in graphs.items():
+        for h in config.h_values:
+            row: Dict[str, object] = {"dataset": name, "h": h}
+            seconds, visits = _timed(h_bz, graph, h)
+            row["no LB (s)"] = round(seconds, 4)
+            seconds, visits = _timed(h_lb, graph, h, use_lb1_only=True)
+            row["LB1 (s)"] = round(seconds, 4)
+            seconds, visits = _timed(h_lb, graph, h)
+            row["LB2 (s)"] = round(seconds, 4)
+            seconds, visits = _timed(h_lb_ub, graph, h,
+                                     use_hdegree_as_upper_bound=True)
+            row["h-degree UB (s)"] = round(seconds, 4)
+            seconds, visits = _timed(h_lb_ub, graph, h)
+            row["UB (s)"] = round(seconds, 4)
+            del visits
+            rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print Table 5 (runtime with each bound enabled)."""
+    print(format_table(run(), title="Table 5: effect of bounds on running time (s)"))
+
+
+if __name__ == "__main__":
+    main()

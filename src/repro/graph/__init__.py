@@ -1,0 +1,68 @@
+"""Graph substrate: data structure, I/O, generators, sampling, statistics.
+
+The library works on undirected, unweighted graphs, represented by
+:class:`repro.graph.Graph` (a dict-of-sets adjacency structure with O(1)
+vertex/edge membership tests).  The peeling algorithms never copy graphs;
+they operate on "alive" vertex sets passed to the traversal primitives, or on
+:class:`repro.graph.SubgraphView` objects when a persistent restriction is
+convenient.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.views import SubgraphView
+from repro.graph.io import (
+    read_edge_list,
+    write_edge_list,
+    read_adjacency_list,
+    write_adjacency_list,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    barabasi_albert_graph,
+    watts_strogatz_graph,
+    grid_graph,
+    road_network_graph,
+    caveman_graph,
+    relaxed_caveman_graph,
+    powerlaw_cluster_graph,
+    random_tree,
+    planted_partition_graph,
+)
+from repro.graph.sampling import snowball_sample, random_vertex_sample, random_edge_sample
+from repro.graph.stats import GraphSummary, summarize, density, degree_histogram
+
+__all__ = [
+    "Graph",
+    "SubgraphView",
+    "read_edge_list",
+    "write_edge_list",
+    "read_adjacency_list",
+    "write_adjacency_list",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "empty_graph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "grid_graph",
+    "road_network_graph",
+    "caveman_graph",
+    "relaxed_caveman_graph",
+    "powerlaw_cluster_graph",
+    "random_tree",
+    "planted_partition_graph",
+    "snowball_sample",
+    "random_vertex_sample",
+    "random_edge_sample",
+    "GraphSummary",
+    "summarize",
+    "density",
+    "degree_histogram",
+]

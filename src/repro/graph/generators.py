@@ -1,0 +1,319 @@
+"""Synthetic graph generators.
+
+These generators are the stand-ins for the paper's thirteen real-world
+datasets (see DESIGN.md §3).  Each family of real graphs is matched by a
+generator that reproduces its salient structural features:
+
+* social networks (FBco, doub, sytb, hyves, lj)  →  Barabási–Albert /
+  power-law cluster graphs (heavy-tailed degrees, small diameter);
+* collaboration networks (jazz, caHe, caAs)  →  relaxed caveman / planted
+  partition graphs (overlapping dense communities);
+* biological networks (coli, cele)  →  sparse power-law cluster graphs;
+* road networks (rnPA, rnTX)  →  perturbed 2-D grids (near-constant degree,
+  huge diameter);
+* co-purchasing (amzn)  →  planted partition with many small communities.
+
+All generators accept a ``seed`` and are fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.graph.graph import Graph
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+# --------------------------------------------------------------------- #
+# deterministic small graphs
+# --------------------------------------------------------------------- #
+def empty_graph(n: int) -> Graph:
+    """Return a graph with ``n`` isolated vertices labelled ``0..n-1``."""
+    if n < 0:
+        raise ParameterError("n must be non-negative")
+    return Graph(vertices=range(n))
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph K_n."""
+    g = empty_graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle C_n (requires ``n >= 3``)."""
+    if n < 3:
+        raise ParameterError("a cycle needs at least 3 vertices")
+    g = empty_graph(n)
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """Return the path P_n on ``n`` vertices."""
+    g = empty_graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def star_graph(n: int) -> Graph:
+    """Return the star with center ``0`` and ``n`` leaves ``1..n``."""
+    g = empty_graph(n + 1)
+    for leaf in range(1, n + 1):
+        g.add_edge(0, leaf)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Return the ``rows x cols`` 2-D grid graph.
+
+    Vertices are labelled ``r * cols + c``.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ParameterError("rows and cols must be positive")
+    g = empty_graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+# --------------------------------------------------------------------- #
+# random graph models
+# --------------------------------------------------------------------- #
+def erdos_renyi_graph(n: int, p: float, seed: Optional[int] = None) -> Graph:
+    """Return a G(n, p) Erdős–Rényi random graph."""
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError("edge probability p must be in [0, 1]")
+    rng = _rng(seed)
+    g = empty_graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def barabasi_albert_graph(n: int, m: int, seed: Optional[int] = None) -> Graph:
+    """Return a Barabási–Albert preferential-attachment graph.
+
+    Each new vertex attaches to ``m`` existing vertices chosen proportionally
+    to their degree (the classic model for social-network-like degree
+    distributions).
+    """
+    if m < 1 or m >= n:
+        raise ParameterError("BA model requires 1 <= m < n")
+    rng = _rng(seed)
+    g = empty_graph(n)
+    # Start from a star over the first m+1 vertices so every vertex has degree >= 1.
+    repeated: List[int] = []
+    for v in range(1, m + 1):
+        g.add_edge(0, v)
+        repeated.extend((0, v))
+    for new in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            g.add_edge(new, t)
+            repeated.extend((new, t))
+    return g
+
+
+def watts_strogatz_graph(n: int, k: int, p: float, seed: Optional[int] = None) -> Graph:
+    """Return a Watts–Strogatz small-world graph.
+
+    Starts from a ring lattice where every vertex is joined to its ``k``
+    nearest neighbours and rewires each edge with probability ``p``.
+    """
+    if k % 2 != 0 or k < 2 or k >= n:
+        raise ParameterError("WS model requires even k with 2 <= k < n")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError("rewiring probability p must be in [0, 1]")
+    rng = _rng(seed)
+    g = empty_graph(n)
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            g.add_edge(v, (v + offset) % n)
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            u = (v + offset) % n
+            if rng.random() < p and g.has_edge(v, u):
+                candidates = [w for w in range(n) if w != v and not g.has_edge(v, w)]
+                if candidates:
+                    g.remove_edge(v, u)
+                    g.add_edge(v, rng.choice(candidates))
+    return g
+
+
+def powerlaw_cluster_graph(n: int, m: int, triangle_p: float,
+                           seed: Optional[int] = None) -> Graph:
+    """Return a Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert but, after each preferential attachment, with
+    probability ``triangle_p`` a triangle is closed by also linking to a
+    random neighbour of the chosen target.  Good stand-in for biological and
+    social networks with high clustering.
+    """
+    if m < 1 or m >= n:
+        raise ParameterError("powerlaw cluster model requires 1 <= m < n")
+    if not 0.0 <= triangle_p <= 1.0:
+        raise ParameterError("triangle_p must be in [0, 1]")
+    rng = _rng(seed)
+    g = empty_graph(n)
+    repeated: List[int] = []
+    for v in range(1, m + 1):
+        g.add_edge(0, v)
+        repeated.extend((0, v))
+    for new in range(m + 1, n):
+        added = 0
+        while added < m:
+            target = rng.choice(repeated)
+            if target == new or g.has_edge(new, target):
+                continue
+            g.add_edge(new, target)
+            repeated.extend((new, target))
+            added += 1
+            if rng.random() < triangle_p:
+                candidates = [w for w in g.neighbors(target)
+                              if w != new and not g.has_edge(new, w)]
+                if candidates:
+                    w = rng.choice(candidates)
+                    g.add_edge(new, w)
+                    repeated.extend((new, w))
+                    added += 1
+    return g
+
+
+def caveman_graph(num_cliques: int, clique_size: int) -> Graph:
+    """Return a connected caveman graph: cliques joined in a ring.
+
+    Each clique of size ``clique_size`` has one edge rewired to the next
+    clique so the result is connected.
+    """
+    if num_cliques < 1 or clique_size < 2:
+        raise ParameterError("need at least one clique of size >= 2")
+    g = empty_graph(num_cliques * clique_size)
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j)
+    if num_cliques > 1:
+        for c in range(num_cliques):
+            this_first = c * clique_size
+            next_first = ((c + 1) % num_cliques) * clique_size
+            g.add_edge(this_first, next_first)
+    return g
+
+
+def relaxed_caveman_graph(num_cliques: int, clique_size: int, rewire_p: float,
+                          seed: Optional[int] = None) -> Graph:
+    """Return a relaxed caveman graph (cliques with randomly rewired edges).
+
+    A standard model of collaboration networks: dense communities plus a few
+    cross-community edges.
+    """
+    if not 0.0 <= rewire_p <= 1.0:
+        raise ParameterError("rewire_p must be in [0, 1]")
+    rng = _rng(seed)
+    g = caveman_graph(num_cliques, clique_size)
+    n = num_cliques * clique_size
+    for u, v in list(g.edges()):
+        if rng.random() < rewire_p:
+            w = rng.randrange(n)
+            if w != u and not g.has_edge(u, w):
+                g.remove_edge(u, v)
+                g.add_edge(u, w)
+    return g
+
+
+def planted_partition_graph(num_groups: int, group_size: int, p_in: float,
+                            p_out: float, seed: Optional[int] = None) -> Graph:
+    """Return a planted-partition (stochastic block) graph.
+
+    Vertices in the same group are joined with probability ``p_in``; vertices
+    in different groups with probability ``p_out``.
+    """
+    if not (0.0 <= p_in <= 1.0 and 0.0 <= p_out <= 1.0):
+        raise ParameterError("p_in and p_out must be in [0, 1]")
+    rng = _rng(seed)
+    n = num_groups * group_size
+    g = empty_graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            same_group = (u // group_size) == (v // group_size)
+            p = p_in if same_group else p_out
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def random_tree(n: int, seed: Optional[int] = None) -> Graph:
+    """Return a uniformly random recursive tree on ``n`` vertices."""
+    if n < 1:
+        raise ParameterError("a tree needs at least one vertex")
+    rng = _rng(seed)
+    g = empty_graph(n)
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v))
+    return g
+
+
+def road_network_graph(rows: int, cols: int, extra_edge_p: float = 0.05,
+                       removal_p: float = 0.05,
+                       seed: Optional[int] = None) -> Graph:
+    """Return a road-network-like graph: a perturbed 2-D grid.
+
+    A fraction ``extra_edge_p`` of diagonal short-cuts is added and a fraction
+    ``removal_p`` of grid edges is removed (keeping the graph connected when
+    possible), which yields the low-degree, high-diameter structure of the
+    paper's rnPA / rnTX datasets.
+    """
+    rng = _rng(seed)
+    g = grid_graph(rows, cols)
+    # Add a few diagonal shortcuts.
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            if rng.random() < extra_edge_p:
+                g.add_edge(r * cols + c, (r + 1) * cols + (c + 1))
+    # Remove some edges, but never isolate a vertex.
+    for u, v in list(g.edges()):
+        if rng.random() < removal_p and g.degree(u) > 1 and g.degree(v) > 1:
+            g.remove_edge(u, v)
+    return g
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Tuple[Graph, List[dict]]:
+    """Return the disjoint union of ``graphs`` with integer relabeling.
+
+    Returns the union graph and, per input graph, the mapping from its
+    original labels to the new integer labels.
+    """
+    union = Graph()
+    mappings: List[dict] = []
+    offset = 0
+    for g in graphs:
+        mapping = {}
+        for i, v in enumerate(sorted(g.vertices(), key=repr)):
+            mapping[v] = offset + i
+            union.add_vertex(offset + i)
+        for u, v in g.edges():
+            union.add_edge(mapping[u], mapping[v])
+        offset += g.num_vertices
+        mappings.append(mapping)
+    return union, mappings

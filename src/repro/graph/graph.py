@@ -1,0 +1,201 @@
+"""The core undirected, unweighted graph data structure.
+
+:class:`Graph` stores adjacency as a dict of sets, which gives O(1) edge
+membership tests and O(deg) neighbor iteration — the operations the peeling
+algorithms and h-bounded BFS need.  Vertices may be any hashable object;
+the synthetic generators use consecutive integers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class Graph:
+    """An undirected, unweighted simple graph.
+
+    Self-loops are rejected (they never matter for distance-based cores) and
+    parallel edges collapse silently because adjacency is a set.
+
+    Example
+    -------
+    >>> g = Graph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 3)
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.degree(2)
+    2
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, edges: Optional[Iterable[Edge]] = None,
+                 vertices: Optional[Iterable[Vertex]] = None) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # construction / mutation
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (no-op if it already exists)."""
+        if v not in self._adj:
+            self._adj[v] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``(u, v)``, creating endpoints as needed."""
+        if u == v:
+            raise GraphError(f"self-loops are not supported (vertex {u!r})")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Add every edge in ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and every edge incident to it."""
+        try:
+            neighbors = self._adj.pop(v)
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+        for u in neighbors:
+            self._adj[u].discard(v)
+
+    def remove_vertices_from(self, vertices: Iterable[Vertex]) -> None:
+        """Remove every vertex in ``vertices`` (each must exist)."""
+        for v in list(vertices):
+            self.remove_vertex(v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``(u, v)``; endpoints are kept."""
+        if u not in self._adj or v not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """Return True if ``v`` is a vertex of the graph."""
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return True if the edge ``(u, v)`` is present."""
+        return u in self._adj and v in self._adj[u]
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        seen: Set[Vertex] = set()
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Return the neighbor set of ``v`` (do not mutate the result)."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def degree(self, v: Vertex) -> int:
+        """Return the degree of ``v``."""
+        return len(self.neighbors(v))
+
+    def degrees(self) -> Dict[Vertex, int]:
+        """Return a dict mapping every vertex to its degree."""
+        return {v: len(adj) for v, adj in self._adj.items()}
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices |V|."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges |E|."""
+        return sum(len(adj) for adj in self._adj.values()) // 2
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        clone = Graph()
+        clone._adj = {v: set(adj) for v, adj in self._adj.items()}
+        return clone
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return a new :class:`Graph` induced by ``vertices``.
+
+        Vertices not present in the graph are ignored, matching the common
+        "restrict to this vertex set" idiom in the decomposition algorithms.
+        """
+        keep = {v for v in vertices if v in self._adj}
+        sub = Graph()
+        for v in keep:
+            sub.add_vertex(v)
+        for v in keep:
+            for u in self._adj[v]:
+                if u in keep and not sub.has_edge(u, v):
+                    sub.add_edge(u, v)
+        return sub
+
+    def relabeled(self) -> Tuple["Graph", Dict[Vertex, int]]:
+        """Return a copy with vertices relabeled to ``0..n-1``.
+
+        Returns the relabeled graph and the old-to-new mapping.  Useful before
+        exporting to array-based formats.
+        """
+        mapping = {v: i for i, v in enumerate(sorted(self._adj, key=repr))}
+        relabeled = Graph()
+        for v in self._adj:
+            relabeled.add_vertex(mapping[v])
+        for u, v in self.edges():
+            relabeled.add_edge(mapping[u], mapping[v])
+        return relabeled, mapping
+
+    def to_adjacency_lists(self) -> Dict[Vertex, List[Vertex]]:
+        """Return adjacency as plain sorted lists (handy for serialization)."""
+        return {v: sorted(adj, key=repr) for v, adj in self._adj.items()}
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(|V|={self.num_vertices}, |E|={self.num_edges})"

@@ -1,0 +1,159 @@
+"""Reading and writing graphs.
+
+Two plain-text formats are supported:
+
+* **edge list** — one edge per line, two whitespace-separated vertex ids.
+  Lines starting with ``#`` or ``%`` are comments (the SNAP and KONECT
+  conventions, matching the datasets the paper uses).
+* **adjacency list** — one line per vertex: ``v: n1 n2 n3 ...``.
+
+Vertex ids are read as integers when possible, otherwise kept as strings.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterable, Union
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph, Vertex
+
+PathOrFile = Union[str, os.PathLike, IO[str]]
+
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def _parse_vertex(token: str) -> Vertex:
+    """Interpret a vertex token as an int when possible, else keep the string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _open_for_read(source: PathOrFile):
+    if hasattr(source, "read"):
+        return source, False
+    return open(source, "r", encoding="utf-8"), True
+
+
+def _open_for_write(target: PathOrFile):
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, "w", encoding="utf-8"), True
+
+
+def read_edge_list(source: PathOrFile, directed_as_undirected: bool = True) -> Graph:
+    """Read a graph from an edge-list file or file-like object.
+
+    Parameters
+    ----------
+    source:
+        Path or open text file.
+    directed_as_undirected:
+        Kept for API clarity; edges are always stored undirected, so a
+        directed edge list simply collapses reciprocal pairs.
+
+    Raises
+    ------
+    GraphFormatError
+        If a non-comment line does not contain at least two tokens.
+    """
+    handle, should_close = _open_for_read(source)
+    graph = Graph()
+    try:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            tokens = line.split()
+            if len(tokens) == 1:
+                # A bare vertex id denotes an isolated vertex (the convention
+                # write_edge_list uses so round-trips preserve them).
+                graph.add_vertex(_parse_vertex(tokens[0]))
+                continue
+            if len(tokens) < 2:
+                raise GraphFormatError(
+                    f"line {line_number}: expected 'u v', got {line!r}"
+                )
+            u, v = _parse_vertex(tokens[0]), _parse_vertex(tokens[1])
+            if u == v:
+                # Silently drop self-loops; they are meaningless for (k,h)-cores.
+                graph.add_vertex(u)
+                continue
+            graph.add_edge(u, v)
+    finally:
+        if should_close:
+            handle.close()
+    return graph
+
+
+def write_edge_list(graph: Graph, target: PathOrFile, header: bool = True) -> None:
+    """Write ``graph`` as an edge list (one ``u v`` pair per line)."""
+    handle, should_close = _open_for_write(target)
+    try:
+        if header:
+            handle.write(
+                f"# undirected graph: {graph.num_vertices} vertices, "
+                f"{graph.num_edges} edges\n"
+            )
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+        for v in graph.vertices():
+            if graph.degree(v) == 0:
+                handle.write(f"{v}\n")  # isolated vertices: bare id line
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_adjacency_list(source: PathOrFile) -> Graph:
+    """Read a graph in ``v: n1 n2 ...`` adjacency-list format."""
+    handle, should_close = _open_for_read(source)
+    graph = Graph()
+    try:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            if ":" not in line:
+                raise GraphFormatError(
+                    f"line {line_number}: expected 'v: n1 n2 ...', got {line!r}"
+                )
+            head, _, tail = line.partition(":")
+            v = _parse_vertex(head.strip())
+            graph.add_vertex(v)
+            for token in tail.split():
+                u = _parse_vertex(token)
+                if u != v:
+                    graph.add_edge(v, u)
+    finally:
+        if should_close:
+            handle.close()
+    return graph
+
+
+def write_adjacency_list(graph: Graph, target: PathOrFile) -> None:
+    """Write ``graph`` in ``v: n1 n2 ...`` adjacency-list format."""
+    handle, should_close = _open_for_write(target)
+    try:
+        for v in sorted(graph.vertices(), key=repr):
+            neighbors = " ".join(str(u) for u in sorted(graph.neighbors(v), key=repr))
+            handle.write(f"{v}: {neighbors}\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def edges_from_pairs(pairs: Iterable) -> Graph:
+    """Build a :class:`Graph` from an iterable of ``(u, v)`` pairs.
+
+    Convenience wrapper mirroring :func:`read_edge_list` for in-memory data.
+    """
+    graph = Graph()
+    for u, v in pairs:
+        if u == v:
+            graph.add_vertex(u)
+        else:
+            graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,122 @@
+"""Graph statistics used by the dataset characterization (Table 1).
+
+Table 1 of the paper reports, for every dataset: number of vertices, number
+of edges, average degree, maximum degree, and diameter.  :func:`summarize`
+computes exactly those quantities (diameter exactly for small graphs, or by
+the standard double-sweep lower bound for large ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.graph.graph import Graph, Vertex
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Table-1-style characteristics of a graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+    diameter: int
+    num_components: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the summary as a printable row dictionary."""
+        return {
+            "dataset": self.name,
+            "|V|": self.num_vertices,
+            "|E|": self.num_edges,
+            "avg deg": round(self.avg_degree, 2),
+            "max deg": self.max_degree,
+            "diam": self.diameter,
+            "components": self.num_components,
+        }
+
+
+def density(graph: Graph) -> float:
+    """Return the edge density ``2|E| / (|V| (|V|-1))`` (0 for tiny graphs)."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def degree_histogram(graph: Graph) -> List[int]:
+    """Return ``hist`` where ``hist[d]`` is the number of vertices of degree ``d``."""
+    degrees = graph.degrees()
+    if not degrees:
+        return []
+    hist = [0] * (max(degrees.values()) + 1)
+    for d in degrees.values():
+        hist[d] += 1
+    return hist
+
+
+def average_degree(graph: Graph) -> float:
+    """Return the average degree ``2|E|/|V|`` (0 for the empty graph)."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / n
+
+
+def max_degree(graph: Graph) -> int:
+    """Return the maximum degree (0 for the empty graph)."""
+    degrees = graph.degrees()
+    return max(degrees.values()) if degrees else 0
+
+
+def summarize(graph: Graph, name: str = "graph",
+              exact_diameter_limit: int = 2000) -> GraphSummary:
+    """Return a :class:`GraphSummary` for ``graph``.
+
+    The diameter is computed exactly (BFS from every vertex) when the graph
+    has at most ``exact_diameter_limit`` vertices, otherwise estimated with
+    repeated double-sweep BFS (a lower bound that is exact on trees and very
+    tight in practice).  Disconnected graphs report the largest component's
+    diameter, mirroring how dataset tables usually treat them.
+    """
+    # Imported here to avoid a circular import at module load time
+    # (traversal depends on graph).
+    from repro.traversal.components import connected_components
+    from repro.traversal.distances import diameter as exact_diameter
+    from repro.traversal.distances import double_sweep_diameter_estimate
+
+    components = connected_components(graph)
+    if not components:
+        return GraphSummary(name, 0, 0, 0.0, 0, 0, 0)
+    largest = max(components, key=len)
+    largest_sub = graph.subgraph(largest)
+    if largest_sub.num_vertices <= exact_diameter_limit:
+        diam = exact_diameter(largest_sub)
+    else:
+        diam = double_sweep_diameter_estimate(largest_sub)
+    return GraphSummary(
+        name=name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        avg_degree=average_degree(graph),
+        max_degree=max_degree(graph),
+        diameter=diam,
+        num_components=len(components),
+    )
+
+
+def isolated_vertices(graph: Graph) -> List[Vertex]:
+    """Return the vertices of degree zero."""
+    return [v for v in graph.vertices() if graph.degree(v) == 0]
+
+
+def summarize_many(graphs: Dict[str, Graph],
+                   exact_diameter_limit: int = 2000) -> List[GraphSummary]:
+    """Summarize several named graphs (the full Table 1)."""
+    return [
+        summarize(graph, name=name, exact_diameter_limit=exact_diameter_limit)
+        for name, graph in graphs.items()
+    ]

@@ -1,0 +1,100 @@
+"""Read-only induced-subgraph views.
+
+A :class:`SubgraphView` restricts a base :class:`~repro.graph.graph.Graph` to
+a set of "alive" vertices without copying adjacency.  The peeling algorithms
+use the cheaper idiom of passing an ``alive`` set straight to the traversal
+primitives, but the view is the convenient public-facing object when a caller
+wants to treat a core as a graph (e.g. ``decomposition.core_subgraph(k)``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set
+
+from repro.errors import VertexNotFoundError
+from repro.graph.graph import Edge, Graph, Vertex
+
+
+class SubgraphView:
+    """A lightweight, read-only view of ``graph`` induced by ``vertices``.
+
+    The view shares the base graph's adjacency; it filters neighbors on the
+    fly.  Mutating the base graph after creating the view is allowed but the
+    view then reflects the new structure.
+
+    Example
+    -------
+    >>> g = Graph([(1, 2), (2, 3), (3, 4)])
+    >>> view = SubgraphView(g, {1, 2, 3})
+    >>> sorted(view.neighbors(3))
+    [2]
+    """
+
+    __slots__ = ("_graph", "_alive")
+
+    def __init__(self, graph: Graph, vertices: Iterable[Vertex]) -> None:
+        self._graph = graph
+        self._alive: Set[Vertex] = {v for v in vertices if v in graph}
+
+    @property
+    def base_graph(self) -> Graph:
+        """The underlying full graph."""
+        return self._graph
+
+    @property
+    def vertex_set(self) -> Set[Vertex]:
+        """The alive vertex set (do not mutate)."""
+        return self._alive
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._alive
+
+    def __len__(self) -> int:
+        return len(self._alive)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._alive)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over the alive vertices."""
+        return iter(self._alive)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return True if both endpoints are alive and the edge exists."""
+        return u in self._alive and v in self._alive and self._graph.has_edge(u, v)
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Return the alive neighbors of ``v``."""
+        if v not in self._alive:
+            raise VertexNotFoundError(v)
+        return self._graph.neighbors(v) & self._alive
+
+    def degree(self, v: Vertex) -> int:
+        """Return the degree of ``v`` within the view."""
+        return len(self.neighbors(v))
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each induced edge exactly once."""
+        seen: Set[Vertex] = set()
+        for u in self._alive:
+            for v in self._graph.neighbors(u):
+                if v in self._alive and v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of alive vertices."""
+        return len(self._alive)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of induced edges."""
+        return sum(1 for _ in self.edges())
+
+    def materialize(self) -> Graph:
+        """Copy the view into a standalone :class:`Graph`."""
+        return self._graph.subgraph(self._alive)
+
+    def __repr__(self) -> str:
+        return f"SubgraphView(|V|={self.num_vertices} of {self._graph.num_vertices})"

@@ -1,0 +1,15 @@
+"""Instrumentation: counters, timers and run reports.
+
+The paper's efficiency experiments (Table 3, Table 5) report two measures per
+run: wall-clock time and "the number of computed point to point distances
+(i.e., the total number of possibly repeated vertices visited in all h-bfs)".
+This subpackage provides the counter plumbing that every traversal primitive
+and decomposition algorithm in :mod:`repro` reports into, so those measures
+are observed rather than estimated.
+"""
+
+from repro.instrumentation.counters import Counters, NULL_COUNTERS
+from repro.instrumentation.timers import Timer, timed
+from repro.instrumentation.report import RunReport
+
+__all__ = ["Counters", "NULL_COUNTERS", "Timer", "timed", "RunReport"]

@@ -1,0 +1,65 @@
+"""Per-run reports combining timing and work counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.instrumentation.counters import Counters
+
+
+@dataclass
+class RunReport:
+    """Summary of one algorithm run.
+
+    The experiment harness stores one :class:`RunReport` per (dataset,
+    algorithm, h) cell and the table formatters read from it.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that produced this run (e.g. ``"h-LB+UB"``).
+    dataset:
+        Name of the input dataset.
+    h:
+        Distance threshold used for the run.
+    seconds:
+        Wall-clock runtime.
+    counters:
+        Work counters gathered during the run.
+    result:
+        Optional algorithm-specific payload (e.g. a ``CoreDecomposition``).
+    params:
+        Any extra parameters that identify the run (e.g. partition size S).
+    """
+
+    algorithm: str
+    dataset: str
+    h: int
+    seconds: float = 0.0
+    counters: Counters = field(default_factory=Counters)
+    result: Optional[Any] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def visits(self) -> int:
+        """Total vertices visited across all h-BFS traversals (Table 3)."""
+        return self.counters.vertices_visited
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flatten the report to a printable row dictionary."""
+        row: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "h": self.h,
+            "seconds": round(self.seconds, 4),
+            "visits": self.visits,
+        }
+        row.update({f"param_{k}": v for k, v in sorted(self.params.items())})
+        return row
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm} on {self.dataset} (h={self.h}): "
+            f"{self.seconds:.3f}s, {self.visits} vertices visited"
+        )

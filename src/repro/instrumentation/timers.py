@@ -1,0 +1,67 @@
+"""Simple wall-clock timers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+
+class Timer:
+    """A restartable wall-clock timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        """Start (or restart) the timer."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and add the elapsed interval to :attr:`elapsed`."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before Timer.start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed(callback: Callable[[float], None]) -> Iterator[None]:
+    """Context manager that reports the elapsed seconds to ``callback``.
+
+    Example
+    -------
+    >>> durations = []
+    >>> with timed(durations.append):
+    ...     _ = sum(range(1000))
+    >>> len(durations)
+    1
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        callback(time.perf_counter() - start)

@@ -1,0 +1,50 @@
+"""Traversal substrate: BFS, h-neighborhoods, distances, components, centrality.
+
+Everything the decomposition algorithms and the applications need in terms of
+shortest-path machinery lives here: h-bounded BFS (the workhorse of the
+paper), h-neighborhood / h-degree computation, exact pairwise distances,
+eccentricities and diameter, connected components, the h-power graph, and the
+closeness / betweenness centralities used as landmark-selection baselines in
+§6.6.
+"""
+
+from repro.traversal.bfs import bfs_distances, h_bounded_bfs, bfs_tree
+from repro.traversal.hneighborhood import (
+    h_neighborhood,
+    h_degree,
+    all_h_degrees,
+    h_neighbors_with_distance,
+)
+from repro.traversal.distances import (
+    shortest_path_distance,
+    single_source_distances,
+    all_pairs_distances,
+    eccentricity,
+    diameter,
+    double_sweep_diameter_estimate,
+)
+from repro.traversal.components import connected_components, is_connected, largest_component
+from repro.traversal.power_graph import power_graph
+from repro.traversal.centrality import closeness_centrality, betweenness_centrality
+
+__all__ = [
+    "bfs_distances",
+    "h_bounded_bfs",
+    "bfs_tree",
+    "h_neighborhood",
+    "h_degree",
+    "all_h_degrees",
+    "h_neighbors_with_distance",
+    "shortest_path_distance",
+    "single_source_distances",
+    "all_pairs_distances",
+    "eccentricity",
+    "diameter",
+    "double_sweep_diameter_estimate",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "power_graph",
+    "closeness_centrality",
+    "betweenness_centrality",
+]

@@ -1,0 +1,101 @@
+"""Breadth-first search primitives.
+
+:func:`h_bounded_bfs` is the hot path of the whole library: every h-degree
+(re-)computation in the decomposition algorithms is one call to it.  It takes
+an optional ``alive`` set so peeling algorithms can restrict the traversal to
+the surviving vertices without building subgraphs, and an optional
+:class:`~repro.instrumentation.Counters` sink so the number of visited
+vertices can be reported (the paper's "visits" metric).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set
+
+from repro.errors import VertexNotFoundError
+from repro.graph.graph import Graph, Vertex
+from repro.instrumentation import Counters, NULL_COUNTERS
+
+
+def bfs_distances(graph: Graph, source: Vertex,
+                  alive: Optional[Set[Vertex]] = None) -> Dict[Vertex, int]:
+    """Return shortest-path distances from ``source`` to every reachable vertex.
+
+    If ``alive`` is given, only vertices in that set are traversed (and the
+    source must belong to it).
+    """
+    return h_bounded_bfs(graph, source, h=None, alive=alive)
+
+
+def h_bounded_bfs(graph: Graph, source: Vertex, h: Optional[int],
+                  alive: Optional[Set[Vertex]] = None,
+                  counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
+    """BFS from ``source`` truncated at depth ``h``.
+
+    Parameters
+    ----------
+    graph:
+        The base graph.
+    source:
+        Start vertex; must be in the graph (and in ``alive`` if given).
+    h:
+        Maximum distance explored; ``None`` means unbounded.
+    alive:
+        Optional set restricting the traversal to an induced subgraph.
+    counters:
+        Instrumentation sink; the number of visited vertices (excluding the
+        source) is recorded as one BFS.
+
+    Returns
+    -------
+    dict
+        Mapping ``vertex -> distance`` for every vertex at distance ``<= h``
+        from the source **including the source itself at distance 0**.
+    """
+    if source not in graph:
+        raise VertexNotFoundError(source)
+    if alive is not None and source not in alive:
+        raise VertexNotFoundError(source)
+
+    distances: Dict[Vertex, int] = {source: 0}
+    if h is not None and h <= 0:
+        counters.record_bfs(0)
+        return distances
+
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        next_distance = distances[v] + 1
+        if h is not None and next_distance > h:
+            continue
+        for u in graph.neighbors(v):
+            if u in distances:
+                continue
+            if alive is not None and u not in alive:
+                continue
+            distances[u] = next_distance
+            queue.append(u)
+    counters.record_bfs(len(distances) - 1)
+    return distances
+
+
+def bfs_tree(graph: Graph, source: Vertex,
+             alive: Optional[Set[Vertex]] = None) -> Dict[Vertex, Optional[Vertex]]:
+    """Return a BFS tree as a ``vertex -> parent`` mapping (source maps to None)."""
+    if source not in graph:
+        raise VertexNotFoundError(source)
+    if alive is not None and source not in alive:
+        raise VertexNotFoundError(source)
+    parents: Dict[Vertex, Optional[Vertex]] = {source: None}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u in parents:
+                continue
+            if alive is not None and u not in alive:
+                continue
+            parents[u] = v
+            queue.append(u)
+    return parents

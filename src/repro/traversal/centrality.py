@@ -1,0 +1,96 @@
+"""Closeness and betweenness centrality.
+
+The landmark-selection experiment (§6.6, Table 7) compares landmarks drawn
+from the maximum (k,h)-core against the top-ℓ vertices by closeness
+centrality, betweenness centrality, and h-degree.  These two centralities are
+implemented here: closeness by one BFS per vertex, betweenness with Brandes'
+algorithm (unweighted variant).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.graph.graph import Graph, Vertex
+from repro.traversal.bfs import bfs_distances
+
+
+def closeness_centrality(graph: Graph,
+                         vertices: Optional[List[Vertex]] = None,
+                         wf_improved: bool = True) -> Dict[Vertex, float]:
+    """Return the closeness centrality of every vertex (or of ``vertices``).
+
+    Uses the Wasserman–Faust correction for disconnected graphs when
+    ``wf_improved`` is True (the same convention as networkx), so values are
+    comparable across components.
+    """
+    n = graph.num_vertices
+    targets = list(vertices) if vertices is not None else list(graph.vertices())
+    centrality: Dict[Vertex, float] = {}
+    for v in targets:
+        distances = bfs_distances(graph, v)
+        total = sum(distances.values())
+        reachable = len(distances)  # includes v itself
+        if total > 0 and n > 1:
+            closeness = (reachable - 1) / total
+            if wf_improved:
+                closeness *= (reachable - 1) / (n - 1)
+        else:
+            closeness = 0.0
+        centrality[v] = closeness
+    return centrality
+
+
+def betweenness_centrality(graph: Graph, normalized: bool = True) -> Dict[Vertex, float]:
+    """Return the (unweighted) betweenness centrality of every vertex.
+
+    Brandes' algorithm: one BFS + dependency accumulation per source vertex,
+    ``O(|V| |E|)`` total.
+    """
+    centrality: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+    for source in graph.vertices():
+        # Single-source shortest-path DAG via BFS.
+        stack: List[Vertex] = []
+        predecessors: Dict[Vertex, List[Vertex]] = {v: [] for v in graph.vertices()}
+        sigma: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+        distance: Dict[Vertex, int] = {}
+        sigma[source] = 1.0
+        distance[source] = 0
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            stack.append(v)
+            for w in graph.neighbors(v):
+                if w not in distance:
+                    distance[w] = distance[v] + 1
+                    queue.append(w)
+                if distance[w] == distance[v] + 1:
+                    sigma[w] += sigma[v]
+                    predecessors[w].append(v)
+        # Back-propagation of dependencies.
+        delta: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+        while stack:
+            w = stack.pop()
+            for v in predecessors[w]:
+                if sigma[w] > 0:
+                    delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
+            if w != source:
+                centrality[w] += delta[w]
+        del predecessors, sigma, distance, delta
+
+    n = graph.num_vertices
+    # Each undirected shortest path is counted twice (once per endpoint as source).
+    for v in centrality:
+        centrality[v] /= 2.0
+    if normalized and n > 2:
+        scale = 1.0 / ((n - 1) * (n - 2) / 2.0)
+        for v in centrality:
+            centrality[v] *= scale
+    return centrality
+
+
+def top_k_by_centrality(centrality: Dict[Vertex, float], k: int) -> List[Vertex]:
+    """Return the ``k`` vertices with the highest centrality (ties by repr)."""
+    ranked = sorted(centrality.items(), key=lambda item: (-item[1], repr(item[0])))
+    return [v for v, _ in ranked[:k]]

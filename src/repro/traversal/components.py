@@ -1,0 +1,64 @@
+"""Connected components."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Set
+
+from repro.graph.graph import Graph, Vertex
+
+
+def connected_components(graph: Graph,
+                         alive: Optional[Set[Vertex]] = None) -> List[Set[Vertex]]:
+    """Return the connected components (as vertex sets) of ``graph``.
+
+    If ``alive`` is given, components are computed in the induced subgraph.
+    """
+    universe = set(alive) if alive is not None else set(graph.vertices())
+    components: List[Set[Vertex]] = []
+    unvisited = set(universe)
+    while unvisited:
+        start = next(iter(unvisited))
+        component = {start}
+        queue = deque([start])
+        unvisited.discard(start)
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if u in unvisited:
+                    unvisited.discard(u)
+                    component.add(u)
+                    queue.append(u)
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph, alive: Optional[Set[Vertex]] = None) -> bool:
+    """Return True if the (induced) graph is connected (empty graphs count as connected)."""
+    components = connected_components(graph, alive=alive)
+    return len(components) <= 1
+
+
+def largest_component(graph: Graph,
+                      alive: Optional[Set[Vertex]] = None) -> Set[Vertex]:
+    """Return the vertex set of the largest connected component (empty set if none)."""
+    components = connected_components(graph, alive=alive)
+    if not components:
+        return set()
+    return max(components, key=len)
+
+
+def same_component(graph: Graph, vertices: Set[Vertex],
+                   alive: Optional[Set[Vertex]] = None) -> bool:
+    """Return True if all ``vertices`` lie in one connected component.
+
+    Used by the cocktail-party (community search) application, which must
+    check that the query vertices are connected inside a candidate core.
+    """
+    if not vertices:
+        return True
+    components = connected_components(graph, alive=alive)
+    for component in components:
+        if vertices <= component:
+            return True
+    return False

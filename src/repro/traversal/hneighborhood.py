@@ -1,0 +1,75 @@
+"""h-neighborhoods and h-degrees (§3 of the paper).
+
+The *h-neighborhood* of a vertex ``v`` within an induced subgraph ``G[S]`` is
+the set of vertices ``u != v`` in ``S`` with ``d_{G[S]}(u, v) <= h``; the
+*h-degree* is its size.  These are the quantities the (k,h)-core definition is
+built on, and every algorithm in :mod:`repro.core` ultimately calls into this
+module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.errors import InvalidDistanceThresholdError
+from repro.graph.graph import Graph, Vertex
+from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.traversal.bfs import h_bounded_bfs
+
+
+def _validate_h(h: int) -> None:
+    if not isinstance(h, int) or isinstance(h, bool) or h < 1:
+        raise InvalidDistanceThresholdError(h)
+
+
+def h_neighborhood(graph: Graph, vertex: Vertex, h: int,
+                   alive: Optional[Set[Vertex]] = None,
+                   counters: Counters = NULL_COUNTERS) -> Set[Vertex]:
+    """Return ``N_{G[alive]}(vertex, h)``: vertices within distance ``h``.
+
+    The vertex itself is excluded, matching Definition 2 of the paper.
+    """
+    _validate_h(h)
+    distances = h_bounded_bfs(graph, vertex, h, alive=alive, counters=counters)
+    del distances[vertex]
+    return set(distances)
+
+
+def h_neighbors_with_distance(graph: Graph, vertex: Vertex, h: int,
+                              alive: Optional[Set[Vertex]] = None,
+                              counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
+    """Return ``{u: d(u, vertex)}`` for the h-neighborhood of ``vertex``.
+
+    The h-LB algorithm needs the distances themselves (to distinguish
+    neighbors at distance exactly ``h`` — Algorithm 3, line 14), so this
+    variant keeps them.
+    """
+    _validate_h(h)
+    distances = h_bounded_bfs(graph, vertex, h, alive=alive, counters=counters)
+    del distances[vertex]
+    return distances
+
+
+def h_degree(graph: Graph, vertex: Vertex, h: int,
+             alive: Optional[Set[Vertex]] = None,
+             counters: Counters = NULL_COUNTERS) -> int:
+    """Return the h-degree ``deg^h_{G[alive]}(vertex)``."""
+    return len(h_neighborhood(graph, vertex, h, alive=alive, counters=counters))
+
+
+def all_h_degrees(graph: Graph, h: int,
+                  alive: Optional[Set[Vertex]] = None,
+                  vertices: Optional[Iterable[Vertex]] = None,
+                  counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
+    """Return the h-degree of every vertex (or of ``vertices`` if given).
+
+    This is the sequential version of the initial h-degree computation; the
+    multi-threaded variant lives in :mod:`repro.core.parallel`.
+    """
+    _validate_h(h)
+    if vertices is None:
+        vertices = alive if alive is not None else graph.vertices()
+    return {
+        v: h_degree(graph, v, h, alive=alive, counters=counters)
+        for v in vertices
+    }

@@ -1,0 +1,114 @@
+"""Shared fixtures and helpers for the test suite.
+
+networkx is used throughout the tests as an *independent oracle* (shortest
+paths, classic core numbers, power graphs); the library itself never imports
+it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    relaxed_caveman_graph,
+    star_graph,
+)
+
+
+def to_networkx(graph: Graph) -> "nx.Graph":
+    """Convert a repro Graph into a networkx Graph (for oracle comparisons)."""
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.vertices())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+def from_networkx(nx_graph: "nx.Graph") -> Graph:
+    """Convert a networkx Graph into a repro Graph."""
+    graph = Graph(vertices=nx_graph.nodes())
+    for u, v in nx_graph.edges():
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def random_graph(num_vertices: int, edge_probability: float, seed: int) -> Graph:
+    """Deterministic Erdős–Rényi graph helper used all over the tests."""
+    return erdos_renyi_graph(num_vertices, edge_probability, seed=seed)
+
+
+@pytest.fixture
+def paper_style_graph() -> Graph:
+    """A 13-vertex graph in the spirit of the paper's Figure 1.
+
+    A small ring-ish dense region (vertices 4-13) attached to a sparse tail
+    (vertices 1-3): the (k,2)-core decomposition separates the three groups
+    while the classic decomposition barely distinguishes them.
+    """
+    edges = [
+        (1, 2), (1, 3), (2, 3),
+        (2, 4), (3, 5),
+        (4, 5), (4, 6), (4, 10),
+        (5, 7), (5, 11),
+        (6, 7), (6, 8), (6, 12),
+        (7, 9), (7, 13),
+        (8, 9), (8, 10),
+        (9, 11),
+        (10, 12), (11, 13), (12, 13),
+    ]
+    return Graph(edges)
+
+
+@pytest.fixture
+def small_community_graph() -> Graph:
+    """Four loosely linked communities of six vertices (deterministic)."""
+    return relaxed_caveman_graph(4, 6, 0.15, seed=7)
+
+
+@pytest.fixture
+def triangle_with_tail() -> Graph:
+    """A triangle with a pendant path — the smallest interesting (k,h) example."""
+    return Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+
+
+@pytest.fixture(params=[0, 1, 2])
+def seeded_random_graph(request) -> Graph:
+    """A small ER graph per seed, for cross-algorithm agreement tests."""
+    return erdos_renyi_graph(20, 0.15, seed=request.param)
+
+
+@pytest.fixture
+def disconnected_graph() -> Graph:
+    """Two components plus an isolated vertex."""
+    g = Graph([(0, 1), (1, 2), (2, 0), (10, 11), (11, 12)])
+    g.add_vertex(99)
+    return g
+
+
+@pytest.fixture
+def standard_graphs() -> dict:
+    """A named battery of deterministic graphs exercising different shapes."""
+    return {
+        "complete_6": complete_graph(6),
+        "cycle_9": cycle_graph(9),
+        "path_8": path_graph(8),
+        "star_7": star_graph(7),
+        "grid_4x4": grid_graph(4, 4),
+        "er_18": erdos_renyi_graph(18, 0.2, seed=5),
+        "caveman": relaxed_caveman_graph(3, 5, 0.1, seed=3),
+    }
+
+
+def random_vertex(graph: Graph, seed: int = 0):
+    """Pick a deterministic 'random' vertex from a graph."""
+    vertices = sorted(graph.vertices(), key=repr)
+    return random.Random(seed).choice(vertices)

@@ -1,0 +1,157 @@
+"""Tests for the core-index bounds: LB1, LB2 (Observations 1-2), UB (Alg. 5), ImproveLB (Alg. 6)."""
+
+import pytest
+
+from repro.core import (
+    classic_core_decomposition,
+    improve_lb,
+    lower_bound_lb1,
+    lower_bound_lb2,
+    naive_core_decomposition,
+    upper_bound,
+)
+from repro.errors import InvalidDistanceThresholdError
+from repro.graph import Graph
+from repro.graph.generators import (
+    caveman_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    star_graph,
+)
+from repro.traversal import power_graph
+from repro.traversal.hneighborhood import all_h_degrees
+
+
+@pytest.fixture(params=[(18, 0.15, 0), (18, 0.2, 1), (22, 0.12, 2)])
+def graph_and_cores(request):
+    n, p, seed = request.param
+    graph = erdos_renyi_graph(n, p, seed=seed)
+    cores = {h: naive_core_decomposition(graph, h).core_index for h in (2, 3)}
+    return graph, cores
+
+
+class TestLowerBounds:
+    def test_lb1_is_a_lower_bound(self, graph_and_cores):
+        graph, cores = graph_and_cores
+        for h in (2, 3):
+            lb1 = lower_bound_lb1(graph, h)
+            assert all(lb1[v] <= cores[h][v] for v in graph.vertices())
+
+    def test_lb2_is_a_lower_bound(self, graph_and_cores):
+        graph, cores = graph_and_cores
+        for h in (2, 3):
+            lb2 = lower_bound_lb2(graph, h)
+            assert all(lb2[v] <= cores[h][v] for v in graph.vertices())
+
+    def test_lb2_dominates_lb1(self, graph_and_cores):
+        graph, _ = graph_and_cores
+        for h in (2, 3):
+            lb1 = lower_bound_lb1(graph, h)
+            lb2 = lower_bound_lb2(graph, h, lb1=lb1)
+            assert all(lb2[v] >= lb1[v] for v in graph.vertices())
+
+    def test_lb1_equals_degree_for_h2_and_h3(self):
+        graph = erdos_renyi_graph(15, 0.2, seed=3)
+        for h in (2, 3):
+            lb1 = lower_bound_lb1(graph, h)
+            assert lb1 == graph.degrees()
+
+    def test_lb1_uses_half_neighborhood_for_h4(self):
+        graph = cycle_graph(12)
+        lb1 = lower_bound_lb1(graph, 4)
+        # ⌊4/2⌋ = 2-neighborhood of a cycle vertex has 4 members.
+        assert all(value == 4 for value in lb1.values())
+
+    def test_lb1_is_zero_for_h1(self):
+        graph = star_graph(5)
+        assert all(value == 0 for value in lower_bound_lb1(graph, 1).values())
+
+    def test_star_example(self):
+        # In a star with h = 2: LB1(center) = n, so LB2 of every leaf is n too.
+        graph = star_graph(6)
+        lb2 = lower_bound_lb2(graph, 2)
+        assert lb2[0] == 6
+        assert all(lb2[leaf] == 6 for leaf in range(1, 7))
+
+    def test_subset_of_vertices(self):
+        graph = cycle_graph(8)
+        lb1 = lower_bound_lb1(graph, 2, vertices=[0, 1])
+        assert set(lb1) == {0, 1}
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidDistanceThresholdError):
+            lower_bound_lb1(cycle_graph(4), 0)
+        with pytest.raises(InvalidDistanceThresholdError):
+            lower_bound_lb2(cycle_graph(4), -3)
+
+
+class TestUpperBound:
+    def test_ub_is_an_upper_bound(self, graph_and_cores):
+        graph, cores = graph_and_cores
+        for h in (2, 3):
+            ub = upper_bound(graph, h)
+            assert all(ub[v] >= cores[h][v] for v in graph.vertices())
+
+    def test_ub_equals_power_graph_core_number(self, graph_and_cores):
+        graph, _ = graph_and_cores
+        for h in (2, 3):
+            expected = classic_core_decomposition(power_graph(graph, h)).core_index
+            assert upper_bound(graph, h) == expected
+
+    def test_ub_not_larger_than_h_degree(self, graph_and_cores):
+        graph, _ = graph_and_cores
+        for h in (2, 3):
+            degrees = all_h_degrees(graph, h)
+            ub = upper_bound(graph, h)
+            assert all(ub[v] <= degrees[v] for v in graph.vertices())
+
+    def test_reuses_precomputed_degrees(self):
+        graph = caveman_graph(3, 4)
+        degrees = all_h_degrees(graph, 2)
+        assert upper_bound(graph, 2, initial_h_degrees=degrees) == upper_bound(graph, 2)
+
+    def test_empty_graph(self):
+        assert upper_bound(Graph(), 2) == {}
+
+    def test_complete_graph_tight(self):
+        graph = complete_graph(6)
+        ub = upper_bound(graph, 2)
+        assert all(value == 5 for value in ub.values())
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidDistanceThresholdError):
+            upper_bound(cycle_graph(4), 0)
+
+
+class TestImproveLB:
+    def test_returns_min_degree_lower_bound(self):
+        graph = caveman_graph(3, 5)
+        candidate = set(graph.vertices())
+        cleaned, min_degree = improve_lb(graph, 2, candidate, k=1)
+        cores = naive_core_decomposition(graph, 2).core_index
+        # Property 3: the minimum h-degree of any vertex set lower-bounds the
+        # core index of every member.
+        assert all(min_degree <= cores[v] for v in candidate)
+        assert cleaned <= candidate
+
+    def test_never_removes_true_core_members(self):
+        graph = erdos_renyi_graph(20, 0.2, seed=4)
+        cores = naive_core_decomposition(graph, 2).core_index
+        k = max(cores.values())
+        candidate = set(graph.vertices())
+        cleaned, _ = improve_lb(graph, 2, candidate, k=k)
+        true_core = {v for v, c in cores.items() if c >= k}
+        assert true_core <= cleaned
+
+    def test_cleans_partition_without_core(self):
+        graph = cycle_graph(10)  # (k,2)-cores never exceed 4
+        cleaned, _ = improve_lb(graph, 2, set(graph.vertices()), k=10)
+        assert cleaned == set()
+
+    def test_empty_candidate(self):
+        assert improve_lb(cycle_graph(4), 2, set(), k=1) == (set(), 0)
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidDistanceThresholdError):
+            improve_lb(cycle_graph(4), 0, {0, 1}, k=1)

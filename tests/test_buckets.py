@@ -1,0 +1,100 @@
+"""Tests for the BucketQueue used by every peeling algorithm."""
+
+import pytest
+
+from repro.core import BucketQueue
+from repro.instrumentation import Counters
+
+
+class TestBucketQueue:
+    def test_insert_and_pop(self):
+        buckets = BucketQueue()
+        buckets.insert("a", 3)
+        buckets.insert("b", 3)
+        buckets.insert("c", 1)
+        assert len(buckets) == 3
+        assert buckets.pop_from(1) == "c"
+        assert buckets.pop_from(3) in {"a", "b"}
+        assert len(buckets) == 1
+
+    def test_pop_from_empty_bucket_returns_none(self):
+        buckets = BucketQueue()
+        assert buckets.pop_from(5) is None
+
+    def test_double_insert_raises(self):
+        buckets = BucketQueue()
+        buckets.insert("a", 1)
+        with pytest.raises(ValueError):
+            buckets.insert("a", 2)
+
+    def test_negative_key_rejected(self):
+        buckets = BucketQueue()
+        with pytest.raises(ValueError):
+            buckets.insert("a", -1)
+        buckets.insert("b", 0)
+        with pytest.raises(ValueError):
+            buckets.move("b", -2)
+
+    def test_move_updates_key(self):
+        buckets = BucketQueue()
+        buckets.insert("a", 5)
+        buckets.move("a", 2)
+        assert buckets.key_of("a") == 2
+        assert buckets.is_empty(5)
+        assert not buckets.is_empty(2)
+
+    def test_move_same_key_is_noop(self):
+        counters = Counters()
+        buckets = BucketQueue(counters)
+        buckets.insert("a", 4)
+        buckets.move("a", 4)
+        assert counters.bucket_moves == 0
+        buckets.move("a", 2)
+        assert counters.bucket_moves == 1
+
+    def test_move_missing_vertex_raises(self):
+        buckets = BucketQueue()
+        with pytest.raises(KeyError):
+            buckets.move("ghost", 1)
+
+    def test_remove(self):
+        buckets = BucketQueue()
+        buckets.insert("a", 1)
+        buckets.remove("a")
+        assert "a" not in buckets
+        assert buckets.is_empty(1)
+
+    def test_contains(self):
+        buckets = BucketQueue()
+        buckets.insert(7, 0)
+        assert 7 in buckets
+        assert 8 not in buckets
+
+    def test_occupied_keys_and_min_key(self):
+        buckets = BucketQueue()
+        assert buckets.min_key() is None
+        buckets.insert("a", 4)
+        buckets.insert("b", 2)
+        buckets.insert("c", 9)
+        assert buckets.occupied_keys() == [2, 4, 9]
+        assert buckets.min_key() == 2
+
+    def test_clear(self):
+        buckets = BucketQueue()
+        buckets.insert("a", 1)
+        buckets.clear()
+        assert len(buckets) == 0
+        assert buckets.min_key() is None
+
+    def test_many_vertices_round_trip(self):
+        buckets = BucketQueue()
+        for i in range(100):
+            buckets.insert(i, i % 7)
+        popped = []
+        for key in range(7):
+            while True:
+                vertex = buckets.pop_from(key)
+                if vertex is None:
+                    break
+                popped.append(vertex)
+        assert sorted(popped) == list(range(100))

@@ -1,0 +1,73 @@
+"""Tests for the classic (h = 1) core decomposition, cross-checked with networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.core import classic_core_decomposition, classic_core_indices
+from repro.graph import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+
+from conftest import to_networkx
+
+
+class TestClassicCore:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx_core_number(self, seed):
+        g = erdos_renyi_graph(40, 0.12, seed=seed)
+        expected = nx.core_number(to_networkx(g))
+        assert classic_core_indices(g) == expected
+
+    def test_complete_graph(self):
+        result = classic_core_decomposition(complete_graph(6))
+        assert all(c == 5 for c in result.core_index.values())
+        assert result.degeneracy == 5
+
+    def test_cycle_graph(self):
+        result = classic_core_decomposition(cycle_graph(8))
+        assert all(c == 2 for c in result.core_index.values())
+
+    def test_star_graph(self):
+        result = classic_core_decomposition(star_graph(5))
+        assert all(c == 1 for c in result.core_index.values())
+
+    def test_path_graph(self):
+        result = classic_core_decomposition(path_graph(6))
+        assert all(c == 1 for c in result.core_index.values())
+
+    def test_isolated_vertex_gets_zero(self):
+        g = path_graph(3)
+        g.add_vertex(42)
+        assert classic_core_decomposition(g).core_index[42] == 0
+
+    def test_empty_graph(self):
+        result = classic_core_decomposition(Graph())
+        assert result.core_index == {}
+        assert result.degeneracy == 0
+
+    def test_alive_restriction(self):
+        g = complete_graph(5)
+        result = classic_core_decomposition(g, alive={0, 1, 2})
+        assert set(result.core_index) == {0, 1, 2}
+        assert all(c == 2 for c in result.core_index.values())
+
+    def test_removal_order_is_smallest_last(self):
+        g = erdos_renyi_graph(30, 0.15, seed=9)
+        result = classic_core_decomposition(g)
+        order = result.removal_order
+        assert order is not None
+        assert sorted(order, key=repr) == sorted(g.vertices(), key=repr)
+        # Each vertex, at removal time, has at most core(v) neighbors among
+        # the still-alive (later-removed) vertices.
+        position = {v: i for i, v in enumerate(order)}
+        for v in g.vertices():
+            later_neighbors = sum(1 for u in g.neighbors(v) if position[u] > position[v])
+            assert later_neighbors <= result.core_index[v]
+
+    def test_algorithm_label(self):
+        assert classic_core_decomposition(cycle_graph(4)).algorithm == "classic-BZ"

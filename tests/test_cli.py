@@ -1,0 +1,74 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import Graph, write_edge_list
+
+
+@pytest.fixture
+def edge_list_file(tmp_path):
+    path = tmp_path / "toy.edges"
+    graph = Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+    write_edge_list(graph, path)
+    return path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["graph.txt"])
+        assert args.h == 2
+        assert args.algorithm == "auto"
+        assert not args.summary
+
+    def test_algorithm_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["graph.txt", "--algorithm", "magic"])
+
+
+class TestMain:
+    def test_prints_core_indices(self, edge_list_file, capsys):
+        exit_code = main([str(edge_list_file), "--h", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.strip().splitlines() if line]
+        assert len(lines) == 6  # one per vertex
+        assert all(len(line.split()) == 2 for line in lines)
+
+    def test_summary_mode(self, edge_list_file, capsys):
+        exit_code = main([str(edge_list_file), "--h", "2", "--summary"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "core 0" in out or "core 1" in out or "core 2" in out
+
+    def test_output_file(self, edge_list_file, tmp_path, capsys):
+        target = tmp_path / "cores.txt"
+        exit_code = main([str(edge_list_file), "--output", str(target)])
+        assert exit_code == 0
+        assert target.exists()
+        assert len(target.read_text().strip().splitlines()) == 6
+
+    def test_demo_mode(self, capsys):
+        exit_code = main(["--demo", "--h", "2", "--summary"])
+        assert exit_code == 0
+
+    def test_explicit_algorithm(self, edge_list_file, capsys):
+        exit_code = main([str(edge_list_file), "--algorithm", "h-LB+UB", "--h", "3"])
+        assert exit_code == 0
+
+    def test_missing_input_is_an_error(self, capsys):
+        exit_code = main([])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_matches_library_result(self, edge_list_file, capsys):
+        from repro.core import core_decomposition
+        from repro.graph import read_edge_list
+        main([str(edge_list_file), "--h", "2"])
+        out = capsys.readouterr().out
+        cli_cores = {}
+        for line in out.strip().splitlines():
+            vertex, core = line.split()
+            cli_cores[int(vertex)] = int(core)
+        expected = core_decomposition(read_edge_list(edge_list_file), 2).core_index
+        assert cli_cores == expected

@@ -1,0 +1,82 @@
+"""Tests for the distance-generalized cocktail party (community search)."""
+
+import pytest
+
+from repro.applications.community import cocktail_party, community_density
+from repro.core import core_decomposition
+from repro.errors import InvalidDistanceThresholdError, ParameterError, VertexNotFoundError
+from repro.graph import Graph
+from repro.graph.generators import caveman_graph, erdos_renyi_graph, path_graph, star_graph
+from repro.traversal.components import same_component
+from repro.traversal.hneighborhood import all_h_degrees
+
+
+class TestCocktailParty:
+    def test_community_contains_query_and_is_connected(self, small_community_graph):
+        query = [0, 1]
+        result = cocktail_party(small_community_graph, query, 2)
+        assert set(query) <= result.vertices
+        assert same_component(small_community_graph, set(query), alive=result.vertices)
+
+    def test_min_h_degree_matches_reported_k(self, small_community_graph):
+        result = cocktail_party(small_community_graph, [0], 2)
+        degrees = all_h_degrees(small_community_graph, 2, alive=result.vertices,
+                                vertices=result.vertices)
+        assert min(degrees.values()) == result.min_h_degree
+        assert result.min_h_degree >= result.k
+
+    def test_single_query_vertex_gets_its_own_core_depth(self, small_community_graph):
+        decomposition = core_decomposition(small_community_graph, 2)
+        for vertex in list(small_community_graph.vertices())[:5]:
+            result = cocktail_party(small_community_graph, [vertex], 2,
+                                    decomposition=decomposition)
+            # A single query vertex always fits in its own (core(v), h)-core.
+            assert result.k == decomposition.core_index[vertex]
+
+    def test_optimality_against_brute_force(self):
+        # On a small graph, compare with the best achievable minimum h-degree
+        # over all connected supersets of the query (checked via cores).
+        g = erdos_renyi_graph(12, 0.3, seed=2)
+        query = [0, 1]
+        result = cocktail_party(g, query, 2)
+        decomposition = core_decomposition(g, 2)
+        # No deeper core keeps the query connected:
+        for k in range(result.k + 1, decomposition.degeneracy + 1):
+            core_vertices = decomposition.core(k)
+            assert not (set(query) <= core_vertices
+                        and same_component(g, set(query), alive=core_vertices))
+
+    def test_query_spanning_weakly_linked_communities(self):
+        g = caveman_graph(3, 5)
+        # Vertices from two different cliques force a shallower but larger community.
+        across = cocktail_party(g, [0, 5], 2)
+        within = cocktail_party(g, [0, 1], 2)
+        assert within.k >= across.k
+        assert across.size >= within.size
+
+    def test_star_center_and_leaf(self):
+        g = star_graph(5)
+        result = cocktail_party(g, [0, 1], 2)
+        assert result.vertices == set(g.vertices())
+        assert result.min_h_degree == 5
+
+    def test_disconnected_query_raises(self):
+        g = Graph([(0, 1), (2, 3)])
+        with pytest.raises(ParameterError):
+            cocktail_party(g, [0, 3], 2)
+
+    def test_empty_query_raises(self):
+        with pytest.raises(ParameterError):
+            cocktail_party(path_graph(3), [], 2)
+
+    def test_unknown_query_vertex_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            cocktail_party(path_graph(3), [99], 2)
+
+    def test_invalid_h_raises(self):
+        with pytest.raises(InvalidDistanceThresholdError):
+            cocktail_party(path_graph(3), [0], 0)
+
+    def test_community_density_helper(self, small_community_graph):
+        result = cocktail_party(small_community_graph, [0], 2)
+        assert community_density(small_community_graph, result, 2) >= result.min_h_degree

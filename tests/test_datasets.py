@@ -1,0 +1,83 @@
+"""Tests for the synthetic dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+    load_many,
+    paper_characteristics,
+)
+from repro.errors import DatasetNotFoundError, ParameterError
+from repro.traversal.components import largest_component
+
+
+class TestRegistry:
+    def test_thirteen_datasets_registered(self):
+        assert len(DATASET_NAMES) == 13
+        assert set(available_datasets()) == set(DATASET_NAMES)
+
+    def test_paper_names_present(self):
+        for name in ("coli", "cele", "jazz", "FBco", "caHe", "caAs", "doub",
+                     "amzn", "rnPA", "rnTX", "sytb", "hyves", "lj"):
+            assert name in DATASET_NAMES
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetNotFoundError):
+            load_dataset("wikipedia")
+        with pytest.raises(DatasetNotFoundError):
+            dataset_spec("wikipedia")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ParameterError):
+            load_dataset("coli", scale="galactic")
+
+    def test_paper_characteristics_table(self):
+        rows = paper_characteristics()
+        assert len(rows) == 13
+        lj_row = next(row for row in rows if row["dataset"] == "lj")
+        assert lj_row["|V|"] == 4847571
+
+
+class TestBuiltGraphs:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_tiny_scale_builds(self, name):
+        graph = load_dataset(name, scale="tiny", seed=0)
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+    def test_determinism(self):
+        assert load_dataset("FBco", seed=3) == load_dataset("FBco", seed=3)
+
+    def test_different_seeds_differ(self):
+        assert load_dataset("FBco", seed=1) != load_dataset("FBco", seed=2)
+
+    def test_scales_are_ordered(self):
+        tiny = load_dataset("caAs", scale="tiny")
+        small = load_dataset("caAs", scale="small")
+        medium = load_dataset("caAs", scale="medium")
+        assert tiny.num_vertices < small.num_vertices < medium.num_vertices
+
+    def test_road_networks_have_high_diameter_and_low_degree(self):
+        from repro.graph.stats import summarize
+        summary = summarize(load_dataset("rnPA", scale="tiny"), name="rnPA")
+        assert summary.max_degree <= 8
+        assert summary.diameter >= 8
+
+    def test_social_networks_are_skewed_and_mostly_connected(self):
+        graph = load_dataset("sytb", scale="tiny")
+        degrees = sorted(graph.degrees().values())
+        assert degrees[-1] >= 5 * degrees[len(degrees) // 2]
+        assert len(largest_component(graph)) == graph.num_vertices
+
+    def test_load_many_default_and_subset(self):
+        subset = load_many(["coli", "jazz"], scale="tiny")
+        assert set(subset) == {"coli", "jazz"}
+        everything = load_many(scale="tiny")
+        assert set(everything) == set(DATASET_NAMES)
+
+    def test_family_metadata(self):
+        assert dataset_spec("rnTX").family == "road"
+        assert dataset_spec("FBco").family == "social"

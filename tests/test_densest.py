@@ -1,0 +1,115 @@
+"""Tests for the distance-h densest subgraph (Problem 1, Theorem 4)."""
+
+import pytest
+
+from repro.applications.densest import (
+    average_h_degree,
+    densest_core_approximation,
+    exact_densest_subgraph,
+    greedy_peeling_densest,
+    theorem4_lower_bound,
+)
+from repro.core import core_decomposition
+from repro.errors import InvalidDistanceThresholdError, ParameterError
+from repro.graph import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestAverageHDegree:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert average_h_degree(g, set(g.vertices()), 2) == pytest.approx(4.0)
+
+    def test_empty_set(self):
+        assert average_h_degree(cycle_graph(4), set(), 2) == 0.0
+
+    def test_h2_on_path_subset(self):
+        g = path_graph(5)
+        # Induced subgraph {0,1,2}: each endpoint sees 2 within distance 2.
+        assert average_h_degree(g, {0, 1, 2}, 2) == pytest.approx(2.0)
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidDistanceThresholdError):
+            average_h_degree(cycle_graph(4), {0}, 0)
+
+
+class TestExactDensest:
+    def test_star_h1_vs_h2(self):
+        g = star_graph(4)
+        # For h = 1 the densest subgraph of a star is the whole star (avg 8/5);
+        # for h = 2 every pair of leaves is close, so the whole graph has avg 4.
+        assert exact_densest_subgraph(g, 1).density == pytest.approx(1.6)
+        assert exact_densest_subgraph(g, 2).density == pytest.approx(4.0)
+
+    def test_guard_on_large_graph(self):
+        with pytest.raises(ParameterError):
+            exact_densest_subgraph(erdos_renyi_graph(30, 0.1, seed=0), 2)
+
+    def test_empty_graph(self):
+        assert exact_densest_subgraph(Graph(), 2).density == 0.0
+
+
+class TestCoreApproximation:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_theorem4_guarantee(self, seed, h):
+        g = erdos_renyi_graph(11, 0.3, seed=seed)
+        optimal = exact_densest_subgraph(g, h).density
+        approx = densest_core_approximation(g, h).density
+        assert approx >= theorem4_lower_bound(optimal) - 1e-9
+        assert approx <= optimal + 1e-9
+
+    def test_reuses_decomposition(self):
+        g = erdos_renyi_graph(15, 0.2, seed=5)
+        decomposition = core_decomposition(g, 2)
+        direct = densest_core_approximation(g, 2)
+        reused = densest_core_approximation(g, 2, decomposition=decomposition)
+        assert direct.density == pytest.approx(reused.density)
+
+    def test_empty_graph(self):
+        result = densest_core_approximation(Graph(), 2)
+        assert result.density == 0.0
+        assert result.size == 0
+
+    def test_result_metadata(self):
+        result = densest_core_approximation(complete_graph(4), 2)
+        assert result.method == "core-approximation"
+        assert result.size == 4
+
+
+class TestGreedyPeeling:
+    @pytest.mark.parametrize("h", [1, 2])
+    def test_never_worse_than_its_own_subsets_seen(self, h):
+        g = erdos_renyi_graph(14, 0.25, seed=7)
+        result = greedy_peeling_densest(g, h)
+        # The greedy result is a feasible subgraph: density matches recomputation.
+        assert result.density == pytest.approx(average_h_degree(g, result.vertices, h))
+
+    def test_at_least_as_good_as_half_of_optimum_h1(self):
+        # Classic Charikar guarantee for h = 1.
+        g = erdos_renyi_graph(11, 0.3, seed=8)
+        optimal = exact_densest_subgraph(g, 1).density
+        assert greedy_peeling_densest(g, 1).density >= optimal / 2 - 1e-9
+
+    def test_single_vertex_graph(self):
+        g = Graph(vertices=["a"])
+        result = greedy_peeling_densest(g, 2)
+        assert result.density == 0.0
+
+
+class TestTheorem4Bound:
+    def test_monotone(self):
+        assert theorem4_lower_bound(10.0) > theorem4_lower_bound(5.0)
+
+    def test_zero(self):
+        assert theorem4_lower_bound(0.0) == pytest.approx(0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            theorem4_lower_bound(-1.0)

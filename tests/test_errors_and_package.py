@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy and the top-level package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    DatasetNotFoundError,
+    EdgeNotFoundError,
+    ExperimentError,
+    GraphError,
+    GraphFormatError,
+    InvalidDistanceThresholdError,
+    ParameterError,
+    ReproError,
+    SolverTimeoutError,
+    VertexNotFoundError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for error_class in (GraphError, VertexNotFoundError, EdgeNotFoundError,
+                            ParameterError, InvalidDistanceThresholdError,
+                            GraphFormatError, DatasetNotFoundError,
+                            SolverTimeoutError, ExperimentError):
+            assert issubclass(error_class, ReproError)
+
+    def test_lookup_errors_are_also_key_errors(self):
+        assert issubclass(VertexNotFoundError, KeyError)
+        assert issubclass(DatasetNotFoundError, KeyError)
+
+    def test_parameter_errors_are_value_errors(self):
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(InvalidDistanceThresholdError, ValueError)
+
+    def test_messages_carry_context(self):
+        error = VertexNotFoundError(42)
+        assert "42" in str(error)
+        assert error.vertex == 42
+        edge_error = EdgeNotFoundError(1, 2)
+        assert edge_error.edge == (1, 2)
+        h_error = InvalidDistanceThresholdError(0)
+        assert h_error.h == 0
+        dataset_error = DatasetNotFoundError("x", ("a", "b"))
+        assert "a" in str(dataset_error)
+        timeout = SolverTimeoutError(3.5)
+        assert timeout.budget_seconds == 3.5
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_example(self):
+        g = repro.Graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        decomposition = repro.core_decomposition(g, h=2)
+        assert decomposition.degeneracy == 3

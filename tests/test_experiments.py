@@ -1,0 +1,168 @@
+"""Smoke and shape tests for the experiment harness (tiny scale).
+
+These do not compare against the paper's absolute numbers; they check that
+every experiment runs end-to-end, produces the expected row layout, and that
+the qualitative relationships the paper reports hold where they are cheap to
+verify (e.g. lower-bound algorithms never visit more vertices than h-BZ by an
+order of magnitude, LB2 is tighter than LB1, the wrapper solves what the
+standalone solvers solve).
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.experiments import (
+    appendix_cocktail_party,
+    figure3_core_sizes,
+    figure4_core_distribution,
+    figure5_scalability,
+    figure6_core_scatter,
+    figure7_centrality,
+    table1_datasets,
+    table2_characterization,
+    table3_efficiency,
+    table4_bounds,
+    table5_bound_ablation,
+    table6_hclub,
+    table7_landmarks,
+)
+from repro.experiments.runner import EXPERIMENTS, build_parser, run_experiments
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(scale="tiny", seed=0, h_values=(2, 3),
+                            num_landmarks=5, num_query_pairs=25,
+                            hclub_time_budget_seconds=5.0)
+
+
+class TestCharacterizationExperiments:
+    def test_table1_rows(self, tiny_config):
+        config = ExperimentConfig(scale="tiny", datasets=("coli", "rnPA"))
+        rows = table1_datasets.run(config)
+        assert len(rows) == 2
+        assert {"dataset", "|V|", "|E|", "avg deg", "max deg", "diam"} <= set(rows[0])
+
+    def test_table2_rows_and_monotonicity(self, tiny_config):
+        config = ExperimentConfig(scale="tiny", h_values=(1, 2, 3),
+                                  datasets=("caHe", "caAs"))
+        rows = table2_characterization.run(config)
+        assert len(rows) == 2
+        for row in rows:
+            max_indices = [int(row[f"h={h}"].split("/")[0]) for h in (1, 2, 3)]
+            # The maximum core index grows with h (h-degrees only grow).
+            assert max_indices == sorted(max_indices)
+
+    def test_figure3_fractions_monotone_in_k(self, tiny_config):
+        config = ExperimentConfig(scale="tiny", h_values=(2,), datasets=("caAs",))
+        rows = figure3_core_sizes.run(config)
+        for row in rows:
+            series = [row[key] for key in row if str(key).startswith("k/C^=")]
+            assert series == sorted(series, reverse=True)
+            assert series[0] == 1.0
+
+    def test_figure4_bins_sum_to_one(self, tiny_config):
+        config = ExperimentConfig(scale="tiny", h_values=(2,), datasets=("caAs",))
+        rows = figure4_core_distribution.run(config)
+        for row in rows:
+            bins = [row[key] for key in row if str(key).startswith("(")]
+            assert sum(bins) == pytest.approx(1.0, abs=0.02)
+
+
+class TestEfficiencyExperiments:
+    def test_table3_lower_bound_saves_visits(self):
+        config = ExperimentConfig(scale="tiny", h_values=(2,),
+                                  datasets=("caHe", "rnPA"))
+        rows = table3_efficiency.run(config)
+        for row in rows:
+            assert row["h-LB visits"] <= row["h-BZ visits"]
+            assert row["h-BZ time (s)"] >= 0
+
+    def test_table4_lb2_tighter_than_lb1_and_ub_tighter_than_hdegree(self):
+        config = ExperimentConfig(scale="tiny", h_values=(2,), datasets=("caHe",))
+        rows = table4_bounds.run(config)
+        for row in rows:
+            assert row["LB2 err"] <= row["LB1 err"] + 1e-9
+            assert row["UB err"] <= row["h-degree err"] + 1e-9
+
+    def test_table5_columns(self):
+        config = ExperimentConfig(scale="tiny", h_values=(2,), datasets=("rnPA",))
+        rows = table5_bound_ablation.run(config)
+        expected = {"dataset", "h", "no LB (s)", "LB1 (s)", "LB2 (s)",
+                    "h-degree UB (s)", "UB (s)"}
+        assert expected <= set(rows[0])
+
+    def test_figure5_sizes_and_rows(self):
+        config = ExperimentConfig(scale="tiny", h_values=(2,))
+        config.extra["sample_sizes"] = (20, 40)
+        config.extra["samples_per_size"] = 2
+        rows = figure5_scalability.run(config)
+        assert len(rows) == 2
+        assert all(row["mean time (s)"] >= 0 for row in rows)
+
+
+class TestApplicationExperiments:
+    def test_table6_sizes_consistent(self):
+        config = ExperimentConfig(scale="tiny", h_values=(2,),
+                                  datasets=("rnPA", "amzn"),
+                                  hclub_time_budget_seconds=10.0)
+        rows = table6_hclub.run(config)
+        for row in rows:
+            assert "max h-club size" in row
+            # At this scale the solvers should all terminate.
+            assert row["max h-club size"] != "NT"
+
+    def test_table7_strategies_present(self, tiny_config):
+        config = ExperimentConfig(scale="tiny", datasets=("caHe", "doub"),
+                                  num_landmarks=5, num_query_pairs=20)
+        rows = table7_landmarks.run(config)
+        strategies = {row["strategy"] for row in rows}
+        assert "closeness" in strategies
+        assert "max core h=4" in strategies
+        assert any(str(s).startswith("max core index") for s in strategies)
+
+    def test_figure6_correlations_bounded(self):
+        config = ExperimentConfig(scale="tiny", datasets=("caAs",))
+        rows = figure6_core_scatter.run(config)
+        assert len(rows) == 4
+        assert all(-1.0 <= row["pearson"] <= 1.0 for row in rows)
+
+    def test_figure7_spearman_bounded(self):
+        config = ExperimentConfig(scale="tiny", datasets=("caAs",), h_values=(1, 2))
+        rows = figure7_centrality.run(config)
+        assert all(-1.0 <= row["spearman(closeness, core)"] <= 1.0 for row in rows)
+
+    def test_cocktail_party_rows(self):
+        config = ExperimentConfig(scale="tiny", datasets=("caHe",), h_values=(2,))
+        rows = appendix_cocktail_party.run(config)
+        assert all(row["community size"] >= row["|Q|"] for row in rows)
+
+
+class TestRunnerAndFormatting:
+    def test_every_registered_experiment_has_runner_and_title(self):
+        assert len(EXPERIMENTS) == 13
+        for runner, title in EXPERIMENTS.values():
+            assert callable(runner)
+            assert title
+
+    def test_run_experiments_unknown_name(self, tiny_config):
+        with pytest.raises(ExperimentError):
+            run_experiments(["table99"], tiny_config, output=lambda line: None)
+
+    def test_run_experiments_collects_rows(self):
+        config = ExperimentConfig(scale="tiny", datasets=("coli",))
+        printed = []
+        results = run_experiments(["table1"], config, output=printed.append)
+        assert "table1" in results
+        assert printed
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == "small"
+        assert args.experiments == []
+
+    def test_format_table_alignment_and_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "c": "x"}])
+        assert "a" in text and "b" in text and "c" in text

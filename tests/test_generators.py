@@ -1,0 +1,173 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    caveman_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    empty_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    random_tree,
+    relaxed_caveman_graph,
+    road_network_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.traversal.components import is_connected
+
+
+class TestDeterministicGraphs:
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_empty_graph_negative_raises(self):
+        with pytest.raises(ParameterError):
+            empty_graph(-1)
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_cycle_graph(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(ParameterError):
+            cycle_graph(2)
+
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        degrees = sorted(g.degrees().values())
+        assert degrees == [1, 1, 2, 2, 2]
+
+    def test_star_graph(self):
+        g = star_graph(4)
+        assert g.num_vertices == 5
+        assert g.degree(0) == 4
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical edges
+
+    def test_grid_invalid_raises(self):
+        with pytest.raises(ParameterError):
+            grid_graph(0, 4)
+
+    def test_caveman_graph(self):
+        g = caveman_graph(3, 4)
+        assert g.num_vertices == 12
+        assert is_connected(g)
+
+    def test_caveman_invalid_raises(self):
+        with pytest.raises(ParameterError):
+            caveman_graph(1, 1)
+
+
+class TestRandomModels:
+    def test_erdos_renyi_determinism(self):
+        a = erdos_renyi_graph(30, 0.2, seed=11)
+        b = erdos_renyi_graph(30, 0.2, seed=11)
+        assert a == b
+
+    def test_erdos_renyi_different_seeds_differ(self):
+        a = erdos_renyi_graph(30, 0.2, seed=1)
+        b = erdos_renyi_graph(30, 0.2, seed=2)
+        assert a != b
+
+    def test_erdos_renyi_extreme_probabilities(self):
+        assert erdos_renyi_graph(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0, seed=0).num_edges == 45
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_barabasi_albert_sizes(self):
+        g = barabasi_albert_graph(50, 3, seed=4)
+        assert g.num_vertices == 50
+        # Every vertex added after the seed star brings at most m new edges.
+        assert g.num_edges <= 3 + (50 - 4) * 3
+        assert is_connected(g)
+
+    def test_barabasi_albert_invalid_m(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert_graph(5, 5)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz_graph(20, 4, 0.1, seed=2)
+        assert g.num_vertices == 20
+        # Rewiring keeps the edge count of the ring lattice.
+        assert g.num_edges == 20 * 2
+
+    def test_watts_strogatz_invalid_k(self):
+        with pytest.raises(ParameterError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_powerlaw_cluster(self):
+        g = powerlaw_cluster_graph(60, 2, 0.4, seed=9)
+        assert g.num_vertices == 60
+        assert is_connected(g)
+
+    def test_powerlaw_cluster_invalid(self):
+        with pytest.raises(ParameterError):
+            powerlaw_cluster_graph(10, 0, 0.4)
+
+    def test_relaxed_caveman_determinism(self):
+        a = relaxed_caveman_graph(4, 5, 0.2, seed=3)
+        b = relaxed_caveman_graph(4, 5, 0.2, seed=3)
+        assert a == b
+
+    def test_planted_partition(self):
+        g = planted_partition_graph(4, 5, 0.9, 0.01, seed=5)
+        assert g.num_vertices == 20
+
+    def test_planted_partition_invalid(self):
+        with pytest.raises(ParameterError):
+            planted_partition_graph(2, 3, 1.2, 0.1)
+
+    def test_random_tree(self):
+        g = random_tree(25, seed=6)
+        assert g.num_vertices == 25
+        assert g.num_edges == 24
+        assert is_connected(g)
+
+    def test_random_tree_single_vertex(self):
+        g = random_tree(1, seed=0)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_road_network(self):
+        g = road_network_graph(8, 8, seed=1)
+        assert g.num_vertices == 64
+        # Road networks stay sparse: average degree stays below 4.
+        assert 2 * g.num_edges / g.num_vertices < 4.5
+
+    def test_road_network_no_isolated_vertices(self):
+        g = road_network_graph(6, 6, removal_p=0.3, seed=2)
+        assert all(g.degree(v) >= 1 for v in g.vertices())
+
+
+class TestDisjointUnion:
+    def test_union_sizes_and_mappings(self):
+        g1 = complete_graph(3)
+        g2 = path_graph(4)
+        union, mappings = disjoint_union([g1, g2])
+        assert union.num_vertices == 7
+        assert union.num_edges == 3 + 3
+        assert len(mappings) == 2
+        assert set(mappings[1].values()) == {3, 4, 5, 6}

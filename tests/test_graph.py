@@ -1,0 +1,161 @@
+"""Unit tests for the core Graph data structure."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edge_list(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_vertices_and_edges(self):
+        g = Graph(edges=[(1, 2)], vertices=[5, 6])
+        assert g.num_vertices == 4
+        assert g.has_vertex(5)
+        assert g.degree(5) == 0
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_parallel_edges_collapse(self):
+        g = Graph([(1, 2), (1, 2), (2, 1)])
+        assert g.num_edges == 1
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex("a")
+        g.add_vertex("a")
+        assert g.num_vertices == 1
+
+    def test_string_vertices(self):
+        g = Graph([("alice", "bob"), ("bob", "carol")])
+        assert g.degree("bob") == 2
+
+
+class TestMutation:
+    def test_remove_vertex(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        g.remove_vertex(2)
+        assert not g.has_vertex(2)
+        assert g.num_edges == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_missing_vertex_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(VertexNotFoundError):
+            g.remove_vertex(99)
+
+    def test_remove_vertices_from(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        g.remove_vertices_from([1, 4])
+        assert set(g.vertices()) == {2, 3}
+        assert g.num_edges == 1
+
+    def test_remove_edge(self):
+        g = Graph([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_vertex(1)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 3)
+
+    def test_add_edges_from(self):
+        g = Graph()
+        g.add_edges_from([(1, 2), (3, 4)])
+        assert g.num_edges == 2
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        assert g.neighbors(1) == {2, 3}
+
+    def test_neighbors_missing_vertex(self):
+        g = Graph()
+        with pytest.raises(VertexNotFoundError):
+            g.neighbors(42)
+
+    def test_degree_and_degrees(self):
+        g = Graph([(1, 2), (1, 3)])
+        assert g.degree(1) == 2
+        assert g.degrees() == {1: 2, 2: 1, 3: 1}
+
+    def test_contains_and_len_and_iter(self):
+        g = Graph([(1, 2)])
+        assert 1 in g
+        assert 9 not in g
+        assert len(g) == 2
+        assert set(iter(g)) == {1, 2}
+
+    def test_edges_iterated_once(self):
+        g = Graph([(1, 2), (2, 3), (3, 1)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(e) for e in edges}
+        assert normalized == {frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})}
+
+    def test_has_edge_symmetric(self):
+        g = Graph([(1, 2)])
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(1, 99)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph([(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert g.num_vertices == 2
+        assert clone.num_vertices == 3
+
+    def test_copy_equality(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.copy() == g
+
+    def test_subgraph_induces_edges(self):
+        g = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = g.subgraph([1, 2, 3])
+        assert set(sub.vertices()) == {1, 2, 3}
+        assert sub.num_edges == 2
+
+    def test_subgraph_ignores_unknown_vertices(self):
+        g = Graph([(1, 2)])
+        sub = g.subgraph([1, 2, 99])
+        assert set(sub.vertices()) == {1, 2}
+
+    def test_relabeled(self):
+        g = Graph([("x", "y"), ("y", "z")])
+        relabeled, mapping = g.relabeled()
+        assert set(relabeled.vertices()) == {0, 1, 2}
+        assert relabeled.num_edges == 2
+        assert set(mapping) == {"x", "y", "z"}
+
+    def test_to_adjacency_lists(self):
+        g = Graph([(1, 2), (1, 3)])
+        adjacency = g.to_adjacency_lists()
+        assert adjacency[1] == [2, 3]
+        assert adjacency[2] == [1]
+
+    def test_repr_mentions_sizes(self):
+        g = Graph([(1, 2)])
+        assert "2" in repr(g) and "1" in repr(g)
+
+    def test_equality_with_non_graph(self):
+        assert Graph() != 42

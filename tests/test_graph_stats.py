@@ -1,0 +1,82 @@
+"""Tests for graph statistics (Table 1 machinery)."""
+
+import pytest
+
+from repro.graph import Graph
+from repro.graph.generators import complete_graph, grid_graph, path_graph, star_graph
+from repro.graph.stats import (
+    GraphSummary,
+    average_degree,
+    degree_histogram,
+    density,
+    isolated_vertices,
+    max_degree,
+    summarize,
+    summarize_many,
+)
+
+
+class TestScalarStats:
+    def test_density_complete(self):
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_density_empty_and_tiny(self):
+        assert density(Graph()) == 0.0
+        assert density(Graph(vertices=[1])) == 0.0
+
+    def test_average_degree(self):
+        assert average_degree(path_graph(4)) == pytest.approx(1.5)
+        assert average_degree(Graph()) == 0.0
+
+    def test_max_degree(self):
+        assert max_degree(star_graph(6)) == 6
+        assert max_degree(Graph()) == 0
+
+    def test_degree_histogram(self):
+        hist = degree_histogram(star_graph(4))
+        assert hist[1] == 4  # four leaves
+        assert hist[4] == 1  # one center
+        assert degree_histogram(Graph()) == []
+
+    def test_isolated_vertices(self):
+        g = path_graph(3)
+        g.add_vertex(7)
+        assert isolated_vertices(g) == [7]
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize(grid_graph(3, 3), name="grid")
+        assert isinstance(summary, GraphSummary)
+        assert summary.name == "grid"
+        assert summary.num_vertices == 9
+        assert summary.num_edges == 12
+        assert summary.diameter == 4
+        assert summary.num_components == 1
+
+    def test_summary_as_row(self):
+        row = summarize(path_graph(4), name="p4").as_row()
+        assert row["dataset"] == "p4"
+        assert row["|V|"] == 4
+        assert row["diam"] == 3
+
+    def test_disconnected_reports_largest_component_diameter(self):
+        g = Graph([(0, 1), (1, 2), (2, 3), (10, 11)])
+        summary = summarize(g, name="two-parts")
+        assert summary.num_components == 2
+        assert summary.diameter == 3
+
+    def test_empty_graph(self):
+        summary = summarize(Graph(), name="empty")
+        assert summary.num_vertices == 0
+        assert summary.diameter == 0
+
+    def test_large_graph_uses_estimate(self):
+        # Force the estimation path with a small limit; on a path the double
+        # sweep estimate is exact, so the value is still right.
+        summary = summarize(path_graph(50), name="p50", exact_diameter_limit=10)
+        assert summary.diameter == 49
+
+    def test_summarize_many(self):
+        rows = summarize_many({"a": path_graph(3), "b": complete_graph(3)})
+        assert [s.name for s in rows] == ["a", "b"]

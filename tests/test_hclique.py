@@ -1,0 +1,102 @@
+"""Tests for h-cliques (Definition 4) and the maximum h-clique search."""
+
+import itertools
+
+import pytest
+
+from repro.applications.hclique import greedy_h_clique, is_h_clique, maximum_h_clique
+from repro.errors import InvalidDistanceThresholdError
+from repro.graph import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.traversal.distances import all_pairs_distances
+
+
+def brute_force_max_h_clique(graph, h):
+    """Oracle: largest subset pairwise within distance h in the full graph."""
+    distances = all_pairs_distances(graph)
+    vertices = sorted(graph.vertices(), key=repr)
+    best = set()
+    for size in range(len(vertices), 0, -1):
+        if size <= len(best):
+            break
+        for subset in itertools.combinations(vertices, size):
+            ok = all(
+                v in distances[u] and distances[u][v] <= h
+                for u, v in itertools.combinations(subset, 2)
+            )
+            if ok:
+                return set(subset)
+    return best
+
+
+class TestIsHClique:
+    def test_star_leaves_form_2_clique(self):
+        g = star_graph(5)
+        assert is_h_clique(g, set(range(1, 6)), 2)
+        assert not is_h_clique(g, set(range(1, 6)), 1)
+
+    def test_clique_may_use_outside_vertices(self):
+        # 1 and 3 are within distance 2 only through 2, which is outside the set.
+        g = path_graph(5)
+        assert is_h_clique(g, {1, 3}, 2)
+
+    def test_missing_vertex(self):
+        assert not is_h_clique(path_graph(3), {0, 99}, 2)
+
+    def test_empty_and_singleton(self):
+        g = path_graph(3)
+        assert is_h_clique(g, set(), 2)
+        assert is_h_clique(g, {1}, 2)
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidDistanceThresholdError):
+            is_h_clique(path_graph(3), {0, 1}, 0)
+
+
+class TestGreedyHClique:
+    def test_returns_valid_clique(self):
+        g = erdos_renyi_graph(18, 0.2, seed=1)
+        clique = greedy_h_clique(g, 2)
+        assert is_h_clique(g, clique, 2)
+        assert clique
+
+    def test_empty_graph(self):
+        assert greedy_h_clique(Graph(), 2) == set()
+
+    def test_seed_vertex_respected(self):
+        g = path_graph(6)
+        clique = greedy_h_clique(g, 2, seed_vertex=0)
+        assert 0 in clique
+
+
+class TestMaximumHClique:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_matches_brute_force(self, seed, h):
+        g = erdos_renyi_graph(11, 0.25, seed=seed)
+        expected = len(brute_force_max_h_clique(g, h))
+        found = maximum_h_clique(g, h)
+        assert is_h_clique(g, found, h)
+        assert len(found) == expected
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert len(maximum_h_clique(g, 2)) == 6
+
+    def test_cycle_h2(self):
+        assert len(maximum_h_clique(cycle_graph(8), 2)) == 3
+
+    def test_empty_graph(self):
+        assert maximum_h_clique(Graph(), 2) == set()
+
+    def test_candidate_restriction(self):
+        g = star_graph(5)
+        found = maximum_h_clique(g, 2, candidate_vertices={1, 2, 3})
+        assert found <= {1, 2, 3}
+        assert len(found) == 3

@@ -1,0 +1,176 @@
+"""Tests for h-clubs, the exact solvers, and the Algorithm 7 core wrapper."""
+
+import itertools
+
+import pytest
+
+from repro.applications.hclub import (
+    DBCSolver,
+    HClubResult,
+    ITDBCSolver,
+    drop_heuristic_h_club,
+    is_h_club,
+    maximum_h_club,
+    maximum_h_club_with_core,
+)
+from repro.core import core_decomposition
+from repro.errors import InvalidDistanceThresholdError, ParameterError
+from repro.graph import Graph
+from repro.graph.generators import (
+    caveman_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.traversal.distances import induced_diameter_at_most
+
+
+def brute_force_max_h_club(graph, h):
+    """Oracle: largest subset whose induced subgraph has diameter <= h."""
+    vertices = sorted(graph.vertices(), key=repr)
+    best = set()
+    for size in range(len(vertices), 0, -1):
+        if size <= len(best):
+            break
+        for subset in itertools.combinations(vertices, size):
+            if induced_diameter_at_most(graph, set(subset), h):
+                return set(subset)
+    return best
+
+
+class TestIsHClub:
+    def test_star_is_2_club_but_leaves_alone_are_not(self):
+        g = star_graph(4)
+        assert is_h_club(g, set(g.vertices()), 2)
+        # Without the hub the leaves are disconnected.
+        assert not is_h_club(g, {1, 2, 3}, 2)
+
+    def test_clubs_are_not_closed_under_inclusion(self):
+        # The classic pathology: a subset of an h-club need not be an h-club.
+        g = star_graph(3)
+        assert is_h_club(g, {0, 1, 2, 3}, 2)
+        assert not is_h_club(g, {1, 2, 3}, 2)
+
+    def test_singleton_and_empty(self):
+        g = path_graph(3)
+        assert is_h_club(g, set(), 2)
+        assert is_h_club(g, {0}, 2)
+
+    def test_vertices_outside_graph(self):
+        assert not is_h_club(path_graph(3), {0, 42}, 2)
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidDistanceThresholdError):
+            is_h_club(path_graph(3), {0, 1}, 0)
+
+
+class TestDropHeuristic:
+    def test_returns_valid_club(self):
+        g = erdos_renyi_graph(20, 0.15, seed=3)
+        club = drop_heuristic_h_club(g, 2)
+        assert is_h_club(g, club, 2)
+
+    def test_whole_graph_returned_when_already_a_club(self):
+        g = complete_graph(5)
+        assert drop_heuristic_h_club(g, 2) == set(g.vertices())
+
+    def test_candidate_restriction(self):
+        g = cycle_graph(8)
+        club = drop_heuristic_h_club(g, 2, candidate={0, 1, 2, 3})
+        assert club <= {0, 1, 2, 3}
+        assert is_h_club(g, club, 2)
+
+
+class TestExactSolvers:
+    @pytest.mark.parametrize("solver_class", [DBCSolver, ITDBCSolver])
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_matches_brute_force(self, solver_class, seed, h):
+        g = erdos_renyi_graph(11, 0.22, seed=seed)
+        expected = len(brute_force_max_h_club(g, h))
+        result = solver_class().solve(g, h)
+        assert result.optimal
+        assert result.size == expected
+        assert is_h_club(g, result.vertices, h)
+
+    @pytest.mark.parametrize("solver_class", [DBCSolver, ITDBCSolver])
+    def test_structured_graphs(self, solver_class):
+        cases = [
+            (complete_graph(6), 2, 6),
+            (star_graph(5), 2, 6),
+            (cycle_graph(7), 2, 3),
+            (path_graph(6), 3, 4),
+        ]
+        for graph, h, expected in cases:
+            result = solver_class().solve(graph, h)
+            assert result.size == expected
+
+    def test_time_budget_reports_not_optimal(self):
+        g = erdos_renyi_graph(60, 0.15, seed=1)
+        result = DBCSolver(time_budget_seconds=0.0).solve(g, 2)
+        assert not result.optimal
+        # Whatever was found must still be a feasible club.
+        assert is_h_club(g, result.vertices, 2)
+
+    def test_candidate_and_initial_best(self):
+        g = caveman_graph(3, 5)
+        candidate = set(range(5))  # one clique
+        result = DBCSolver().solve(g, 2, candidate=candidate,
+                                   initial_best={0, 1})
+        assert result.vertices <= candidate | {0, 1}
+        assert result.size >= 5
+
+    def test_maximum_h_club_dispatch(self):
+        g = cycle_graph(6)
+        assert maximum_h_club(g, 2, method="dbc").size == 3
+        assert maximum_h_club(g, 2, method="itdbc").size == 3
+        with pytest.raises(ParameterError):
+            maximum_h_club(g, 2, method="gurobi")
+
+    def test_result_dataclass(self):
+        result = HClubResult(vertices={1, 2}, solver="DBC")
+        assert result.size == 2
+
+
+class TestAlgorithm7Wrapper:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_wrapper_is_exact(self, seed, h):
+        g = erdos_renyi_graph(12, 0.2, seed=seed)
+        expected = len(brute_force_max_h_club(g, h))
+        result = maximum_h_club_with_core(g, h)
+        assert result.optimal
+        assert result.size == expected
+        assert is_h_club(g, result.vertices, h)
+
+    @pytest.mark.parametrize("solver_class", [DBCSolver, ITDBCSolver])
+    def test_wrapper_with_either_solver(self, solver_class, small_community_graph):
+        standalone = solver_class().solve(small_community_graph, 2)
+        wrapped = maximum_h_club_with_core(small_community_graph, 2,
+                                           solver=solver_class())
+        assert wrapped.size == standalone.size
+        assert wrapped.solver.startswith("Alg7+")
+
+    def test_wrapper_reuses_decomposition(self, small_community_graph):
+        decomposition = core_decomposition(small_community_graph, 2)
+        result = maximum_h_club_with_core(small_community_graph, 2,
+                                          decomposition=decomposition)
+        assert result.optimal
+
+    def test_theorem3_core_containment(self, small_community_graph):
+        h = 2
+        result = maximum_h_club_with_core(small_community_graph, h)
+        decomposition = core_decomposition(small_community_graph, h)
+        k = result.size - 1
+        assert result.vertices <= decomposition.core(k)
+
+    def test_wrapper_on_disconnected_graph(self, disconnected_graph):
+        result = maximum_h_club_with_core(disconnected_graph, 2)
+        assert result.size == 3  # one of the triangles / paths
+
+    def test_wrapper_timeout_propagates(self):
+        g = erdos_renyi_graph(60, 0.15, seed=2)
+        result = maximum_h_club_with_core(g, 2, solver=DBCSolver(time_budget_seconds=0.0))
+        assert not result.optimal

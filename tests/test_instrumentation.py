@@ -1,0 +1,103 @@
+"""Tests for the instrumentation (counters, timers, reports)."""
+
+import time
+
+from repro.instrumentation import Counters, NULL_COUNTERS, RunReport, Timer, timed
+
+
+class TestCounters:
+    def test_record_and_snapshot(self):
+        counters = Counters()
+        counters.record_hdegree(12)
+        counters.record_bfs(5)
+        counters.record_decrement()
+        counters.record_bucket_move()
+        counters.count_hdegree()
+        counters.bump("partitions", 3)
+        snapshot = counters.as_dict()
+        assert snapshot["vertices_visited"] == 17
+        assert snapshot["hdegree_computations"] == 2
+        assert snapshot["hdegree_decrements"] == 1
+        assert snapshot["bucket_moves"] == 1
+        assert snapshot["bfs_calls"] == 2
+        assert snapshot["partitions"] == 3
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.record_bfs(3)
+        b.record_bfs(4)
+        b.bump("x")
+        a.merge(b)
+        assert a.vertices_visited == 7
+        assert a.extra["x"] == 1
+
+    def test_reset(self):
+        counters = Counters()
+        counters.record_bfs(10)
+        counters.bump("y")
+        counters.reset()
+        assert counters.vertices_visited == 0
+        assert counters.extra == {}
+
+    def test_null_counters_ignore_everything(self):
+        NULL_COUNTERS.record_bfs(100)
+        NULL_COUNTERS.record_hdegree(100)
+        NULL_COUNTERS.count_hdegree()
+        NULL_COUNTERS.record_decrement()
+        NULL_COUNTERS.record_bucket_move()
+        NULL_COUNTERS.bump("ignored")
+        assert NULL_COUNTERS.vertices_visited == 0
+        assert NULL_COUNTERS.extra == {}
+
+
+class TestTimer:
+    def test_context_manager(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_accumulates_across_intervals(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            pass
+        assert timer.elapsed >= first
+
+    def test_stop_without_start_raises(self):
+        try:
+            Timer().stop()
+        except RuntimeError:
+            return
+        raise AssertionError("expected RuntimeError")
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_timed_callback(self):
+        durations = []
+        with timed(durations.append):
+            pass
+        assert len(durations) == 1
+        assert durations[0] >= 0.0
+
+
+class TestRunReport:
+    def test_visits_property_and_row(self):
+        counters = Counters()
+        counters.record_bfs(42)
+        report = RunReport(algorithm="h-LB", dataset="toy", h=2,
+                           seconds=1.5, counters=counters,
+                           params={"partition_size": 1})
+        assert report.visits == 42
+        row = report.as_row()
+        assert row["algorithm"] == "h-LB"
+        assert row["visits"] == 42
+        assert row["param_partition_size"] == 1
+        assert "h-LB" in str(report)

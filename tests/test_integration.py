@@ -1,0 +1,96 @@
+"""End-to-end integration tests: dataset -> decomposition -> every application.
+
+These tests exercise the whole public API on one realistic synthetic dataset,
+checking the cross-component consistency properties the paper relies on
+(Theorems 1, 3 and 4 all on the same decomposition, the landmark oracle built
+from the innermost core, and the CLI-facing report object).
+"""
+
+import pytest
+
+from repro.applications.coloring import (
+    chromatic_number_upper_bound,
+    distance_h_greedy_coloring,
+    is_valid_distance_h_coloring,
+)
+from repro.applications.community import cocktail_party
+from repro.applications.densest import average_h_degree, densest_core_approximation
+from repro.applications.hclub import ITDBCSolver, is_h_club, maximum_h_club_with_core
+from repro.applications.hclique import is_h_clique, maximum_h_clique
+from repro.applications.landmarks import LandmarkOracle, select_landmarks
+from repro.core import core_decomposition, core_decomposition_with_report, core_spectrum
+from repro.datasets import load_dataset
+from repro.traversal.components import largest_component
+from repro.traversal.hneighborhood import all_h_degrees
+
+H = 2
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("caHe", scale="tiny", seed=1)
+
+
+@pytest.fixture(scope="module")
+def decomposition(dataset):
+    return core_decomposition(dataset, H)
+
+
+class TestEndToEnd:
+    def test_every_core_satisfies_its_degree_requirement(self, dataset, decomposition):
+        for k in range(1, decomposition.degeneracy + 1):
+            members = decomposition.core(k)
+            if not members:
+                continue
+            degrees = all_h_degrees(dataset, H, alive=members, vertices=members)
+            assert min(degrees.values()) >= k
+
+    def test_coloring_respects_theorem1_bound_here(self, dataset, decomposition):
+        colors = distance_h_greedy_coloring(dataset, H)
+        assert is_valid_distance_h_coloring(dataset, H, colors)
+        assert chromatic_number_upper_bound(dataset, H) == 1 + decomposition.degeneracy
+
+    def test_max_hclub_inside_core_and_bounded_by_clique(self, dataset, decomposition):
+        club = maximum_h_club_with_core(dataset, H, solver=ITDBCSolver(),
+                                        decomposition=decomposition)
+        assert club.optimal
+        assert is_h_club(dataset, club.vertices, H)
+        # Theorem 3: the club sits inside the (size-1, h)-core.
+        assert club.vertices <= decomposition.core(club.size - 1)
+        # Theorem 2 chain: the maximum h-club is no larger than the maximum
+        # h-clique, which is no larger than 1 + degeneracy.
+        clique = maximum_h_clique(dataset, H)
+        assert is_h_clique(dataset, clique, H)
+        assert club.size <= len(clique) <= 1 + decomposition.degeneracy
+
+    def test_densest_core_is_at_least_as_dense_as_innermost(self, dataset, decomposition):
+        result = densest_core_approximation(dataset, H, decomposition=decomposition)
+        innermost_density = average_h_degree(dataset, decomposition.innermost_core(), H)
+        assert result.density >= innermost_density - 1e-9
+        assert result.vertices
+
+    def test_community_of_innermost_vertex_is_its_core_component(self, dataset, decomposition):
+        vertex = next(iter(decomposition.innermost_core()))
+        community = cocktail_party(dataset, [vertex], H, decomposition=decomposition)
+        assert community.k == decomposition.degeneracy
+        assert vertex in community.vertices
+
+    def test_landmark_oracle_from_innermost_core(self, dataset, decomposition):
+        landmarks = select_landmarks(dataset, 4, strategy="max-core", h=H, seed=0,
+                                     decomposition=decomposition)
+        oracle = LandmarkOracle(dataset, landmarks)
+        component = sorted(largest_component(dataset), key=repr)
+        s, t = component[0], component[-1]
+        lower, upper = oracle.bounds(s, t)
+        assert lower is not None and upper is not None and lower <= upper
+
+    def test_spectrum_is_consistent_with_single_h_runs(self, dataset, decomposition):
+        spectrum = core_spectrum(dataset, (1, H))
+        assert spectrum.decompositions[H].core_index == decomposition.core_index
+
+    def test_report_wrapper_consistency(self, dataset, decomposition):
+        report = core_decomposition_with_report(dataset, H, algorithm="h-LB+UB",
+                                                dataset_name="caHe-tiny")
+        assert report.result.core_index == decomposition.core_index
+        assert report.visits > 0
+        assert report.as_row()["dataset"] == "caHe-tiny"

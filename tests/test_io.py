@@ -1,0 +1,100 @@
+"""Unit tests for graph I/O (edge lists and adjacency lists)."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    Graph,
+    read_adjacency_list,
+    read_edge_list,
+    write_adjacency_list,
+    write_edge_list,
+)
+from repro.graph.io import edges_from_pairs
+
+
+class TestEdgeList:
+    def test_round_trip_via_file(self, tmp_path):
+        g = Graph([(1, 2), (2, 3), (3, 1)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded == g
+
+    def test_round_trip_via_stream(self):
+        g = Graph([(0, 1), (1, 2)])
+        buffer = io.StringIO()
+        write_edge_list(g, buffer)
+        buffer.seek(0)
+        assert read_edge_list(buffer) == g
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# a comment\n% another\n\n1 2\n2 3\n"
+        assert read_edge_list(io.StringIO(text)).num_edges == 2
+
+    def test_self_loops_dropped_but_vertex_kept(self):
+        graph = read_edge_list(io.StringIO("1 1\n1 2\n"))
+        assert graph.num_edges == 1
+        assert graph.has_vertex(1)
+
+    def test_string_vertices_preserved(self):
+        graph = read_edge_list(io.StringIO("alice bob\n"))
+        assert graph.has_edge("alice", "bob")
+
+    def test_integer_vertices_parsed(self):
+        graph = read_edge_list(io.StringIO("10 20\n"))
+        assert graph.has_edge(10, 20)
+
+    def test_single_token_line_is_isolated_vertex(self):
+        graph = read_edge_list(io.StringIO("1 2\n7\n"))
+        assert graph.has_vertex(7)
+        assert graph.degree(7) == 0
+
+    def test_extra_columns_ignored(self):
+        graph = read_edge_list(io.StringIO("1 2 0.5 extra\n"))
+        assert graph.has_edge(1, 2)
+
+    def test_isolated_vertices_round_trip(self, tmp_path):
+        g = Graph([(1, 2)])
+        g.add_vertex(7)
+        path = tmp_path / "iso.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.has_vertex(7)
+        assert loaded.degree(7) == 0
+
+    def test_header_optional(self):
+        g = Graph([(1, 2)])
+        buffer = io.StringIO()
+        write_edge_list(g, buffer, header=False)
+        assert not buffer.getvalue().startswith("#")
+
+
+class TestAdjacencyList:
+    def test_round_trip(self, tmp_path):
+        g = Graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        path = tmp_path / "adj.txt"
+        write_adjacency_list(g, path)
+        assert read_adjacency_list(path) == g
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_adjacency_list(io.StringIO("1 2 3\n"))
+
+    def test_vertex_with_no_neighbors(self):
+        graph = read_adjacency_list(io.StringIO("1: 2\n3:\n"))
+        assert graph.has_vertex(3)
+        assert graph.degree(3) == 0
+
+
+class TestEdgesFromPairs:
+    def test_builds_graph(self):
+        graph = edges_from_pairs([(1, 2), (2, 3)])
+        assert graph.num_edges == 2
+
+    def test_self_loop_keeps_vertex(self):
+        graph = edges_from_pairs([(5, 5)])
+        assert graph.has_vertex(5)
+        assert graph.num_edges == 0

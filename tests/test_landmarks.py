@@ -1,0 +1,128 @@
+"""Tests for landmark selection and the landmark distance oracle (§6.6)."""
+
+import pytest
+
+from repro.applications.landmarks import (
+    LANDMARK_STRATEGIES,
+    LandmarkOracle,
+    evaluate_landmarks,
+    select_landmarks,
+)
+from repro.core import core_decomposition
+from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph import Graph
+from repro.graph.generators import barabasi_albert_graph, cycle_graph, path_graph, star_graph
+from repro.traversal.bfs import bfs_distances
+
+
+@pytest.fixture
+def social_graph():
+    return barabasi_albert_graph(80, 3, seed=5)
+
+
+class TestSelectLandmarks:
+    @pytest.mark.parametrize("strategy", LANDMARK_STRATEGIES)
+    def test_every_strategy_returns_requested_count(self, strategy, social_graph):
+        landmarks = select_landmarks(social_graph, 5, strategy=strategy, h=2, seed=1)
+        assert len(landmarks) == 5
+        assert len(set(landmarks)) == 5
+        assert all(v in social_graph for v in landmarks)
+
+    def test_max_core_landmarks_come_from_deep_cores(self, social_graph):
+        decomposition = core_decomposition(social_graph, 2)
+        landmarks = select_landmarks(social_graph, 3, strategy="max-core", h=2,
+                                     seed=2, decomposition=decomposition)
+        innermost = decomposition.innermost_core()
+        if len(innermost) >= 3:
+            assert set(landmarks) <= innermost
+
+    def test_max_core_falls_back_to_lower_cores(self):
+        # The innermost core of a path is tiny, so lower cores must be used.
+        landmarks = select_landmarks(path_graph(10), 6, strategy="max-core", h=2, seed=0)
+        assert len(landmarks) == 6
+
+    def test_count_clamped_to_graph_size(self):
+        landmarks = select_landmarks(cycle_graph(4), 10, strategy="random", seed=0)
+        assert len(landmarks) == 4
+
+    def test_degree_strategy_picks_hub(self):
+        landmarks = select_landmarks(star_graph(6), 1, strategy="degree")
+        assert landmarks == [0]
+
+    def test_h_degree_strategy_uses_h(self, social_graph):
+        by_h3 = select_landmarks(social_graph, 5, strategy="h-degree", h=3, seed=0)
+        assert len(by_h3) == 5
+
+    def test_deterministic_given_seed(self, social_graph):
+        a = select_landmarks(social_graph, 4, strategy="max-core", h=2, seed=7)
+        b = select_landmarks(social_graph, 4, strategy="max-core", h=2, seed=7)
+        assert a == b
+
+    def test_invalid_parameters(self, social_graph):
+        with pytest.raises(ParameterError):
+            select_landmarks(social_graph, 0, strategy="random")
+        with pytest.raises(ParameterError):
+            select_landmarks(social_graph, 3, strategy="page-rank")
+
+
+class TestLandmarkOracle:
+    def test_bounds_sandwich_true_distance(self, social_graph):
+        landmarks = select_landmarks(social_graph, 6, strategy="closeness")
+        oracle = LandmarkOracle(social_graph, landmarks)
+        vertices = sorted(social_graph.vertices(), key=repr)[:10]
+        for s in vertices:
+            distances = bfs_distances(social_graph, s)
+            for t in vertices:
+                if s == t or t not in distances:
+                    continue
+                lower, upper = oracle.bounds(s, t)
+                assert lower is not None and upper is not None
+                assert lower <= distances[t] <= upper
+
+    def test_same_vertex_distance_zero(self, social_graph):
+        oracle = LandmarkOracle(social_graph, [next(iter(social_graph.vertices()))])
+        vertex = next(iter(social_graph.vertices()))
+        assert oracle.bounds(vertex, vertex) == (0, 0)
+        assert oracle.estimate(vertex, vertex) == 0.0
+
+    def test_upper_bound_exact_when_landmark_on_shortest_path(self):
+        g = path_graph(5)
+        oracle = LandmarkOracle(g, [2])
+        lower, upper = oracle.bounds(0, 4)
+        assert upper == 4  # the landmark lies on the 0-4 shortest path
+        assert lower <= 4
+        assert oracle.estimate(0, 4) == pytest.approx((lower + upper) / 2)
+
+    def test_unreachable_pair_returns_none(self):
+        g = Graph([(0, 1), (2, 3)])
+        oracle = LandmarkOracle(g, [0])
+        assert oracle.estimate(0, 3) is None
+
+    def test_requires_landmarks_in_graph(self):
+        with pytest.raises(VertexNotFoundError):
+            LandmarkOracle(path_graph(3), [99])
+        with pytest.raises(ParameterError):
+            LandmarkOracle(path_graph(3), [])
+
+
+class TestEvaluateLandmarks:
+    def test_error_metric_in_range(self, social_graph):
+        landmarks = select_landmarks(social_graph, 5, strategy="max-core", h=2, seed=3)
+        evaluation = evaluate_landmarks(social_graph, landmarks, num_pairs=40,
+                                        seed=4, strategy="max-core", h=2)
+        assert evaluation.num_pairs > 0
+        assert 0.0 <= evaluation.mean_relative_error < 1.0
+        assert len(evaluation.errors) == evaluation.num_pairs
+
+    def test_hub_landmark_on_star_has_bounded_error(self):
+        # The hub lies on every shortest path, so its upper bound is always
+        # exact and the midpoint error is at most 0.5 on every query.
+        g = star_graph(8)
+        hub = evaluate_landmarks(g, [0], num_pairs=30, seed=1)
+        assert hub.mean_relative_error <= 0.5 + 1e-9
+        assert all(error <= 0.5 + 1e-9 for error in hub.errors)
+
+    def test_tiny_graph_handled(self):
+        g = Graph(vertices=["only"])
+        evaluation = evaluate_landmarks(g, ["only"], num_pairs=5, seed=0)
+        assert evaluation.num_pairs == 0

@@ -1,0 +1,68 @@
+"""Tests for the naive reference implementations (and their mutual agreement)."""
+
+import pytest
+
+from repro.core import (
+    naive_core_decomposition,
+    naive_core_index_by_membership,
+    naive_kh_core,
+)
+from repro.errors import InvalidDistanceThresholdError
+from repro.graph import Graph
+from repro.graph.generators import complete_graph, cycle_graph, erdos_renyi_graph, path_graph, star_graph
+
+
+class TestNaiveKHCore:
+    def test_complete_graph_all_in_core(self):
+        g = complete_graph(5)
+        assert naive_kh_core(g, 4, 1) == set(g.vertices())
+        assert naive_kh_core(g, 5, 1) == set()
+
+    def test_star_h2_core(self):
+        # In a star all leaves are within distance 2 of each other.
+        g = star_graph(5)
+        assert naive_kh_core(g, 5, 2) == set(g.vertices())
+        assert naive_kh_core(g, 6, 2) == set()
+
+    def test_path_h2(self):
+        g = path_graph(5)
+        # Interior vertices see at most 4 others within distance 2.
+        assert naive_kh_core(g, 3, 2) == set()
+        assert naive_kh_core(g, 2, 2) == {0, 1, 2, 3, 4}
+
+    def test_zero_core_is_everything(self):
+        g = erdos_renyi_graph(12, 0.2, seed=0)
+        assert naive_kh_core(g, 0, 3) == set(g.vertices())
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidDistanceThresholdError):
+            naive_kh_core(cycle_graph(4), 1, 0)
+
+
+class TestNaiveDecomposition:
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_agrees_with_membership_oracle(self, h):
+        g = erdos_renyi_graph(16, 0.18, seed=3)
+        peeling = naive_core_decomposition(g, h).core_index
+        membership = naive_core_index_by_membership(g, h)
+        assert peeling == membership
+
+    def test_core_index_matches_kh_core_membership(self):
+        g = erdos_renyi_graph(14, 0.2, seed=5)
+        h = 2
+        decomposition = naive_core_decomposition(g, h)
+        for k in range(0, decomposition.degeneracy + 1):
+            assert decomposition.core(k) == naive_kh_core(g, k, h)
+
+    def test_empty_graph(self):
+        result = naive_core_decomposition(Graph(), 2)
+        assert result.core_index == {}
+
+    def test_isolated_vertices_core_zero(self):
+        g = Graph(vertices=[1, 2, 3])
+        result = naive_core_decomposition(g, 2)
+        assert all(c == 0 for c in result.core_index.values())
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidDistanceThresholdError):
+            naive_core_decomposition(cycle_graph(4), True)  # bool is not a valid h

@@ -1,0 +1,54 @@
+"""Tests for the multi-threaded h-degree computation (§4.6)."""
+
+import pytest
+
+from repro.core.parallel import compute_h_degrees, _chunks
+from repro.graph.generators import cycle_graph, erdos_renyi_graph
+from repro.instrumentation import Counters
+from repro.traversal.hneighborhood import all_h_degrees
+
+
+class TestChunks:
+    def test_single_chunk(self):
+        assert _chunks([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_split_roughly_even(self):
+        chunks = _chunks(list(range(10)), 3)
+        assert sum(len(c) for c in chunks) == 10
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 4
+
+    def test_more_chunks_than_items(self):
+        chunks = _chunks([1, 2], 8)
+        assert sum(len(c) for c in chunks) == 2
+
+
+class TestComputeHDegrees:
+    @pytest.mark.parametrize("num_threads", [1, 2, 4])
+    def test_matches_sequential_reference(self, num_threads):
+        graph = erdos_renyi_graph(30, 0.15, seed=1)
+        expected = all_h_degrees(graph, 2)
+        assert compute_h_degrees(graph, 2, num_threads=num_threads) == expected
+
+    def test_alive_restriction(self):
+        graph = cycle_graph(10)
+        alive = {0, 1, 2, 3, 4}
+        expected = all_h_degrees(graph, 2, alive=alive)
+        assert compute_h_degrees(graph, 2, alive=alive, num_threads=3) == expected
+
+    def test_explicit_vertex_subset(self):
+        graph = cycle_graph(8)
+        result = compute_h_degrees(graph, 2, vertices=[0, 4], num_threads=2)
+        assert set(result) == {0, 4}
+
+    def test_counters_merged_across_threads(self):
+        graph = erdos_renyi_graph(25, 0.2, seed=2)
+        sequential_counters = Counters()
+        compute_h_degrees(graph, 2, num_threads=1, counters=sequential_counters)
+        threaded_counters = Counters()
+        compute_h_degrees(graph, 2, num_threads=4, counters=threaded_counters)
+        assert threaded_counters.vertices_visited == sequential_counters.vertices_visited
+        assert threaded_counters.hdegree_computations == sequential_counters.hdegree_computations
+
+    def test_empty_vertex_list(self):
+        graph = cycle_graph(5)
+        assert compute_h_degrees(graph, 2, vertices=[], num_threads=2) == {}

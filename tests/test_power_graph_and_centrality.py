@@ -1,0 +1,99 @@
+"""Tests for the h-power graph and the centrality measures (vs networkx)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidDistanceThresholdError
+from repro.graph.generators import cycle_graph, erdos_renyi_graph, path_graph, star_graph
+from repro.traversal import betweenness_centrality, closeness_centrality, power_graph
+from repro.traversal.centrality import top_k_by_centrality
+
+from conftest import to_networkx
+
+
+class TestPowerGraph:
+    def test_matches_networkx_power(self):
+        g = erdos_renyi_graph(25, 0.12, seed=4)
+        nx_g = to_networkx(g)
+        for h in (2, 3):
+            expected = nx.power(nx_g, h)
+            ours = power_graph(g, h)
+            assert {frozenset(e) for e in ours.edges()} == {
+                frozenset(e) for e in expected.edges()
+            }
+
+    def test_power_of_path(self):
+        g = path_graph(5)
+        squared = power_graph(g, 2)
+        assert squared.has_edge(0, 2)
+        assert not squared.has_edge(0, 3)
+
+    def test_power_one_is_identity(self):
+        g = cycle_graph(6)
+        assert power_graph(g, 1) == g
+
+    def test_alive_restriction(self):
+        g = path_graph(5)
+        restricted = power_graph(g, 2, alive={0, 1, 3, 4})
+        # 1 and 3 are no longer within distance 2 because 2 is excluded.
+        assert not restricted.has_edge(1, 3)
+        assert restricted.has_edge(0, 1)
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidDistanceThresholdError):
+            power_graph(cycle_graph(4), 0)
+
+
+class TestCloseness:
+    def test_matches_networkx(self):
+        g = erdos_renyi_graph(30, 0.15, seed=5)
+        nx_values = nx.closeness_centrality(to_networkx(g))
+        ours = closeness_centrality(g)
+        for v in g.vertices():
+            assert ours[v] == pytest.approx(nx_values[v], abs=1e-9)
+
+    def test_star_center_most_central(self):
+        g = star_graph(6)
+        values = closeness_centrality(g)
+        assert max(values, key=values.get) == 0
+
+    def test_subset_of_vertices(self):
+        g = cycle_graph(6)
+        values = closeness_centrality(g, vertices=[0, 1])
+        assert set(values) == {0, 1}
+
+    def test_isolated_vertex_zero(self):
+        g = path_graph(3)
+        g.add_vertex(99)
+        assert closeness_centrality(g)[99] == 0.0
+
+
+class TestBetweenness:
+    def test_matches_networkx(self):
+        g = erdos_renyi_graph(25, 0.15, seed=6)
+        nx_values = nx.betweenness_centrality(to_networkx(g), normalized=True)
+        ours = betweenness_centrality(g, normalized=True)
+        for v in g.vertices():
+            assert ours[v] == pytest.approx(nx_values[v], abs=1e-9)
+
+    def test_unnormalized_matches_networkx(self):
+        g = erdos_renyi_graph(20, 0.2, seed=7)
+        nx_values = nx.betweenness_centrality(to_networkx(g), normalized=False)
+        ours = betweenness_centrality(g, normalized=False)
+        for v in g.vertices():
+            assert ours[v] == pytest.approx(nx_values[v], abs=1e-9)
+
+    def test_path_midpoint_highest(self):
+        g = path_graph(5)
+        values = betweenness_centrality(g)
+        assert max(values, key=values.get) == 2
+
+
+class TestTopK:
+    def test_top_k_selection(self):
+        centrality = {"a": 0.9, "b": 0.5, "c": 0.7}
+        assert top_k_by_centrality(centrality, 2) == ["a", "c"]
+
+    def test_top_k_larger_than_population(self):
+        centrality = {"a": 1.0}
+        assert top_k_by_centrality(centrality, 5) == ["a"]

@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for the core invariants of the paper.
+
+Random small graphs are generated from edge lists; on every one of them we
+check the structural properties the paper proves:
+
+* Property 1-2: the (k,h)-cores are unique and nested.
+* For h = 1 the decomposition equals the classic core decomposition
+  (networkx as oracle).
+* The three exact algorithms agree with the naive reference.
+* LB2(v) <= core(v) <= UB(v) <= deg^h(v) (Observations 1-2, §4.4).
+* The core index is monotone in h.
+* Theorem 3: every h-club of size k+1 lies inside the (k,h)-core.
+"""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.applications.hclub import drop_heuristic_h_club, is_h_club
+from repro.core import (
+    core_decomposition,
+    h_bz,
+    h_lb,
+    h_lb_ub,
+    lower_bound_lb2,
+    naive_core_decomposition,
+    upper_bound,
+)
+from repro.graph import Graph
+from repro.traversal.hneighborhood import all_h_degrees
+
+from conftest import to_networkx
+
+MAX_VERTEX = 13
+
+edge_strategy = st.tuples(
+    st.integers(min_value=0, max_value=MAX_VERTEX),
+    st.integers(min_value=0, max_value=MAX_VERTEX),
+).filter(lambda pair: pair[0] != pair[1])
+
+graph_strategy = st.lists(edge_strategy, min_size=0, max_size=28).map(Graph)
+
+h_strategy = st.integers(min_value=2, max_value=4)
+
+COMMON_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(graph=graph_strategy, h=h_strategy)
+@settings(**COMMON_SETTINGS)
+def test_algorithms_agree_with_naive(graph, h):
+    expected = naive_core_decomposition(graph, h).core_index
+    assert h_bz(graph, h).core_index == expected
+    assert h_lb(graph, h).core_index == expected
+    assert h_lb_ub(graph, h).core_index == expected
+
+
+@given(graph=graph_strategy)
+@settings(**COMMON_SETTINGS)
+def test_h1_matches_networkx(graph):
+    if graph.num_vertices == 0:
+        return
+    expected = nx.core_number(to_networkx(graph))
+    assert core_decomposition(graph, 1).core_index == expected
+    assert h_lb(graph, 1).core_index == expected
+
+
+@given(graph=graph_strategy, h=h_strategy)
+@settings(**COMMON_SETTINGS)
+def test_cores_are_nested(graph, h):
+    decomposition = core_decomposition(graph, h, algorithm="h-LB")
+    for k in range(decomposition.degeneracy):
+        assert decomposition.core(k + 1) <= decomposition.core(k)
+
+
+@given(graph=graph_strategy, h=h_strategy)
+@settings(**COMMON_SETTINGS)
+def test_bounds_sandwich_core_index(graph, h):
+    if graph.num_vertices == 0:
+        return
+    cores = core_decomposition(graph, h, algorithm="h-LB").core_index
+    lb2 = lower_bound_lb2(graph, h)
+    ub = upper_bound(graph, h)
+    degrees = all_h_degrees(graph, h)
+    for v in graph.vertices():
+        assert lb2[v] <= cores[v] <= ub[v] <= degrees[v]
+
+
+@given(graph=graph_strategy)
+@settings(**COMMON_SETTINGS)
+def test_core_index_monotone_in_h(graph):
+    if graph.num_vertices == 0:
+        return
+    previous = core_decomposition(graph, 1).core_index
+    for h in (2, 3):
+        current = core_decomposition(graph, h, algorithm="h-LB").core_index
+        assert all(current[v] >= previous[v] for v in graph.vertices())
+        previous = current
+
+
+@given(graph=graph_strategy, h=h_strategy)
+@settings(**COMMON_SETTINGS)
+def test_every_vertex_meets_its_core_degree_requirement(graph, h):
+    decomposition = core_decomposition(graph, h, algorithm="h-LB")
+    for k in range(1, decomposition.degeneracy + 1):
+        members = decomposition.core(k)
+        if not members:
+            continue
+        degrees = all_h_degrees(graph, h, alive=members, vertices=members)
+        assert all(d >= k for d in degrees.values())
+
+
+@given(graph=graph_strategy, h=st.integers(min_value=2, max_value=3))
+@settings(**COMMON_SETTINGS)
+def test_hclub_contained_in_core(graph, h):
+    if graph.num_vertices == 0:
+        return
+    club = drop_heuristic_h_club(graph, h)
+    assert is_h_club(graph, club, h)
+    if len(club) <= 1:
+        return
+    decomposition = core_decomposition(graph, h, algorithm="h-LB")
+    k = len(club) - 1
+    assert club <= decomposition.core(k)
+
+
+@given(graph=graph_strategy, h=h_strategy)
+@settings(**COMMON_SETTINGS)
+def test_subgraph_core_never_exceeds_full_graph_core(graph, h):
+    vertices = sorted(graph.vertices(), key=repr)
+    if len(vertices) < 4:
+        return
+    subset = vertices[: len(vertices) // 2]
+    subgraph = graph.subgraph(subset)
+    full = core_decomposition(graph, h, algorithm="h-LB").core_index
+    partial = core_decomposition(subgraph, h, algorithm="h-LB").core_index
+    assert all(partial[v] <= full[v] for v in subgraph.vertices())

@@ -1,0 +1,71 @@
+"""Unit tests for graph sampling (snowball, random vertex/edge samples)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.generators import barabasi_albert_graph, erdos_renyi_graph
+from repro.graph.sampling import random_edge_sample, random_vertex_sample, snowball_sample
+from repro.traversal.components import connected_components
+
+
+@pytest.fixture
+def base_graph():
+    return barabasi_albert_graph(120, 3, seed=0)
+
+
+class TestSnowballSample:
+    def test_exact_size(self, base_graph):
+        sample = snowball_sample(base_graph, 40, seed=1)
+        assert sample.num_vertices == 40
+
+    def test_whole_graph_when_target_too_large(self, base_graph):
+        sample = snowball_sample(base_graph, 10_000, seed=1)
+        assert sample.num_vertices == base_graph.num_vertices
+
+    def test_determinism(self, base_graph):
+        assert snowball_sample(base_graph, 30, seed=5) == snowball_sample(base_graph, 30, seed=5)
+
+    def test_sample_is_induced_subgraph(self, base_graph):
+        sample = snowball_sample(base_graph, 25, seed=2)
+        for u, v in sample.edges():
+            assert base_graph.has_edge(u, v)
+        induced = base_graph.subgraph(sample.vertices())
+        assert induced == sample
+
+    def test_bfs_sample_mostly_connected(self, base_graph):
+        # The base graph is connected, so a snowball sample is one BFS ball.
+        sample = snowball_sample(base_graph, 30, seed=3)
+        assert len(connected_components(sample)) == 1
+
+    def test_invalid_target_raises(self, base_graph):
+        with pytest.raises(ParameterError):
+            snowball_sample(base_graph, 0)
+
+    def test_crosses_components_when_needed(self):
+        g = erdos_renyi_graph(10, 0.0, seed=0)  # 10 isolated vertices
+        sample = snowball_sample(g, 4, seed=0)
+        assert sample.num_vertices == 4
+
+
+class TestRandomSamples:
+    def test_vertex_sample_size(self, base_graph):
+        sample = random_vertex_sample(base_graph, 15, seed=4)
+        assert sample.num_vertices == 15
+
+    def test_vertex_sample_invalid(self, base_graph):
+        with pytest.raises(ParameterError):
+            random_vertex_sample(base_graph, -1)
+
+    def test_vertex_sample_full_graph(self, base_graph):
+        assert random_vertex_sample(base_graph, 10_000, seed=1) == base_graph
+
+    def test_edge_sample_size(self, base_graph):
+        sample = random_edge_sample(base_graph, 20, seed=4)
+        assert sample.num_edges == 20
+
+    def test_edge_sample_full_graph(self, base_graph):
+        assert random_edge_sample(base_graph, 10 ** 6, seed=4) == base_graph
+
+    def test_edge_sample_invalid(self, base_graph):
+        with pytest.raises(ParameterError):
+            random_edge_sample(base_graph, 0)

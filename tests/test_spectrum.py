@@ -1,0 +1,84 @@
+"""Tests for the multi-h core spectrum (§7 future-work feature)."""
+
+import pytest
+
+from repro.core import core_decomposition, core_spectrum
+from repro.core.spectrum import VertexSpectrum
+from repro.errors import InvalidDistanceThresholdError, ParameterError
+from repro.graph import Graph
+from repro.graph.generators import erdos_renyi_graph, relaxed_caveman_graph, star_graph
+
+
+@pytest.fixture(scope="module")
+def spectrum_and_graph():
+    graph = relaxed_caveman_graph(4, 5, 0.15, seed=2)
+    return core_spectrum(graph, (1, 2, 3)), graph
+
+
+class TestCoreSpectrum:
+    def test_matches_individual_decompositions(self, spectrum_and_graph):
+        spectrum, graph = spectrum_and_graph
+        for h in (1, 2, 3):
+            expected = core_decomposition(graph, h).core_index
+            assert spectrum.decompositions[h].core_index == expected
+
+    def test_vectors_monotone_in_h(self, spectrum_and_graph):
+        spectrum, graph = spectrum_and_graph
+        for v in graph.vertices():
+            vector = spectrum.vector(v)
+            assert list(vector) == sorted(vector)
+
+    def test_normalized_vectors_in_unit_interval(self, spectrum_and_graph):
+        spectrum, graph = spectrum_and_graph
+        for vector in spectrum.all_vectors(normalized=True).values():
+            assert all(0.0 <= value <= 1.0 for value in vector)
+
+    def test_getitem_and_repr(self, spectrum_and_graph):
+        spectrum, graph = spectrum_and_graph
+        vertex = next(iter(graph.vertices()))
+        assert spectrum[vertex] == spectrum.vector(vertex)
+        assert "h_values" in repr(spectrum)
+
+    def test_most_similar_excludes_self_and_ranks(self, spectrum_and_graph):
+        spectrum, graph = spectrum_and_graph
+        vertex = next(iter(graph.vertices()))
+        similar = spectrum.most_similar(vertex, top=3)
+        assert len(similar) == 3
+        assert all(other != vertex for other, _ in similar)
+        distances = [distance for _, distance in similar]
+        assert distances == sorted(distances)
+
+    def test_most_similar_invalid_top(self, spectrum_and_graph):
+        spectrum, _ = spectrum_and_graph
+        with pytest.raises(ParameterError):
+            spectrum.most_similar(next(iter(spectrum.graph.vertices())), top=0)
+
+    def test_default_h_values(self):
+        graph = star_graph(4)
+        spectrum = core_spectrum(graph)
+        assert spectrum.h_values == (1, 2, 3, 4)
+
+    def test_seeding_matches_unseeded_on_random_graphs(self):
+        for seed in range(3):
+            graph = erdos_renyi_graph(18, 0.18, seed=seed)
+            spectrum = core_spectrum(graph, (2, 3, 4))
+            for h in (2, 3, 4):
+                expected = core_decomposition(graph, h, algorithm="naive").core_index
+                assert spectrum.decompositions[h].core_index == expected
+
+    def test_invalid_parameters(self):
+        graph = star_graph(3)
+        with pytest.raises(ParameterError):
+            core_spectrum(graph, ())
+        with pytest.raises(InvalidDistanceThresholdError):
+            core_spectrum(graph, (0, 2))
+
+    def test_empty_graph(self):
+        spectrum = core_spectrum(Graph(), (1, 2))
+        assert spectrum.all_vectors() == {}
+
+    def test_vertex_spectrum_direct_construction(self):
+        graph = star_graph(3)
+        decompositions = {h: core_decomposition(graph, h) for h in (1, 2)}
+        spectrum = VertexSpectrum(graph, (1, 2), decompositions)
+        assert spectrum.vector(0) == (1, 3)

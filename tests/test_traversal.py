@@ -1,0 +1,223 @@
+"""Tests for BFS, h-neighborhoods, distances and components (vs networkx oracles)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidDistanceThresholdError, GraphError, VertexNotFoundError
+from repro.graph import Graph
+from repro.graph.generators import cycle_graph, erdos_renyi_graph, grid_graph, path_graph
+from repro.instrumentation import Counters
+from repro.traversal import (
+    bfs_distances,
+    connected_components,
+    diameter,
+    double_sweep_diameter_estimate,
+    eccentricity,
+    h_bounded_bfs,
+    h_degree,
+    h_neighborhood,
+    all_h_degrees,
+    is_connected,
+    largest_component,
+    shortest_path_distance,
+    single_source_distances,
+)
+from repro.traversal.bfs import bfs_tree
+from repro.traversal.distances import all_pairs_distances, induced_diameter_at_most
+from repro.traversal.hneighborhood import h_neighbors_with_distance
+from repro.traversal.components import same_component
+
+from conftest import to_networkx
+
+
+class TestBFS:
+    def test_distances_match_networkx(self):
+        g = erdos_renyi_graph(40, 0.1, seed=3)
+        nx_g = to_networkx(g)
+        for source in list(g.vertices())[:5]:
+            expected = nx.single_source_shortest_path_length(nx_g, source)
+            assert bfs_distances(g, source) == dict(expected)
+
+    def test_h_bounded_bfs_truncates(self):
+        g = path_graph(10)
+        distances = h_bounded_bfs(g, 0, 3)
+        assert set(distances) == {0, 1, 2, 3}
+        assert distances[3] == 3
+
+    def test_unbounded_when_h_none(self):
+        g = path_graph(6)
+        assert len(h_bounded_bfs(g, 0, None)) == 6
+
+    def test_source_included_at_distance_zero(self):
+        g = path_graph(3)
+        assert h_bounded_bfs(g, 1, 1)[1] == 0
+
+    def test_alive_restriction(self):
+        g = path_graph(5)  # 0-1-2-3-4
+        distances = h_bounded_bfs(g, 0, 4, alive={0, 1, 3, 4})
+        # vertex 2 is dead, so 3 and 4 are unreachable
+        assert set(distances) == {0, 1}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            bfs_distances(Graph([(1, 2)]), 99)
+
+    def test_source_not_alive_raises(self):
+        g = path_graph(3)
+        with pytest.raises(VertexNotFoundError):
+            h_bounded_bfs(g, 0, 2, alive={1, 2})
+
+    def test_counters_record_visits(self):
+        g = cycle_graph(6)
+        counters = Counters()
+        h_bounded_bfs(g, 0, 2, counters=counters)
+        assert counters.bfs_calls == 1
+        assert counters.vertices_visited == 4  # two on each side of the cycle
+
+    def test_bfs_tree_parents(self):
+        g = path_graph(4)
+        parents = bfs_tree(g, 0)
+        assert parents[0] is None
+        assert parents[1] == 0
+        assert parents[3] == 2
+
+
+class TestHNeighborhood:
+    def test_h1_equals_plain_neighborhood(self):
+        g = erdos_renyi_graph(25, 0.15, seed=1)
+        for v in g.vertices():
+            assert h_neighborhood(g, v, 1) == g.neighbors(v)
+            assert h_degree(g, v, 1) == g.degree(v)
+
+    def test_matches_networkx_ego_graph(self):
+        g = erdos_renyi_graph(30, 0.12, seed=2)
+        nx_g = to_networkx(g)
+        for v in list(g.vertices())[:8]:
+            for h in (2, 3):
+                ego = set(nx.ego_graph(nx_g, v, radius=h).nodes()) - {v}
+                assert h_neighborhood(g, v, h) == ego
+
+    def test_excludes_self(self):
+        g = cycle_graph(5)
+        assert 0 not in h_neighborhood(g, 0, 2)
+
+    def test_invalid_h_raises(self):
+        g = cycle_graph(5)
+        with pytest.raises(InvalidDistanceThresholdError):
+            h_neighborhood(g, 0, 0)
+        with pytest.raises(InvalidDistanceThresholdError):
+            h_degree(g, 0, -1)
+        with pytest.raises(InvalidDistanceThresholdError):
+            all_h_degrees(g, 1.5)  # type: ignore[arg-type]
+
+    def test_neighbors_with_distance(self):
+        g = path_graph(5)
+        with_distance = h_neighbors_with_distance(g, 0, 2)
+        assert with_distance == {1: 1, 2: 2}
+
+    def test_all_h_degrees_subset(self):
+        g = cycle_graph(8)
+        degrees = all_h_degrees(g, 2, vertices=[0, 1])
+        assert degrees == {0: 4, 1: 4}
+
+    def test_alive_restriction_changes_h_degree(self):
+        g = path_graph(5)  # 0-1-2-3-4
+        assert h_degree(g, 0, 4) == 4
+        assert h_degree(g, 0, 4, alive={0, 1, 2}) == 2
+
+
+class TestDistances:
+    def test_shortest_path_distance(self):
+        g = path_graph(6)
+        assert shortest_path_distance(g, 0, 5) == 5
+        assert shortest_path_distance(g, 2, 2) == 0
+
+    def test_unreachable_returns_none(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert shortest_path_distance(g, 0, 3) is None
+
+    def test_missing_target_raises(self):
+        g = path_graph(3)
+        with pytest.raises(VertexNotFoundError):
+            shortest_path_distance(g, 0, 42)
+
+    def test_single_source_matches_networkx(self):
+        g = grid_graph(4, 5)
+        nx_g = to_networkx(g)
+        assert single_source_distances(g, 0) == dict(
+            nx.single_source_shortest_path_length(nx_g, 0))
+
+    def test_all_pairs_distances(self):
+        g = cycle_graph(5)
+        table = all_pairs_distances(g)
+        assert table[0][2] == 2
+        assert len(table) == 5
+
+    def test_eccentricity_and_diameter(self):
+        g = path_graph(7)
+        assert eccentricity(g, 0) == 6
+        assert eccentricity(g, 3) == 3
+        assert diameter(g) == 6
+
+    def test_diameter_matches_networkx(self):
+        g = erdos_renyi_graph(25, 0.2, seed=7)
+        nx_g = to_networkx(g)
+        if nx.is_connected(nx_g):
+            assert diameter(g) == nx.diameter(nx_g)
+
+    def test_diameter_disconnected_raises(self):
+        with pytest.raises(GraphError):
+            diameter(Graph([(0, 1), (2, 3)]))
+
+    def test_diameter_empty_raises(self):
+        with pytest.raises(GraphError):
+            diameter(Graph())
+
+    def test_double_sweep_exact_on_paths_and_cycles(self):
+        assert double_sweep_diameter_estimate(path_graph(9)) == 8
+        # Double sweep is a lower bound; on a cycle it is within one of exact.
+        assert double_sweep_diameter_estimate(cycle_graph(10)) >= 4
+
+    def test_double_sweep_lower_bound(self):
+        g = erdos_renyi_graph(30, 0.15, seed=9)
+        nx_g = to_networkx(g)
+        if nx.is_connected(nx_g):
+            assert double_sweep_diameter_estimate(g) <= nx.diameter(nx_g)
+
+    def test_induced_diameter_at_most(self):
+        g = path_graph(5)
+        assert induced_diameter_at_most(g, {0, 1, 2}, 2)
+        assert not induced_diameter_at_most(g, {0, 1, 2, 3}, 2)
+        # 0 and 2 are only connected through 1, which is excluded.
+        assert not induced_diameter_at_most(g, {0, 2}, 2)
+        assert induced_diameter_at_most(g, set(), 1)
+
+
+class TestComponents:
+    def test_connected_components(self):
+        g = Graph([(0, 1), (1, 2), (5, 6)])
+        g.add_vertex(9)
+        components = connected_components(g)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2, 3]
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(4))
+        assert not is_connected(Graph([(0, 1), (2, 3)]))
+        assert is_connected(Graph())
+
+    def test_largest_component(self):
+        g = Graph([(0, 1), (1, 2), (5, 6)])
+        assert largest_component(g) == {0, 1, 2}
+        assert largest_component(Graph()) == set()
+
+    def test_alive_restriction(self):
+        g = path_graph(5)
+        components = connected_components(g, alive={0, 1, 3, 4})
+        assert sorted(len(c) for c in components) == [2, 2]
+
+    def test_same_component(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert same_component(g, {0, 1})
+        assert not same_component(g, {0, 2})
+        assert same_component(g, set())

@@ -1,0 +1,60 @@
+"""Unit tests for SubgraphView."""
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph import Graph, SubgraphView
+
+
+@pytest.fixture
+def base_graph():
+    return Graph([(1, 2), (2, 3), (3, 4), (4, 1), (2, 4)])
+
+
+class TestSubgraphView:
+    def test_vertex_filtering(self, base_graph):
+        view = SubgraphView(base_graph, [1, 2, 3, 99])
+        assert set(view.vertices()) == {1, 2, 3}
+        assert 99 not in view
+        assert len(view) == 3
+
+    def test_neighbors_restricted(self, base_graph):
+        view = SubgraphView(base_graph, [1, 2, 3])
+        assert view.neighbors(2) == {1, 3}
+        assert view.degree(2) == 2
+
+    def test_neighbors_outside_view_raises(self, base_graph):
+        view = SubgraphView(base_graph, [1, 2])
+        with pytest.raises(VertexNotFoundError):
+            view.neighbors(4)
+
+    def test_has_edge(self, base_graph):
+        view = SubgraphView(base_graph, [1, 2, 3])
+        assert view.has_edge(1, 2)
+        assert not view.has_edge(1, 4)  # 4 is not in the view
+
+    def test_edges_and_counts(self, base_graph):
+        view = SubgraphView(base_graph, [1, 2, 4])
+        edges = {frozenset(e) for e in view.edges()}
+        assert edges == {frozenset({1, 2}), frozenset({1, 4}), frozenset({2, 4})}
+        assert view.num_edges == 3
+        assert view.num_vertices == 3
+
+    def test_materialize(self, base_graph):
+        view = SubgraphView(base_graph, [1, 2, 3])
+        materialized = view.materialize()
+        assert isinstance(materialized, Graph)
+        assert materialized == base_graph.subgraph([1, 2, 3])
+
+    def test_view_reflects_base_mutation(self, base_graph):
+        view = SubgraphView(base_graph, [1, 2, 3])
+        base_graph.add_edge(1, 3)
+        assert view.has_edge(1, 3)
+
+    def test_base_graph_property(self, base_graph):
+        view = SubgraphView(base_graph, [1])
+        assert view.base_graph is base_graph
+
+    def test_repr(self, base_graph):
+        view = SubgraphView(base_graph, [1, 2])
+        assert "2" in repr(view)
