@@ -1,0 +1,15 @@
+"""Importable benchmark helpers.
+
+Lives in its own module (rather than ``conftest.py``) so benchmark files can
+``from bench_utils import run_once`` without relying on the ambiguous
+``conftest`` module name, which collides with ``tests/conftest.py`` in a
+whole-repo pytest run.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment driver exactly once under the benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -40,9 +40,3 @@ def social_graph():
 def road_graph():
     """rnPA stand-in at tiny scale (road network)."""
     return load_dataset("rnPA", scale="tiny", seed=0)
-
-
-def run_once(benchmark, function, *args, **kwargs):
-    """Run an expensive experiment driver exactly once under the benchmark."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,6 +1,6 @@
 """Benchmark: Appendix B — distance-generalized cocktail party queries."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.applications.community import cocktail_party
 from repro.core import core_decomposition

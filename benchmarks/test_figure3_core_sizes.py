@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 3 (fraction of vertices per (k,h)-core)."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.experiments import figure3_core_sizes
 from repro.experiments.common import ExperimentConfig

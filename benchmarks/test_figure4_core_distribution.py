@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 4 (distribution of normalized core indices)."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.experiments import figure4_core_distribution
 from repro.experiments.common import ExperimentConfig

@@ -1,6 +1,6 @@
 """Benchmark: Figure 5 — h-LB+UB runtime on snowball samples of growing size."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.core import h_lb_ub
 from repro.datasets import load_dataset

@@ -1,6 +1,6 @@
 """Benchmark: Figure 6 — scatter of core indices, h = 1 vs h = 2..5."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.experiments import figure6_core_scatter
 from repro.experiments.common import ExperimentConfig

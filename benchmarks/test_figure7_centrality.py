@@ -1,6 +1,6 @@
 """Benchmark: Figure 7 — closeness centrality vs core index."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.experiments import figure7_centrality
 from repro.experiments.common import ExperimentConfig

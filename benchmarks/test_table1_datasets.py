@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 1 (dataset characteristics)."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.experiments import table1_datasets
 from repro.graph.stats import summarize

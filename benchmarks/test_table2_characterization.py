@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 2 (max core index / number of distinct cores)."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.core import core_decomposition
 from repro.experiments import table2_characterization

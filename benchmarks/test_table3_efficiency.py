@@ -6,7 +6,7 @@ individually on the same (dataset, h) cell; pytest-benchmark's comparison
 output then directly shows the ordering the paper reports.
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.core import h_bz, h_lb, h_lb_ub
 from repro.experiments import table3_efficiency

@@ -1,6 +1,6 @@
 """Benchmark: Table 4 — quality of the lower/upper bounds."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.core import lower_bound_lb2, upper_bound
 from repro.experiments import table4_bounds

@@ -1,6 +1,6 @@
 """Benchmark: Table 5 — effect of each bound on running time (ablation)."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.core import h_lb, h_lb_ub
 from repro.experiments import table5_bound_ablation

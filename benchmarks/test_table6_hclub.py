@@ -1,6 +1,6 @@
 """Benchmark: Table 6 — maximum h-club with and without the core wrapper."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.applications.hclub import DBCSolver, ITDBCSolver, maximum_h_club_with_core
 from repro.core import core_decomposition

@@ -1,6 +1,6 @@
 """Benchmark: Table 7 — landmark selection for distance estimation."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.applications.landmarks import LandmarkOracle, evaluate_landmarks, select_landmarks
 from repro.experiments import table7_landmarks

@@ -13,6 +13,12 @@ vertices are close to most of the network.
 Run with::
 
     python examples/landmark_distance_oracle.py
+
+Expected output (a few seconds): a table of landmark-selection strategies
+with their mean relative distance-estimation error on 200 random vertex
+pairs of a 180-vertex collaboration-like graph.  The max-core strategies
+(h = 2..4) should land at or near the top of the ranking, with errors around
+0.19-0.21, matching the paper's Table 7 trend at this tiny scale.
 """
 
 from repro.applications.landmarks import (

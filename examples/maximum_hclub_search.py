@@ -15,6 +15,13 @@ This example compares, on a co-purchasing-like network:
 Run with::
 
     python examples/maximum_hclub_search.py
+
+Expected output (a few seconds): the (k,2)-core decomposition of a
+224-vertex co-purchasing-like graph (degeneracy ~10, innermost core ~11
+vertices), then for each solver (DBC, ITDBC) the standalone search vs the
+Algorithm 7 wrapper.  Both find the same optimal 2-club (~11 members), but
+the wrapped runs explore orders of magnitude fewer branch-and-bound nodes —
+often a single node, because the innermost core is itself an h-club.
 """
 
 import time

@@ -8,6 +8,12 @@ separates vertices that the classic view lumps together.
 Run with::
 
     python examples/quickstart.py
+
+Expected output (runs in well under a second): the 13-vertex graph's classic
+core indices (tail vertices 1-3 at core 2, the dense region at core 3),
+followed by the (k,2)-core indices, where the dense region rises to core 7
+(the 2-degeneracy) while the tail stays behind — and lines confirming that
+h-BZ, h-LB and h-LB+UB all agree with the facade result.
 """
 
 from repro import Graph, core_decomposition

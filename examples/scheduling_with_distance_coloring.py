@@ -12,6 +12,12 @@ smallest-last order stays close to that bound in practice.
 Run with::
 
     python examples/scheduling_with_distance_coloring.py
+
+Expected output (under a second): a table of h = 1..4 rows on a 196-vertex
+road-like conflict graph showing colors used by the greedy smallest-last
+coloring, the Theorem 1 bound ``1 + Ĉ_h(G)``, and the h-degeneracy — the
+colors-used column stays at or below the bound (e.g. 7 colors vs bound 7 at
+h = 2) — followed by the h = 2 session roster.
 """
 
 from repro.applications.coloring import (

@@ -13,6 +13,12 @@ per user.  This example:
 Run with::
 
     python examples/social_network_analysis.py
+
+Expected output (a few seconds): the core "spectrum" (core index for
+h = 1..4) of the ten highest-degree users of a 180-vertex social-like graph
+— the h = 1 column saturates (most hubs share core 3) while the h >= 2
+columns spread them out — followed by the distance-2 densest-core
+approximation and a cocktail-party community around two seed users.
 """
 
 from repro.applications.community import cocktail_party

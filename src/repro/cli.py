@@ -38,6 +38,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--algorithm", default="auto",
                         choices=("auto", "classic", "naive", "h-BZ", "h-LB", "h-LB+UB"),
                         help="decomposition algorithm (default: auto)")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "dict", "csr"),
+                        help="graph backend for the generalized algorithms: "
+                             "dict (reference), csr (flat-array, faster), or "
+                             "auto (csr for integer-vertex graphs)")
     parser.add_argument("--partition-size", type=int, default=1,
                         help="partition size S for h-LB+UB (default: 1)")
     parser.add_argument("--threads", type=int, default=1,
@@ -65,7 +70,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = core_decomposition_with_report(
             graph, args.h, algorithm=args.algorithm,
             dataset_name=args.input or "demo",
-            partition_size=args.partition_size, num_threads=args.threads)
+            partition_size=args.partition_size, num_threads=args.threads,
+            backend=args.backend)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

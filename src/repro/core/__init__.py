@@ -12,6 +12,13 @@ Public entry points:
   :func:`repro.core.naive_kh_core`.
 """
 
+from repro.core.backends import (
+    BACKENDS,
+    AliveMask,
+    CSREngine,
+    DictEngine,
+    resolve_engine,
+)
 from repro.core.buckets import BucketQueue
 from repro.core.result import CoreDecomposition
 from repro.core.classic import classic_core_decomposition, classic_core_indices
@@ -38,6 +45,11 @@ from repro.core.decomposition import (
 from repro.core.spectrum import VertexSpectrum, core_spectrum
 
 __all__ = [
+    "BACKENDS",
+    "AliveMask",
+    "CSREngine",
+    "DictEngine",
+    "resolve_engine",
     "BucketQueue",
     "CoreDecomposition",
     "classic_core_decomposition",

@@ -1,0 +1,249 @@
+"""Backend engines: one peeling-primitive API over two graph representations.
+
+The (k,h)-core algorithms only touch a graph through a handful of primitives
+— h-degree, h-neighborhood, h-neighbors-with-distance, bulk h-degrees, and an
+"alive" set restricting traversals to the surviving vertices.  This module
+packages those primitives behind two interchangeable *engines*:
+
+* :class:`DictEngine` — the reference implementation.  Handles are the
+  original vertex objects, the alive set is a plain Python ``set``, and every
+  primitive delegates to the dict-of-sets traversal code in
+  :mod:`repro.traversal`.
+* :class:`CSREngine` — the fast path.  The graph is snapshotted into a
+  :class:`~repro.graph.csr.CSRGraph`, handles are vertex *indices*, the alive
+  set is a byte mask (:class:`AliveMask`) and traversals run through the
+  array-based :class:`~repro.traversal.array_bfs.ArrayBFS` with its
+  generation trick.
+
+Algorithms are written once against the engine API (see
+:mod:`repro.core.hbz`, :mod:`repro.core.peeling`, :mod:`repro.core.bounds`),
+which is what guarantees both backends produce identical core numbers.
+
+Engine contract
+---------------
+Handles are opaque to the algorithms; only the engine translates them back to
+vertex labels (:meth:`label`, :meth:`labels_of`, :meth:`to_labels`).
+``h_neighborhood`` and ``h_neighbors_with_distance`` return **materialized
+snapshots** — the CSR scratch buffers are overwritten by the next traversal,
+so lazily yielding from them would be a correctness bug.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ParameterError
+from repro.graph.csr import CSRGraph, csr_suitable
+from repro.graph.graph import Graph, Vertex
+from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.traversal.array_bfs import AliveMask, ArrayBFS
+from repro.traversal.bfs import h_bounded_neighbors
+from repro.traversal.hneighborhood import h_degree as _dict_h_degree
+
+#: Backend names accepted by the decomposition entry points.
+BACKENDS = ("auto", "dict", "csr")
+
+
+class DictEngine:
+    """Reference engine over the dict-of-sets :class:`Graph`."""
+
+    name = "dict"
+
+    __slots__ = ("graph",)
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    # -- handle space -------------------------------------------------- #
+    def nodes(self) -> List[Vertex]:
+        return list(self.graph.vertices())
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_vertices
+
+    def label(self, handle: Vertex) -> Vertex:
+        return handle
+
+    def handle_of(self, label: Vertex) -> Vertex:
+        return label
+
+    def labels_of(self, handles: Iterable[Vertex]) -> List[Vertex]:
+        return list(handles)
+
+    def to_labels(self, mapping: Dict[Vertex, int]) -> Dict[Vertex, int]:
+        return mapping
+
+    def degree(self, handle: Vertex) -> int:
+        return self.graph.degree(handle)
+
+    # -- alive sets ---------------------------------------------------- #
+    def full_alive(self) -> set:
+        return set(self.graph.vertices())
+
+    def alive_subset(self, handles: Iterable[Vertex]) -> set:
+        return set(handles)
+
+    # -- traversal primitives ------------------------------------------ #
+    def h_degree(self, handle: Vertex, h: int, alive=None,
+                 counters: Counters = NULL_COUNTERS) -> int:
+        return _dict_h_degree(self.graph, handle, h, alive=alive,
+                              counters=counters)
+
+    def h_neighborhood(self, handle: Vertex, h: int, alive=None,
+                       counters: Counters = NULL_COUNTERS) -> List[Vertex]:
+        return list(h_bounded_neighbors(self.graph, handle, h, alive=alive,
+                                        counters=counters))
+
+    def h_neighbors_with_distance(self, handle: Vertex, h: int, alive=None,
+                                  counters: Counters = NULL_COUNTERS
+                                  ) -> List[Tuple[Vertex, int]]:
+        return list(h_bounded_neighbors(self.graph, handle, h, alive=alive,
+                                        counters=counters).items())
+
+    def bulk_h_degrees(self, h: int, targets=None, alive=None,
+                       num_threads: int = 1,
+                       counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
+        from repro.core.parallel import compute_h_degrees
+        return compute_h_degrees(self.graph, h, vertices=targets, alive=alive,
+                                 num_threads=num_threads, counters=counters)
+
+
+class CSREngine:
+    """Array engine over a :class:`CSRGraph` snapshot; handles are indices."""
+
+    name = "csr"
+
+    __slots__ = ("graph", "csr", "_scratch")
+
+    def __init__(self, graph: Graph, csr: Optional[CSRGraph] = None) -> None:
+        self.graph = graph
+        self.csr = csr if csr is not None else CSRGraph.from_graph(graph)
+        self._scratch = ArrayBFS(self.csr)
+
+    # -- handle space -------------------------------------------------- #
+    def nodes(self) -> range:
+        return range(self.csr.num_vertices)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.csr.num_vertices
+
+    def label(self, handle: int) -> Vertex:
+        return self.csr.labels[handle]
+
+    def handle_of(self, label: Vertex) -> int:
+        return self.csr.index(label)
+
+    def labels_of(self, handles: Iterable[int]) -> List[Vertex]:
+        labels = self.csr.labels
+        return [labels[i] for i in handles]
+
+    def to_labels(self, mapping: Dict[int, int]) -> Dict[Vertex, int]:
+        labels = self.csr.labels
+        return {labels[i]: value for i, value in mapping.items()}
+
+    def degree(self, handle: int) -> int:
+        return self.csr.degree(handle)
+
+    # -- alive sets ---------------------------------------------------- #
+    def full_alive(self) -> AliveMask:
+        return AliveMask.full(self.csr.num_vertices)
+
+    def alive_subset(self, handles: Iterable[int]) -> AliveMask:
+        return AliveMask.of(self.csr.num_vertices, handles)
+
+    # -- traversal primitives ------------------------------------------ #
+    def h_degree(self, handle: int, h: int, alive: Optional[AliveMask] = None,
+                 counters: Counters = NULL_COUNTERS) -> int:
+        return self._scratch.run(handle, h, alive, counters)
+
+    def h_neighborhood(self, handle: int, h: int,
+                       alive: Optional[AliveMask] = None,
+                       counters: Counters = NULL_COUNTERS) -> List[int]:
+        self._scratch.run(handle, h, alive, counters)
+        return self._scratch.visited()
+
+    def h_neighbors_with_distance(self, handle: int, h: int,
+                                  alive: Optional[AliveMask] = None,
+                                  counters: Counters = NULL_COUNTERS
+                                  ) -> List[Tuple[int, int]]:
+        self._scratch.run(handle, h, alive, counters)
+        return self._scratch.visited_with_distance()
+
+    def bulk_h_degrees(self, h: int, targets=None,
+                       alive: Optional[AliveMask] = None,
+                       num_threads: int = 1,
+                       counters: Counters = NULL_COUNTERS) -> Dict[int, int]:
+        """h-degree of every target index, optionally across a thread pool.
+
+        Mirrors :func:`repro.core.parallel.compute_h_degrees`: each worker
+        owns a private :class:`ArrayBFS` scratch (the shared one is not
+        thread-safe) and a private :class:`Counters`, merged at the end.
+        """
+        if targets is None:
+            targets = alive if alive is not None else range(self.csr.num_vertices)
+        indices = list(targets)
+
+        if num_threads <= 1 or len(indices) < 2:
+            run = self._scratch.run
+            result: Dict[int, int] = {}
+            for i in indices:
+                result[i] = run(i, h, alive, counters)
+                counters.count_hdegree()
+            return result
+
+        from repro.core.parallel import map_batches
+
+        def worker(batch, local: Counters) -> Dict[int, int]:
+            # Private scratch per worker: ArrayBFS state is not thread-safe.
+            # The shared mask is installed without hooking — workers only
+            # read it, so sentinel upkeep stays with the engine's scratch.
+            scratch = ArrayBFS(self.csr)
+            out: Dict[int, int] = {}
+            for i in batch:
+                out[i] = scratch.run(i, h, alive, local, hook=False)
+                local.count_hdegree()
+            return out
+
+        return map_batches(indices, num_threads, worker, counters)
+
+
+Engine = Union[DictEngine, CSREngine]
+
+
+def resolve_engine(graph: Graph, backend: Union[str, Engine] = "dict") -> Engine:
+    """Return the engine requested by ``backend`` for ``graph``.
+
+    ``backend`` may be one of the names in :data:`BACKENDS` or an
+    already-constructed engine (useful to amortize a CSR build across
+    several decompositions of the same graph).  ``"auto"`` picks CSR for
+    integer-friendly graphs (see :func:`~repro.graph.csr.csr_suitable`)
+    and the dict reference engine otherwise.
+    """
+    if isinstance(backend, (DictEngine, CSREngine)):
+        if backend.graph is not graph:
+            raise ParameterError(
+                "the supplied engine was built for a different graph"
+            )
+        if isinstance(backend, CSREngine) and (
+                backend.csr.num_vertices != graph.num_vertices
+                or backend.csr.num_edges != graph.num_edges):
+            # The CSR snapshot is immutable; a mutated graph would silently
+            # decompose the old topology.  Size equality is a cheap guard,
+            # not a full structural check — rebuild the engine after any
+            # mutation regardless.
+            raise ParameterError(
+                "the supplied CSR engine is stale: the graph was mutated "
+                "after the snapshot was built (rebuild with resolve_engine)"
+            )
+        return backend
+    if backend == "auto":
+        backend = "csr" if csr_suitable(graph) else "dict"
+    if backend == "dict":
+        return DictEngine(graph)
+    if backend == "csr":
+        return CSREngine(graph)
+    raise ParameterError(
+        f"unknown backend {backend!r}; expected one of {BACKENDS}"
+    )

@@ -11,18 +11,26 @@
 * ``ImproveLB`` (Algorithm 6): within a candidate partition ``V[k]``, the
   minimum h-degree is itself a lower bound for every member (Property 3), and
   vertices that certainly cannot reach core index ``k`` are cleaned away.
+
+Each bound exists in two layers: an ``engine_*`` function written against the
+backend-engine API (handle space; used by h-LB and h-LB+UB so the bounds run
+on whichever backend the caller selected) and a public label-space wrapper
+with the historical ``graph``-first signature (used by tests and the
+bound-quality experiments).  For the dict engine handles *are* the vertex
+labels, so the wrappers delegate without any translation cost.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.errors import InvalidDistanceThresholdError
 from repro.graph.graph import Graph, Vertex
+from repro.core.backends import DictEngine, Engine
 from repro.core.buckets import BucketQueue
-from repro.core.parallel import compute_h_degrees
 from repro.instrumentation import Counters, NULL_COUNTERS
-from repro.traversal.hneighborhood import h_degree, h_neighborhood
+
+Handle = Hashable
 
 
 def _validate_h(h: int) -> None:
@@ -33,6 +41,43 @@ def _validate_h(h: int) -> None:
 # --------------------------------------------------------------------- #
 # lower bounds
 # --------------------------------------------------------------------- #
+def engine_lb1(engine: Engine, h: int,
+               targets: Optional[Iterable[Handle]] = None,
+               counters: Counters = NULL_COUNTERS) -> Dict[Handle, int]:
+    """``LB1(v) = deg^{⌊h/2⌋}(v)`` per handle (Observation 1)."""
+    _validate_h(h)
+    half = h // 2
+    handles = list(targets) if targets is not None else list(engine.nodes())
+    if half == 0:
+        # h = 1: the half-neighborhood is empty, so the only safe cheap lower
+        # bound is 0 (the classic decomposition never uses LB1 anyway).
+        return {v: 0 for v in handles}
+    if half == 1:
+        return {v: engine.degree(v) for v in handles}
+    return {
+        v: engine.h_degree(v, half, None, counters)
+        for v in handles
+    }
+
+
+def engine_lb2(engine: Engine, h: int,
+               lb1: Optional[Dict[Handle, int]] = None,
+               counters: Counters = NULL_COUNTERS) -> Dict[Handle, int]:
+    """``LB2(v)`` per handle (Observation 2)."""
+    _validate_h(h)
+    if lb1 is None:
+        lb1 = engine_lb1(engine, h, counters=counters)
+    half_up = (h + 1) // 2
+    lb2: Dict[Handle, int] = {}
+    for v in engine.nodes():
+        best = lb1[v]
+        for u in engine.h_neighborhood(v, half_up, None, counters):
+            if lb1[u] > best:
+                best = lb1[u]
+        lb2[v] = best
+    return lb2
+
+
 def lower_bound_lb1(graph: Graph, h: int,
                     vertices: Optional[Iterable[Vertex]] = None,
                     counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
@@ -41,19 +86,7 @@ def lower_bound_lb1(graph: Graph, h: int,
     For ``h`` in {2, 3} the half-radius is 1 and LB1 is just the ordinary
     degree, which needs no BFS at all.
     """
-    _validate_h(h)
-    half = h // 2
-    targets = list(vertices) if vertices is not None else list(graph.vertices())
-    if half == 0:
-        # h = 1: the half-neighborhood is empty, so the only safe cheap lower
-        # bound is 0 (the classic decomposition never uses LB1 anyway).
-        return {v: 0 for v in targets}
-    if half == 1:
-        return {v: graph.degree(v) for v in targets}
-    return {
-        v: h_degree(graph, v, half, counters=counters)
-        for v in targets
-    }
+    return engine_lb1(DictEngine(graph), h, targets=vertices, counters=counters)
 
 
 def lower_bound_lb2(graph: Graph, h: int,
@@ -66,23 +99,49 @@ def lower_bound_lb2(graph: Graph, h: int,
     ⌊h/2⌋-neighbor of a ⌈h/2⌉-neighbor of ``v`` is within distance ``h`` of
     ``v``.
     """
-    _validate_h(h)
-    if lb1 is None:
-        lb1 = lower_bound_lb1(graph, h, counters=counters)
-    half_up = (h + 1) // 2
-    lb2: Dict[Vertex, int] = {}
-    for v in graph.vertices():
-        best = lb1[v]
-        for u in h_neighborhood(graph, v, half_up, counters=counters):
-            if lb1[u] > best:
-                best = lb1[u]
-        lb2[v] = best
-    return lb2
+    return engine_lb2(DictEngine(graph), h, lb1=lb1, counters=counters)
 
 
 # --------------------------------------------------------------------- #
 # upper bound (Algorithm 5)
 # --------------------------------------------------------------------- #
+def engine_upper_bound(engine: Engine, h: int,
+                       initial_h_degrees: Optional[Dict[Handle, int]] = None,
+                       counters: Counters = NULL_COUNTERS,
+                       num_threads: int = 1) -> Dict[Handle, int]:
+    """``UB(v)`` per handle: classic core index in the implicit h-power graph."""
+    _validate_h(h)
+    handles = list(engine.nodes())
+    if not handles:
+        return {}
+    if initial_h_degrees is None:
+        initial_h_degrees = engine.bulk_h_degrees(h, targets=handles,
+                                                  num_threads=num_threads,
+                                                  counters=counters)
+    estimate: Dict[Handle, int] = dict(initial_h_degrees)
+    buckets = BucketQueue(counters)
+    for v, d in estimate.items():
+        buckets.insert(v, d)
+
+    ub: Dict[Handle, int] = {}
+    unprocessed = set(handles)
+    k = 0
+    while unprocessed:
+        if buckets.is_empty(k):
+            k += 1
+            continue
+        vertex = buckets.pop_from(k)
+        ub[vertex] = k
+        unprocessed.discard(vertex)
+        # Power-graph adjacency = h-neighborhood in the original graph.
+        for u in engine.h_neighborhood(vertex, h, None, counters):
+            if u in unprocessed:
+                estimate[u] -= 1
+                counters.record_decrement()
+                buckets.move(u, max(estimate[u], k))
+    return ub
+
+
 def upper_bound(graph: Graph, h: int,
                 initial_h_degrees: Optional[Dict[Vertex, int]] = None,
                 counters: Counters = NULL_COUNTERS,
@@ -102,41 +161,47 @@ def upper_bound(graph: Graph, h: int,
         Optional precomputed ``deg^h_G(v)`` map; when the caller (h-LB+UB)
         already computed it, passing it here avoids a second full pass.
     """
-    _validate_h(h)
-    vertices = set(graph.vertices())
-    if not vertices:
-        return {}
-    if initial_h_degrees is None:
-        initial_h_degrees = compute_h_degrees(graph, h, vertices=vertices,
-                                              num_threads=num_threads,
-                                              counters=counters)
-    estimate: Dict[Vertex, int] = dict(initial_h_degrees)
-    buckets = BucketQueue(counters)
-    for v, d in estimate.items():
-        buckets.insert(v, d)
-
-    ub: Dict[Vertex, int] = {}
-    unprocessed = set(vertices)
-    k = 0
-    while unprocessed:
-        if buckets.is_empty(k):
-            k += 1
-            continue
-        vertex = buckets.pop_from(k)
-        ub[vertex] = k
-        unprocessed.discard(vertex)
-        # Power-graph adjacency = h-neighborhood in the original graph.
-        for u in h_neighborhood(graph, vertex, h, counters=counters):
-            if u in unprocessed:
-                estimate[u] -= 1
-                counters.record_decrement()
-                buckets.move(u, max(estimate[u], k))
-    return ub
+    return engine_upper_bound(DictEngine(graph), h,
+                              initial_h_degrees=initial_h_degrees,
+                              counters=counters, num_threads=num_threads)
 
 
 # --------------------------------------------------------------------- #
 # ImproveLB (Algorithm 6)
 # --------------------------------------------------------------------- #
+def engine_improve_lb(engine: Engine, h: int, candidate: Iterable[Handle],
+                      k: int,
+                      counters: Counters = NULL_COUNTERS,
+                      num_threads: int = 1):
+    """Clean ``candidate`` = V[k]; return ``(alive set, min h-degree)``.
+
+    The returned alive set uses the engine's native alive type (a Python
+    ``set`` for the dict engine, an :class:`~repro.core.backends.AliveMask`
+    for CSR) so the caller can hand it straight to :func:`core_decomp`.
+    """
+    _validate_h(h)
+    alive = engine.alive_subset(candidate)
+    if not alive:
+        return alive, 0
+    degrees = engine.bulk_h_degrees(h, targets=alive, alive=alive,
+                                    num_threads=num_threads, counters=counters)
+    min_degree = min(degrees.values())
+    pending = {v for v, d in degrees.items() if d < k}
+    while pending:
+        vertex = pending.pop()
+        if vertex not in alive:
+            continue
+        neighborhood = engine.h_neighborhood(vertex, h, alive, counters)
+        alive.discard(vertex)
+        for u in neighborhood:
+            if u in alive:
+                degrees[u] -= 1
+                counters.record_decrement()
+                if degrees[u] < k:
+                    pending.add(u)
+    return alive, min_degree
+
+
 def improve_lb(graph: Graph, h: int, candidate: Set[Vertex], k: int,
                counters: Counters = NULL_COUNTERS,
                num_threads: int = 1) -> Tuple[Set[Vertex], int]:
@@ -149,25 +214,5 @@ def improve_lb(graph: Graph, h: int, candidate: Set[Vertex], k: int,
     belong to any core of index ≥ k and are removed, often emptying the
     partition entirely when it contains no core.
     """
-    _validate_h(h)
-    alive = set(candidate)
-    if not alive:
-        return alive, 0
-    degrees = compute_h_degrees(graph, h, vertices=alive, alive=alive,
-                                num_threads=num_threads, counters=counters)
-    min_degree = min(degrees.values())
-    pending = {v for v, d in degrees.items() if d < k}
-    while pending:
-        vertex = pending.pop()
-        if vertex not in alive:
-            continue
-        neighborhood = h_neighborhood(graph, vertex, h, alive=alive,
-                                      counters=counters)
-        alive.discard(vertex)
-        for u in neighborhood:
-            if u in alive:
-                degrees[u] -= 1
-                counters.record_decrement()
-                if degrees[u] < k:
-                    pending.add(u)
-    return alive, min_degree
+    return engine_improve_lb(DictEngine(graph), h, candidate, k,
+                             counters=counters, num_threads=num_threads)

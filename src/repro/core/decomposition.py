@@ -9,10 +9,11 @@ with timing and work counters, which is what the experiment harness consumes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.errors import InvalidDistanceThresholdError, ParameterError
 from repro.graph.graph import Graph
+from repro.core.backends import BACKENDS, Engine, resolve_engine
 from repro.core.classic import classic_core_decomposition
 from repro.core.hbz import h_bz
 from repro.core.hlb import h_lb
@@ -33,7 +34,8 @@ def core_decomposition(graph: Graph, h: int,
                        algorithm: str = "auto",
                        partition_size: int = 1,
                        num_threads: int = 1,
-                       counters: Optional[Counters] = None) -> CoreDecomposition:
+                       counters: Optional[Counters] = None,
+                       backend: Union[str, Engine] = "auto") -> CoreDecomposition:
     """Compute the distance-generalized core decomposition of ``graph``.
 
     Parameters
@@ -52,6 +54,17 @@ def core_decomposition(graph: Graph, h: int,
         Number of threads for the bulk h-degree computations (§4.6).
     counters:
         Optional instrumentation sink filled with visit/recompute counts.
+    backend:
+        Graph backend for the generalized algorithms: ``"dict"`` (the
+        reference dict-of-sets representation), ``"csr"`` (flat-array CSR
+        snapshot with array-based h-bounded BFS — typically several times
+        faster), ``"auto"`` (CSR for integer-friendly graphs, dict
+        otherwise), or a pre-built engine from
+        :func:`repro.core.backends.resolve_engine`.  Both backends return
+        identical core numbers.  The ``"classic"`` and ``"naive"``
+        algorithms always run on the dict reference path — ``classic`` is
+        already a flat bucket peeling without any BFS, and ``naive`` exists
+        purely as a correctness oracle.
 
     Returns
     -------
@@ -67,6 +80,10 @@ def core_decomposition(graph: Graph, h: int,
     if algorithm not in ALGORITHMS:
         raise ParameterError(
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    if isinstance(backend, str) and backend not in BACKENDS:
+        raise ParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     if not isinstance(h, int) or isinstance(h, bool) or h < 1:
         raise InvalidDistanceThresholdError(h)
@@ -86,24 +103,31 @@ def core_decomposition(graph: Graph, h: int,
         return classic_core_decomposition(graph, counters=sink)
     if algorithm == "naive":
         return naive_core_decomposition(graph, h)
+    # Resolve the backend once so "auto" makes a single suitability scan and
+    # a CSR snapshot is built (at most) once per decomposition.
+    engine = resolve_engine(graph, backend)
     if h == 1:
         # All three generalized algorithms are correct for h = 1 but the
         # classic peeling is strictly faster; keep explicit requests honest by
         # still running the requested algorithm.
         pass
     if algorithm == "h-BZ":
-        return h_bz(graph, h, counters=sink, num_threads=num_threads)
+        return h_bz(graph, h, counters=sink, num_threads=num_threads,
+                    backend=engine)
     if algorithm == "h-LB":
-        return h_lb(graph, h, counters=sink, num_threads=num_threads)
+        return h_lb(graph, h, counters=sink, num_threads=num_threads,
+                    backend=engine)
     return h_lb_ub(graph, h, partition_size=partition_size, counters=sink,
-                   num_threads=num_threads)
+                   num_threads=num_threads, backend=engine)
 
 
 def core_decomposition_with_report(graph: Graph, h: int,
                                    algorithm: str = "auto",
                                    dataset_name: str = "graph",
                                    partition_size: int = 1,
-                                   num_threads: int = 1) -> RunReport:
+                                   num_threads: int = 1,
+                                   backend: Union[str, Engine] = "auto"
+                                   ) -> RunReport:
     """Run :func:`core_decomposition` and return a timed, counted report.
 
     The experiment harness (Tables 3 and 5) is built on this wrapper.
@@ -114,7 +138,8 @@ def core_decomposition_with_report(graph: Graph, h: int,
         result = core_decomposition(graph, h, algorithm=algorithm,
                                     partition_size=partition_size,
                                     num_threads=num_threads,
-                                    counters=counters)
+                                    counters=counters,
+                                    backend=backend)
     return RunReport(
         algorithm=result.algorithm,
         dataset=dataset_name,
@@ -122,5 +147,6 @@ def core_decomposition_with_report(graph: Graph, h: int,
         seconds=timer.elapsed,
         counters=counters,
         result=result,
-        params={"partition_size": partition_size, "num_threads": num_threads},
+        params={"partition_size": partition_size, "num_threads": num_threads,
+                "backend": backend if isinstance(backend, str) else backend.name},
     )

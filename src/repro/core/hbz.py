@@ -9,20 +9,20 @@ as one-to-two orders of magnitude slower.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Union
 
 from repro.errors import InvalidDistanceThresholdError
-from repro.graph.graph import Graph, Vertex
+from repro.graph.graph import Graph
+from repro.core.backends import Engine, resolve_engine
 from repro.core.buckets import BucketQueue
-from repro.core.parallel import compute_h_degrees
 from repro.core.result import CoreDecomposition
 from repro.instrumentation import Counters, NULL_COUNTERS
-from repro.traversal.hneighborhood import h_degree, h_neighborhood
 
 
 def h_bz(graph: Graph, h: int,
          counters: Counters = NULL_COUNTERS,
-         num_threads: int = 1) -> CoreDecomposition:
+         num_threads: int = 1,
+         backend: Union[str, Engine] = "dict") -> CoreDecomposition:
     """Compute the (k,h)-core decomposition with the baseline h-BZ algorithm.
 
     Parameters
@@ -37,6 +37,9 @@ def h_bz(graph: Graph, h: int,
         Instrumentation sink (visits, h-degree recomputations, bucket moves).
     num_threads:
         Threads used for the initial h-degree computation (§4.6).
+    backend:
+        ``"dict"`` (reference), ``"csr"`` (array backend), ``"auto"``, or a
+        pre-built engine.  Both backends produce identical core numbers.
 
     Returns
     -------
@@ -45,16 +48,17 @@ def h_bz(graph: Graph, h: int,
     if not isinstance(h, int) or isinstance(h, bool) or h < 1:
         raise InvalidDistanceThresholdError(h)
 
-    alive: Set[Vertex] = set(graph.vertices())
-    core_index: Dict[Vertex, int] = {}
+    engine = resolve_engine(graph, backend)
+    alive = engine.full_alive()
+    core_index: Dict[object, int] = {}
     removal_order: list = []
     if not alive:
         return CoreDecomposition(graph, h, core_index, algorithm="h-BZ",
                                  removal_order=removal_order)
 
     # Lines 1-3: initial h-degrees and bucket initialization.
-    degrees = compute_h_degrees(graph, h, vertices=alive, alive=alive,
-                                num_threads=num_threads, counters=counters)
+    degrees = engine.bulk_h_degrees(h, targets=alive, alive=alive,
+                                    num_threads=num_threads, counters=counters)
     buckets = BucketQueue(counters)
     for v, d in degrees.items():
         buckets.insert(v, d)
@@ -70,14 +74,14 @@ def h_bz(graph: Graph, h: int,
         removal_order.append(vertex)
         # The h-neighborhood is taken in the *current* alive graph, before
         # removing the vertex (Algorithm 1, line 8).
-        neighborhood = h_neighborhood(graph, vertex, h, alive=alive,
-                                      counters=counters)
+        neighborhood = engine.h_neighborhood(vertex, h, alive, counters)
         alive.discard(vertex)
         for u in neighborhood:
-            new_degree = h_degree(graph, u, h, alive=alive, counters=counters)
+            new_degree = engine.h_degree(u, h, alive, counters)
             counters.count_hdegree()
             degrees[u] = new_degree
             buckets.move(u, max(new_degree, k))
 
-    return CoreDecomposition(graph, h, core_index, algorithm="h-BZ",
-                             removal_order=removal_order)
+    return CoreDecomposition(graph, h, engine.to_labels(core_index),
+                             algorithm="h-BZ",
+                             removal_order=engine.labels_of(removal_order))

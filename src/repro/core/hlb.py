@@ -9,11 +9,12 @@ to that point, removals of its neighbors require no work at all.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Union
 
 from repro.errors import InvalidDistanceThresholdError
-from repro.graph.graph import Graph, Vertex
-from repro.core.bounds import lower_bound_lb1, lower_bound_lb2
+from repro.graph.graph import Graph
+from repro.core.backends import Engine, resolve_engine
+from repro.core.bounds import engine_lb1, engine_lb2
 from repro.core.buckets import BucketQueue
 from repro.core.peeling import core_decomp
 from repro.core.result import CoreDecomposition
@@ -23,7 +24,8 @@ from repro.instrumentation import Counters, NULL_COUNTERS
 def h_lb(graph: Graph, h: int,
          counters: Counters = NULL_COUNTERS,
          num_threads: int = 1,
-         use_lb1_only: bool = False) -> CoreDecomposition:
+         use_lb1_only: bool = False,
+         backend: Union[str, Engine] = "dict") -> CoreDecomposition:
     """Compute the (k,h)-core decomposition with the h-LB algorithm.
 
     Parameters
@@ -41,6 +43,9 @@ def h_lb(graph: Graph, h: int,
         If True, bucket vertices by LB1 instead of LB2.  This reproduces the
         "LB1" column of the paper's bound-ablation experiment (Table 5); the
         default (LB2) is the algorithm as published.
+    backend:
+        ``"dict"`` (reference), ``"csr"`` (array backend), ``"auto"``, or a
+        pre-built engine.  Both backends produce identical core numbers.
 
     Returns
     -------
@@ -49,18 +54,20 @@ def h_lb(graph: Graph, h: int,
     if not isinstance(h, int) or isinstance(h, bool) or h < 1:
         raise InvalidDistanceThresholdError(h)
 
-    alive: Set[Vertex] = set(graph.vertices())
-    core_index: Dict[Vertex, int] = {}
+    engine = resolve_engine(graph, backend)
+    alive = engine.full_alive()
+    core_index: Dict[object, int] = {}
+    algorithm = "h-LB(LB1)" if use_lb1_only else "h-LB"
     if not alive:
-        return CoreDecomposition(graph, h, core_index, algorithm="h-LB")
+        return CoreDecomposition(graph, h, core_index, algorithm=algorithm)
 
-    lb1 = lower_bound_lb1(graph, h, counters=counters)
-    bounds = lb1 if use_lb1_only else lower_bound_lb2(graph, h, lb1=lb1,
-                                                      counters=counters)
+    lb1 = engine_lb1(engine, h, counters=counters)
+    bounds = lb1 if use_lb1_only else engine_lb2(engine, h, lb1=lb1,
+                                                 counters=counters)
 
     buckets = BucketQueue(counters)
-    set_lb: Dict[Vertex, bool] = {}
-    stored_degree: Dict[Vertex, int] = {}
+    set_lb: Dict[object, bool] = {}
+    stored_degree: Dict[object, int] = {}
     for v in alive:
         buckets.insert(v, bounds[v])
         set_lb[v] = True
@@ -69,11 +76,11 @@ def h_lb(graph: Graph, h: int,
     # paper's pseudocode starts at kmin = 1, leaving isolated vertices
     # implicitly at 0; making it explicit keeps the result object total).
     removal_order: list = []
-    core_decomp(graph, h, kmin=0, kmax=len(graph), buckets=buckets,
+    core_decomp(engine, h, kmin=0, kmax=engine.num_nodes, buckets=buckets,
                 set_lb=set_lb, alive=alive, stored_degree=stored_degree,
                 core_index=core_index, counters=counters,
                 removal_order=removal_order)
 
-    algorithm = "h-LB(LB1)" if use_lb1_only else "h-LB"
-    return CoreDecomposition(graph, h, core_index, algorithm=algorithm,
-                             removal_order=removal_order)
+    return CoreDecomposition(graph, h, engine.to_labels(core_index),
+                             algorithm=algorithm,
+                             removal_order=engine.labels_of(removal_order))

@@ -11,13 +11,18 @@ touched again, and each partition is first cleaned and re-bounded by
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import InvalidDistanceThresholdError, ParameterError
 from repro.graph.graph import Graph, Vertex
-from repro.core.bounds import improve_lb, lower_bound_lb1, lower_bound_lb2, upper_bound
+from repro.core.backends import Engine, resolve_engine
+from repro.core.bounds import (
+    engine_improve_lb,
+    engine_lb1,
+    engine_lb2,
+    engine_upper_bound,
+)
 from repro.core.buckets import BucketQueue
-from repro.core.parallel import compute_h_degrees
 from repro.core.peeling import core_decomp
 from repro.core.result import CoreDecomposition
 from repro.instrumentation import Counters, NULL_COUNTERS
@@ -65,8 +70,8 @@ def h_lb_ub(graph: Graph, h: int,
             counters: Counters = NULL_COUNTERS,
             num_threads: int = 1,
             use_hdegree_as_upper_bound: bool = False,
-            precomputed_upper_bound: Optional[Dict[Vertex, int]] = None
-            ) -> CoreDecomposition:
+            precomputed_upper_bound: Optional[Dict[Vertex, int]] = None,
+            backend: Union[str, Engine] = "dict") -> CoreDecomposition:
     """Compute the (k,h)-core decomposition with the h-LB+UB algorithm.
 
     Parameters
@@ -88,8 +93,12 @@ def h_lb_ub(graph: Graph, h: int,
         power-graph core index.  Reproduces the "h-degree" column of the
         bound-ablation experiment (Table 5); default is the published UB.
     precomputed_upper_bound:
-        Optionally reuse an already-computed UB map (used by experiments that
-        evaluate bound quality separately from runtime).
+        Optionally reuse an already-computed UB map, keyed by original
+        vertices (used by experiments that evaluate bound quality separately
+        from runtime).
+    backend:
+        ``"dict"`` (reference), ``"csr"`` (array backend), ``"auto"``, or a
+        pre-built engine.  Both backends produce identical core numbers.
 
     Returns
     -------
@@ -98,62 +107,65 @@ def h_lb_ub(graph: Graph, h: int,
     if not isinstance(h, int) or isinstance(h, bool) or h < 1:
         raise InvalidDistanceThresholdError(h)
 
-    all_vertices: Set[Vertex] = set(graph.vertices())
-    core_index: Dict[Vertex, int] = {}
-    if not all_vertices:
-        return CoreDecomposition(graph, h, core_index, algorithm="h-LB+UB")
+    engine = resolve_engine(graph, backend)
+    all_handles = list(engine.nodes())
+    algorithm = "h-LB+UB(h-degree)" if use_hdegree_as_upper_bound else "h-LB+UB"
+    if not all_handles:
+        return CoreDecomposition(graph, h, {}, algorithm=algorithm)
 
     # Lines 3-6: initial h-degrees and the LB2 lower bound.
-    initial_degrees = compute_h_degrees(graph, h, vertices=all_vertices,
-                                        num_threads=num_threads,
-                                        counters=counters)
-    lb1 = lower_bound_lb1(graph, h, counters=counters)
-    lb2 = lower_bound_lb2(graph, h, lb1=lb1, counters=counters)
-    lb3: Dict[Vertex, int] = {v: 0 for v in all_vertices}
+    initial_degrees = engine.bulk_h_degrees(h, targets=all_handles,
+                                            num_threads=num_threads,
+                                            counters=counters)
+    lb1 = engine_lb1(engine, h, counters=counters)
+    lb2 = engine_lb2(engine, h, lb1=lb1, counters=counters)
+    lb3: Dict[object, int] = {v: 0 for v in all_handles}
 
     # Line 7: the upper bound (Algorithm 5), or the h-degree ablation variant.
     if precomputed_upper_bound is not None:
-        ub = precomputed_upper_bound
+        ub = {engine.handle_of(v): value
+              for v, value in precomputed_upper_bound.items()}
     elif use_hdegree_as_upper_bound:
         ub = dict(initial_degrees)
     else:
-        ub = upper_bound(graph, h, initial_h_degrees=initial_degrees,
-                         counters=counters, num_threads=num_threads)
+        ub = engine_upper_bound(engine, h, initial_h_degrees=initial_degrees,
+                                counters=counters, num_threads=num_threads)
 
     # Lines 8-11: partition the interval [min LB2, max UB] top-down.
     min_lb = min(lb2.values())
     partitions = build_partitions(ub, min_lb, partition_size)
 
+    core_index: Dict[object, int] = {}
     # Lines 11-18: process each partition independently, top-down.
     for kmin, kmax in partitions:
-        candidate = {v for v in all_vertices if ub[v] >= kmin}
+        candidate = [v for v in all_handles if ub[v] >= kmin]
         if not candidate:
             continue
-        cleaned, min_degree = improve_lb(graph, h, candidate, kmin,
-                                         counters=counters,
-                                         num_threads=num_threads)
+        cleaned, min_degree = engine_improve_lb(engine, h, candidate, kmin,
+                                                counters=counters,
+                                                num_threads=num_threads)
         if not cleaned:
             continue
         for v in cleaned:
             lb3[v] = max(lb3[v], lb2[v], min_degree)
 
         buckets = BucketQueue(counters)
-        set_lb: Dict[Vertex, bool] = {}
-        stored_degree: Dict[Vertex, int] = {}
-        alive = set(cleaned)
+        set_lb: Dict[object, bool] = {}
+        stored_degree: Dict[object, int] = {}
+        alive = cleaned
         for v in alive:
             assigned = core_index.get(v, 0)
             buckets.insert(v, max(assigned, lb3[v], kmin - 1, 0))
             set_lb[v] = True
 
-        core_decomp(graph, h, kmin=kmin, kmax=kmax, buckets=buckets,
+        core_decomp(engine, h, kmin=kmin, kmax=kmax, buckets=buckets,
                     set_lb=set_lb, alive=alive, stored_degree=stored_degree,
                     core_index=core_index, counters=counters)
 
     # Vertices never assigned belong to core 0 (isolated or below the lowest
     # partition; the lowest kmin equals the minimum LB2, which is 0 for them).
-    for v in all_vertices:
+    for v in all_handles:
         core_index.setdefault(v, 0)
 
-    algorithm = "h-LB+UB(h-degree)" if use_hdegree_as_upper_bound else "h-LB+UB"
-    return CoreDecomposition(graph, h, core_index, algorithm=algorithm)
+    return CoreDecomposition(graph, h, engine.to_labels(core_index),
+                             algorithm=algorithm)

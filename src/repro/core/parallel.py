@@ -28,40 +28,20 @@ def _chunks(items: Sequence[Vertex], num_chunks: int) -> List[Sequence[Vertex]]:
     return [items[i:i + size] for i in range(0, len(items), size)]
 
 
-def compute_h_degrees(graph: Graph, h: int,
-                      vertices: Optional[Iterable[Vertex]] = None,
-                      alive: Optional[Set[Vertex]] = None,
-                      num_threads: int = 1,
-                      counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
-    """Compute the h-degree of every vertex in ``vertices`` (default: all alive).
+def map_batches(targets: Sequence, num_threads: int, worker,
+                counters: Counters = NULL_COUNTERS) -> Dict:
+    """Fan ``targets`` out over a thread pool and merge the per-batch dicts.
 
-    With ``num_threads > 1`` the per-vertex h-bounded BFS traversals are
-    distributed over a thread pool; each worker accumulates into a private
-    counter object that is merged into ``counters`` once all workers finish,
-    so the reported totals are identical to the sequential run.
+    ``worker(batch, local_counters)`` must return a dict for its batch and
+    record instrumentation only into its private ``local_counters``; the
+    locals are merged into ``counters`` after all workers finish, so the
+    reported totals are identical to a sequential run.  Shared by the dict
+    path below and :meth:`repro.core.backends.CSREngine.bulk_h_degrees`
+    (whose workers additionally need a private BFS scratch).
     """
-    if vertices is None:
-        vertices = alive if alive is not None else graph.vertices()
-    targets = list(vertices)
-
-    if num_threads <= 1 or len(targets) < 2:
-        result: Dict[Vertex, int] = {}
-        for v in targets:
-            result[v] = h_degree(graph, v, h, alive=alive, counters=counters)
-            counters.count_hdegree()
-        return result
-
     batches = _chunks(targets, num_threads)
     local_counters = [Counters() for _ in batches]
-
-    def worker(batch: Sequence[Vertex], local: Counters) -> Dict[Vertex, int]:
-        out: Dict[Vertex, int] = {}
-        for v in batch:
-            out[v] = h_degree(graph, v, h, alive=alive, counters=local)
-            local.count_hdegree()
-        return out
-
-    merged: Dict[Vertex, int] = {}
+    merged: Dict = {}
     with ThreadPoolExecutor(max_workers=num_threads) as pool:
         futures = [
             pool.submit(worker, batch, local)
@@ -73,3 +53,57 @@ def compute_h_degrees(graph: Graph, h: int,
         for local in local_counters:
             counters.merge(local)
     return merged
+
+
+def compute_h_degrees(graph: Graph, h: int,
+                      vertices: Optional[Iterable[Vertex]] = None,
+                      alive: Optional[Set[Vertex]] = None,
+                      num_threads: int = 1,
+                      counters: Counters = NULL_COUNTERS,
+                      backend: str = "dict") -> Dict[Vertex, int]:
+    """Compute the h-degree of every vertex in ``vertices`` (default: all alive).
+
+    With ``num_threads > 1`` the per-vertex h-bounded BFS traversals are
+    distributed over a thread pool; each worker accumulates into a private
+    counter object that is merged into ``counters`` once all workers finish,
+    so the reported totals are identical to the sequential run.
+
+    With ``backend="csr"`` (or ``"auto"`` on an integer-friendly graph) the
+    BFS traversals run on a one-shot CSR snapshot through the array backend;
+    ``vertices``/``alive`` stay in label space and the result is keyed by the
+    original vertices either way.
+    """
+    if backend not in ("dict",):
+        # Imported lazily: backends.DictEngine delegates back to this module.
+        from repro.core.backends import CSREngine, resolve_engine
+        engine = resolve_engine(graph, backend)
+        if isinstance(engine, CSREngine):
+            targets = None if vertices is None else \
+                [engine.handle_of(v) for v in vertices]
+            alive_mask = None if alive is None else \
+                engine.alive_subset(engine.handle_of(v) for v in alive)
+            degrees = engine.bulk_h_degrees(h, targets=targets,
+                                            alive=alive_mask,
+                                            num_threads=num_threads,
+                                            counters=counters)
+            return engine.to_labels(degrees)
+
+    if vertices is None:
+        vertices = alive if alive is not None else graph.vertices()
+    targets = list(vertices)
+
+    if num_threads <= 1 or len(targets) < 2:
+        result: Dict[Vertex, int] = {}
+        for v in targets:
+            result[v] = h_degree(graph, v, h, alive=alive, counters=counters)
+            counters.count_hdegree()
+        return result
+
+    def worker(batch: Sequence[Vertex], local: Counters) -> Dict[Vertex, int]:
+        out: Dict[Vertex, int] = {}
+        for v in batch:
+            out[v] = h_degree(graph, v, h, alive=alive, counters=local)
+            local.count_hdegree()
+        return out
+
+    return map_batches(targets, num_threads, worker, counters)

@@ -8,32 +8,41 @@ yet for the current vertex set) or its *exact* current h-degree (``set_lb``
 is False).  Deferring the first exact computation until the bucket index
 reaches the lower bound is what saves the bulk of the h-bounded BFS
 traversals compared to the baseline h-BZ.
+
+The routine is written against the backend-engine API
+(:mod:`repro.core.backends`): vertices are opaque *handles* (original vertex
+objects for the dict engine, integer indices for the CSR engine) and
+``alive`` is whatever alive-set type the engine produced.  Callers translate
+handles back to vertex labels when assembling the final result.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
-from repro.graph.graph import Graph, Vertex
+from repro.core.backends import Engine
 from repro.core.buckets import BucketQueue
 from repro.instrumentation import Counters, NULL_COUNTERS
-from repro.traversal.hneighborhood import h_degree, h_neighbors_with_distance
+
+Handle = object
 
 
-def core_decomp(graph: Graph, h: int, kmin: int, kmax: int,
+def core_decomp(engine: Engine, h: int, kmin: int, kmax: int,
                 buckets: BucketQueue,
-                set_lb: Dict[Vertex, bool],
-                alive: Set[Vertex],
-                stored_degree: Dict[Vertex, int],
-                core_index: Dict[Vertex, int],
+                set_lb: Dict[Handle, bool],
+                alive,
+                stored_degree: Dict[Handle, int],
+                core_index: Dict[Handle, int],
                 counters: Counters = NULL_COUNTERS,
-                removal_order: Optional[List[Vertex]] = None) -> None:
+                removal_order: Optional[List[Handle]] = None) -> None:
     """Peel ``alive`` and assign core indices in ``[kmin, kmax]`` (Algorithm 3).
 
     Parameters
     ----------
-    graph:
-        The base graph; traversals are restricted to ``alive``.
+    engine:
+        Backend engine (:class:`~repro.core.backends.DictEngine` or
+        :class:`~repro.core.backends.CSREngine`); traversals are restricted
+        to ``alive``.
     h:
         Distance threshold.
     kmin, kmax:
@@ -41,20 +50,20 @@ def core_decomp(graph: Graph, h: int, kmin: int, kmax: int,
         bucket ``kmin - 1`` are removed without assignment (they belong to a
         lower partition and will be handled there).
     buckets:
-        Bucket queue pre-populated with every vertex of ``alive``, keyed by a
+        Bucket queue pre-populated with every handle of ``alive``, keyed by a
         valid lower bound on its core index (or by its exact degree).
     set_lb:
         ``set_lb[v]`` is True while ``v``'s bucket key is only a lower bound.
     alive:
-        The surviving vertex set; mutated in place.
+        The surviving vertex set (engine-specific type); mutated in place.
     stored_degree:
-        Exact current h-degrees for vertices with ``set_lb[v] == False``;
+        Exact current h-degrees for handles with ``set_lb[v] == False``;
         mutated in place.
     core_index:
-        Output map; only vertices whose core index lies in ``[kmin, kmax]``
-        (and is not yet assigned) are written.
+        Output map (handle-keyed); only vertices whose core index lies in
+        ``[kmin, kmax]`` (and is not yet assigned) are written.
     removal_order:
-        Optional list that receives every removed vertex in removal order
+        Optional list that receives every removed handle in removal order
         (used to extract a smallest-last degeneracy ordering for the
         distance-h coloring application).
     """
@@ -71,7 +80,7 @@ def core_decomp(graph: Graph, h: int, kmin: int, kmax: int,
             # case where peeling of same-core vertices earlier in this bucket
             # already dropped the degree below k; the core index is then
             # exactly k and the vertex must stay in the current bucket.
-            degree = h_degree(graph, vertex, h, alive=alive, counters=counters)
+            degree = engine.h_degree(vertex, h, alive, counters)
             counters.count_hdegree()
             stored_degree[vertex] = degree
             buckets.insert(vertex, max(degree, k))
@@ -87,18 +96,17 @@ def core_decomp(graph: Graph, h: int, kmin: int, kmax: int,
         if removal_order is not None:
             removal_order.append(vertex)
 
-        neighborhood = h_neighbors_with_distance(graph, vertex, h, alive=alive,
-                                                 counters=counters)
+        neighborhood = engine.h_neighbors_with_distance(vertex, h, alive,
+                                                        counters)
         alive.discard(vertex)
-        for u, distance in neighborhood.items():
+        for u, distance in neighborhood:
             if set_lb[u]:
                 # Bucket key is a lower bound on core(u) >= k: no update needed.
                 continue
             if distance < h:
                 # Removing the vertex may have destroyed shortest paths that
                 # passed through it: recompute from scratch (line 15).
-                stored_degree[u] = h_degree(graph, u, h, alive=alive,
-                                            counters=counters)
+                stored_degree[u] = engine.h_degree(u, h, alive, counters)
                 counters.count_hdegree()
             else:
                 # A neighbor at distance exactly h can only lose the removed

@@ -22,6 +22,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidDistanceThresholdError, ParameterError
 from repro.graph.graph import Graph
+from repro.core.backends import DictEngine
 from repro.core.buckets import BucketQueue
 from repro.core.bounds import lower_bound_lb1, lower_bound_lb2
 from repro.core.classic import classic_core_decomposition
@@ -111,7 +112,7 @@ def _h_lb_with_seed(graph: Graph, h: int, seed_lower_bound: Dict[Vertex, int],
         buckets.insert(v, bound)
         set_lb[v] = True
     removal_order: List[Vertex] = []
-    core_decomp(graph, h, kmin=0, kmax=len(graph), buckets=buckets,
+    core_decomp(DictEngine(graph), h, kmin=0, kmax=len(graph), buckets=buckets,
                 set_lb=set_lb, alive=alive, stored_degree=stored,
                 core_index=core_index, counters=counters,
                 removal_order=removal_order)

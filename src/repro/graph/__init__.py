@@ -6,9 +6,15 @@ vertex/edge membership tests).  The peeling algorithms never copy graphs;
 they operate on "alive" vertex sets passed to the traversal primitives, or on
 :class:`repro.graph.SubgraphView` objects when a persistent restriction is
 convenient.
+
+For the performance-oriented decomposition path, :class:`repro.graph.CSRGraph`
+offers an immutable, int-relabeled compressed-sparse-row snapshot of a
+:class:`Graph`; see :mod:`repro.core.backends` for how the algorithms select
+between the two representations.
 """
 
 from repro.graph.graph import Graph
+from repro.graph.csr import CSRGraph, csr_suitable
 from repro.graph.views import SubgraphView
 from repro.graph.io import (
     read_edge_list,
@@ -38,6 +44,8 @@ from repro.graph.stats import GraphSummary, summarize, density, degree_histogram
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "csr_suitable",
     "SubgraphView",
     "read_edge_list",
     "write_edge_list",

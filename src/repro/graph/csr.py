@@ -1,0 +1,141 @@
+"""Compressed sparse row (CSR) graph backend.
+
+:class:`CSRGraph` is an immutable, int-relabeled snapshot of a
+:class:`~repro.graph.graph.Graph`: vertices become consecutive indices
+``0..n-1`` and adjacency is stored in two flat arrays,
+
+* ``indptr`` — length ``n + 1``; the neighbors of vertex ``i`` occupy
+  ``adjacency[indptr[i]:indptr[i + 1]]``,
+* ``adjacency`` — length ``2·|E|``; neighbor indices, sorted per vertex.
+
+A relabeling layer (``labels`` / ``index_of``) maps between original vertex
+objects and indices, so any hashable vertex type works; graphs whose vertices
+are already integers simply pay one dict lookup per translation at the API
+boundary and nothing inside the traversal loops.
+
+Both arrays are plain Python lists rather than ``array.array``: the hot
+h-bounded BFS (:mod:`repro.traversal.array_bfs`) iterates neighbor *slices*,
+and list slices hand back already-boxed ints, whereas ``array`` slices would
+re-box every element on each visit.  The flat layout — not the element
+container — is what buys the locality and the cheap slice-based neighbor
+iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import VertexNotFoundError
+from repro.graph.graph import Graph, Vertex
+
+
+class CSRGraph:
+    """Flat-array adjacency snapshot of an undirected :class:`Graph`.
+
+    Instances are produced by :meth:`from_graph` and never mutated; the
+    peeling algorithms express vertex deletions through "alive" masks instead
+    of touching the structure (see :mod:`repro.core.backends`).
+
+    Example
+    -------
+    >>> from repro.graph import Graph
+    >>> csr = CSRGraph.from_graph(Graph([("a", "b"), ("b", "c")]))
+    >>> csr.num_vertices, csr.num_edges
+    (3, 2)
+    >>> csr.neighbors_of_label("b") == {"a", "c"}
+    True
+    """
+
+    __slots__ = ("indptr", "adjacency", "labels", "index_of")
+
+    def __init__(self, indptr: List[int], adjacency: List[int],
+                 labels: List[Vertex]) -> None:
+        self.indptr = indptr
+        self.adjacency = adjacency
+        self.labels = labels
+        self.index_of: Dict[Vertex, int] = {v: i for i, v in enumerate(labels)}
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Relabel ``graph`` to ``0..n-1`` and pack adjacency into flat arrays.
+
+        Vertex order follows the graph's (deterministic) insertion order;
+        neighbor indices are sorted per vertex, which keeps traversal order
+        deterministic and slightly improves locality.
+        """
+        labels = list(graph.vertices())
+        index_of = {v: i for i, v in enumerate(labels)}
+        indptr: List[int] = [0] * (len(labels) + 1)
+        adjacency: List[int] = []
+        for i, v in enumerate(labels):
+            neighbors = sorted(index_of[u] for u in graph.neighbors(v))
+            adjacency.extend(neighbors)
+            indptr[i + 1] = len(adjacency)
+        return cls(indptr, adjacency, labels)
+
+    # ------------------------------------------------------------------ #
+    # queries (index space)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices |V|."""
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges |E|."""
+        return len(self.adjacency) // 2
+
+    def degree(self, index: int) -> int:
+        """Degree of the vertex at ``index``."""
+        return self.indptr[index + 1] - self.indptr[index]
+
+    def neighbors(self, index: int) -> List[int]:
+        """Neighbor indices of ``index`` (a fresh list; sorted)."""
+        return self.adjacency[self.indptr[index]:self.indptr[index + 1]]
+
+    def degrees(self) -> List[int]:
+        """Degree of every vertex, indexed by vertex index."""
+        indptr = self.indptr
+        return [indptr[i + 1] - indptr[i] for i in range(len(self.labels))]
+
+    # ------------------------------------------------------------------ #
+    # relabeling layer
+    # ------------------------------------------------------------------ #
+    def index(self, label: Vertex) -> int:
+        """Return the index of the original vertex ``label``."""
+        try:
+            return self.index_of[label]
+        except KeyError:
+            raise VertexNotFoundError(label) from None
+
+    def label(self, index: int) -> Vertex:
+        """Return the original vertex stored at ``index``."""
+        return self.labels[index]
+
+    def neighbors_of_label(self, label: Vertex) -> set:
+        """Neighbor *labels* of an original vertex (convenience/testing)."""
+        return {self.labels[i] for i in self.neighbors(self.index(label))}
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        """Iterate each undirected edge once, as an (index, index) pair."""
+        indptr, adjacency = self.indptr, self.adjacency
+        for v in range(len(self.labels)):
+            for position in range(indptr[v], indptr[v + 1]):
+                u = adjacency[position]
+                if v < u:
+                    yield (v, u)
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+def csr_suitable(graph: Graph) -> bool:
+    """Return True if ``graph`` is "integer-friendly" for the auto backend.
+
+    The CSR backend works for any hashable vertex type, but ``backend="auto"``
+    only opts in when every vertex is a plain ``int`` (the common case for
+    the synthetic generators and SNAP-style edge lists), where the relabeling
+    layer is guaranteed cheap and lossless.
+    """
+    return all(type(v) is int for v in graph.vertices())

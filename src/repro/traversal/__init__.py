@@ -8,7 +8,13 @@ closeness / betweenness centralities used as landmark-selection baselines in
 §6.6.
 """
 
-from repro.traversal.bfs import bfs_distances, h_bounded_bfs, bfs_tree
+from repro.traversal.bfs import (
+    bfs_distances,
+    h_bounded_bfs,
+    h_bounded_neighbors,
+    bfs_tree,
+)
+from repro.traversal.array_bfs import ArrayBFS, csr_h_bounded_bfs
 from repro.traversal.hneighborhood import (
     h_neighborhood,
     h_degree,
@@ -30,7 +36,10 @@ from repro.traversal.centrality import closeness_centrality, betweenness_central
 __all__ = [
     "bfs_distances",
     "h_bounded_bfs",
+    "h_bounded_neighbors",
     "bfs_tree",
+    "ArrayBFS",
+    "csr_h_bounded_bfs",
     "h_neighborhood",
     "h_degree",
     "all_h_degrees",

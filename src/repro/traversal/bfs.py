@@ -28,6 +28,42 @@ def bfs_distances(graph: Graph, source: Vertex,
     return h_bounded_bfs(graph, source, h=None, alive=alive)
 
 
+def _level_bfs(graph: Graph, source: Vertex, h: Optional[int],
+               alive: Optional[Set[Vertex]],
+               distances: Dict[Vertex, int]) -> int:
+    """Level-synchronous BFS core shared by the two public variants.
+
+    Fills ``distances`` with every vertex *other than the source* at distance
+    ``<= h`` (the caller decides whether the source belongs in the result, so
+    the hot path never builds an entry only to delete it).  Returns the
+    number of vertices visited, source excluded.
+    """
+    if source not in graph:
+        raise VertexNotFoundError(source)
+    if alive is not None and source not in alive:
+        raise VertexNotFoundError(source)
+    if h is not None and h <= 0:
+        return 0
+
+    visited: Set[Vertex] = {source}
+    frontier = [source]
+    depth = 0
+    while frontier and (h is None or depth < h):
+        depth += 1
+        next_frontier = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u in visited:
+                    continue
+                if alive is not None and u not in alive:
+                    continue
+                visited.add(u)
+                distances[u] = depth
+                next_frontier.append(u)
+        frontier = next_frontier
+    return len(visited) - 1
+
+
 def h_bounded_bfs(graph: Graph, source: Vertex, h: Optional[int],
                   alive: Optional[Set[Vertex]] = None,
                   counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
@@ -53,30 +89,22 @@ def h_bounded_bfs(graph: Graph, source: Vertex, h: Optional[int],
         Mapping ``vertex -> distance`` for every vertex at distance ``<= h``
         from the source **including the source itself at distance 0**.
     """
-    if source not in graph:
-        raise VertexNotFoundError(source)
-    if alive is not None and source not in alive:
-        raise VertexNotFoundError(source)
-
     distances: Dict[Vertex, int] = {source: 0}
-    if h is not None and h <= 0:
-        counters.record_bfs(0)
-        return distances
+    counters.record_bfs(_level_bfs(graph, source, h, alive, distances))
+    return distances
 
-    queue = deque([source])
-    while queue:
-        v = queue.popleft()
-        next_distance = distances[v] + 1
-        if h is not None and next_distance > h:
-            continue
-        for u in graph.neighbors(v):
-            if u in distances:
-                continue
-            if alive is not None and u not in alive:
-                continue
-            distances[u] = next_distance
-            queue.append(u)
-    counters.record_bfs(len(distances) - 1)
+
+def h_bounded_neighbors(graph: Graph, source: Vertex, h: Optional[int],
+                        alive: Optional[Set[Vertex]] = None,
+                        counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
+    """Like :func:`h_bounded_bfs` but the source is excluded from the result.
+
+    This is the variant the h-neighborhood/h-degree hot path wants
+    (Definition 2 excludes the vertex itself); keeping it separate avoids
+    building a ``{source: 0}`` entry only to delete it on every call.
+    """
+    distances: Dict[Vertex, int] = {}
+    counters.record_bfs(_level_bfs(graph, source, h, alive, distances))
     return distances
 
 

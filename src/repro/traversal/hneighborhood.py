@@ -14,7 +14,7 @@ from typing import Dict, Iterable, Optional, Set
 from repro.errors import InvalidDistanceThresholdError
 from repro.graph.graph import Graph, Vertex
 from repro.instrumentation import Counters, NULL_COUNTERS
-from repro.traversal.bfs import h_bounded_bfs
+from repro.traversal.bfs import h_bounded_neighbors
 
 
 def _validate_h(h: int) -> None:
@@ -30,9 +30,8 @@ def h_neighborhood(graph: Graph, vertex: Vertex, h: int,
     The vertex itself is excluded, matching Definition 2 of the paper.
     """
     _validate_h(h)
-    distances = h_bounded_bfs(graph, vertex, h, alive=alive, counters=counters)
-    del distances[vertex]
-    return set(distances)
+    return set(h_bounded_neighbors(graph, vertex, h, alive=alive,
+                                   counters=counters))
 
 
 def h_neighbors_with_distance(graph: Graph, vertex: Vertex, h: int,
@@ -45,9 +44,8 @@ def h_neighbors_with_distance(graph: Graph, vertex: Vertex, h: int,
     variant keeps them.
     """
     _validate_h(h)
-    distances = h_bounded_bfs(graph, vertex, h, alive=alive, counters=counters)
-    del distances[vertex]
-    return distances
+    return h_bounded_neighbors(graph, vertex, h, alive=alive,
+                               counters=counters)
 
 
 def h_degree(graph: Graph, vertex: Vertex, h: int,

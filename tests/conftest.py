@@ -1,15 +1,13 @@
-"""Shared fixtures and helpers for the test suite.
+"""Shared fixtures for the test suite.
 
-networkx is used throughout the tests as an *independent oracle* (shortest
-paths, classic core numbers, power graphs); the library itself never imports
-it.
+Importable helpers (networkx oracle conversions, deterministic randomness)
+live in :mod:`helpers` — test modules use ``from helpers import ...`` so the
+module name cannot collide with ``benchmarks/conftest.py`` when pytest
+collects the whole repository in one run.
 """
 
 from __future__ import annotations
 
-import random
-
-import networkx as nx
 import pytest
 
 from repro.graph import Graph
@@ -22,28 +20,6 @@ from repro.graph.generators import (
     relaxed_caveman_graph,
     star_graph,
 )
-
-
-def to_networkx(graph: Graph) -> "nx.Graph":
-    """Convert a repro Graph into a networkx Graph (for oracle comparisons)."""
-    nx_graph = nx.Graph()
-    nx_graph.add_nodes_from(graph.vertices())
-    nx_graph.add_edges_from(graph.edges())
-    return nx_graph
-
-
-def from_networkx(nx_graph: "nx.Graph") -> Graph:
-    """Convert a networkx Graph into a repro Graph."""
-    graph = Graph(vertices=nx_graph.nodes())
-    for u, v in nx_graph.edges():
-        if u != v:
-            graph.add_edge(u, v)
-    return graph
-
-
-def random_graph(num_vertices: int, edge_probability: float, seed: int) -> Graph:
-    """Deterministic Erdős–Rényi graph helper used all over the tests."""
-    return erdos_renyi_graph(num_vertices, edge_probability, seed=seed)
 
 
 @pytest.fixture
@@ -106,9 +82,3 @@ def standard_graphs() -> dict:
         "er_18": erdos_renyi_graph(18, 0.2, seed=5),
         "caveman": relaxed_caveman_graph(3, 5, 0.1, seed=3),
     }
-
-
-def random_vertex(graph: Graph, seed: int = 0):
-    """Pick a deterministic 'random' vertex from a graph."""
-    vertices = sorted(graph.vertices(), key=repr)
-    return random.Random(seed).choice(vertices)

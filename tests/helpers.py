@@ -1,0 +1,48 @@
+"""Importable test helpers (oracle conversions and deterministic randomness).
+
+Kept out of ``conftest.py`` on purpose: test modules import these with
+``from helpers import ...``, and a bare ``from conftest import ...`` breaks
+when another directory's ``conftest.py`` (e.g. ``benchmarks/``) wins the
+``conftest`` module name in a whole-repo pytest run.
+
+networkx is used throughout the tests as an *independent oracle* (shortest
+paths, classic core numbers, power graphs); the library itself never imports
+it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.graph import Graph
+from repro.graph.generators import erdos_renyi_graph
+
+
+def to_networkx(graph: Graph) -> "nx.Graph":
+    """Convert a repro Graph into a networkx Graph (for oracle comparisons)."""
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.vertices())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+def from_networkx(nx_graph: "nx.Graph") -> Graph:
+    """Convert a networkx Graph into a repro Graph."""
+    graph = Graph(vertices=nx_graph.nodes())
+    for u, v in nx_graph.edges():
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def random_graph(num_vertices: int, edge_probability: float, seed: int) -> Graph:
+    """Deterministic Erdős–Rényi graph helper used all over the tests."""
+    return erdos_renyi_graph(num_vertices, edge_probability, seed=seed)
+
+
+def random_vertex(graph: Graph, seed: int = 0):
+    """Pick a deterministic 'random' vertex from a graph."""
+    vertices = sorted(graph.vertices(), key=repr)
+    return random.Random(seed).choice(vertices)

@@ -1,0 +1,314 @@
+"""Backend equivalence: the CSR engine must reproduce the dict engine exactly.
+
+The dict-of-sets :class:`Graph` path is the reference implementation; the CSR
+backend (flat arrays + generation-trick BFS + byte-mask alive sets) must
+return *identical* core numbers on every graph, for every algorithm and every
+h — that equivalence is the whole contract of :mod:`repro.core.backends`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AliveMask,
+    CSREngine,
+    DictEngine,
+    compute_h_degrees,
+    core_decomposition,
+    h_bz,
+    h_lb,
+    h_lb_ub,
+    naive_core_decomposition,
+    resolve_engine,
+)
+from repro.errors import ParameterError, VertexNotFoundError
+from repro.graph import CSRGraph, Graph, csr_suitable
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    planted_partition_graph,
+    relaxed_caveman_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.instrumentation import Counters
+from repro.traversal import csr_h_bounded_bfs, h_bounded_bfs
+
+from helpers import random_vertex
+
+
+def generator_battery():
+    """Deterministic graphs from every synthetic generator family."""
+    return {
+        "complete_7": complete_graph(7),
+        "cycle_12": cycle_graph(12),
+        "path_9": path_graph(9),
+        "star_8": star_graph(8),
+        "grid_5x4": grid_graph(5, 4),
+        "er_24": erdos_renyi_graph(24, 0.15, seed=1),
+        "ba_25": barabasi_albert_graph(25, 2, seed=2),
+        "ws_20": watts_strogatz_graph(20, 4, 0.2, seed=3),
+        "caveman": relaxed_caveman_graph(4, 5, 0.1, seed=4),
+        "partition": planted_partition_graph(3, 6, 0.6, 0.05, seed=5),
+        "isolated_only": empty_graph(4),
+        "empty": empty_graph(0),
+    }
+
+
+class TestCSRGraph:
+    def test_structure_matches_graph(self):
+        g = erdos_renyi_graph(30, 0.2, seed=7)
+        csr = CSRGraph.from_graph(g)
+        assert csr.num_vertices == g.num_vertices
+        assert csr.num_edges == g.num_edges
+        assert csr.indptr[0] == 0
+        assert csr.indptr[-1] == len(csr.adjacency) == 2 * g.num_edges
+        assert all(a <= b for a, b in zip(csr.indptr, csr.indptr[1:]))
+        for v in g.vertices():
+            assert csr.degree(csr.index(v)) == g.degree(v)
+            assert csr.neighbors_of_label(v) == g.neighbors(v)
+
+    def test_neighbor_indices_sorted_per_vertex(self):
+        csr = CSRGraph.from_graph(relaxed_caveman_graph(3, 5, 0.2, seed=0))
+        for i in range(csr.num_vertices):
+            neighbors = csr.neighbors(i)
+            assert neighbors == sorted(neighbors)
+
+    def test_label_roundtrip_arbitrary_hashables(self):
+        g = Graph([("a", "b"), ("b", (1, 2)), ((1, 2), "a")])
+        g.add_vertex("lonely")
+        csr = CSRGraph.from_graph(g)
+        assert {csr.label(csr.index(v)) for v in g.vertices()} == set(g.vertices())
+        assert csr.neighbors_of_label("b") == {"a", (1, 2)}
+        assert csr.neighbors_of_label("lonely") == set()
+
+    def test_edges_iterates_each_edge_once(self):
+        g = cycle_graph(6)
+        csr = CSRGraph.from_graph(g)
+        edges = list(csr.edges())
+        assert len(edges) == g.num_edges
+        assert all(v < u for v, u in edges)
+
+    def test_unknown_label_raises(self):
+        csr = CSRGraph.from_graph(path_graph(3))
+        with pytest.raises(VertexNotFoundError):
+            csr.index(99)
+
+    def test_csr_suitable_only_for_int_vertices(self):
+        assert csr_suitable(path_graph(4))
+        assert csr_suitable(empty_graph(0))
+        assert not csr_suitable(Graph([("a", "b")]))
+        assert not csr_suitable(Graph([(True, 2)]))
+
+
+class TestArrayBFSEquivalence:
+    @pytest.mark.parametrize("h", [1, 2, 3, None])
+    def test_matches_dict_bfs_on_full_graph(self, h):
+        g = erdos_renyi_graph(28, 0.15, seed=11)
+        csr = CSRGraph.from_graph(g)
+        for v in g.vertices():
+            assert csr_h_bounded_bfs(csr, v, h) == h_bounded_bfs(g, v, h)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dict_bfs_on_alive_subsets(self, seed):
+        import random
+        g = erdos_renyi_graph(26, 0.18, seed=seed)
+        csr = CSRGraph.from_graph(g)
+        rng = random.Random(seed)
+        vertices = sorted(g.vertices())
+        for _ in range(20):
+            source = rng.choice(vertices)
+            alive = set(rng.sample(vertices, 15)) | {source}
+            for h in (1, 2, 3):
+                assert (csr_h_bounded_bfs(csr, source, h, alive=alive)
+                        == h_bounded_bfs(g, source, h, alive=alive))
+
+    def test_source_not_alive_raises(self):
+        g = path_graph(5)
+        csr = CSRGraph.from_graph(g)
+        with pytest.raises(VertexNotFoundError):
+            csr_h_bounded_bfs(csr, 0, 2, alive={1, 2, 3})
+
+    def test_unknown_alive_labels_ignored_like_dict_backend(self):
+        g = Graph([(0, 1), (1, 2)])
+        csr = CSRGraph.from_graph(g)
+        alive = {0, 1, 99}
+        assert (csr_h_bounded_bfs(csr, 0, 2, alive=alive)
+                == h_bounded_bfs(g, 0, 2, alive=alive) == {0: 0, 1: 1})
+
+    def test_counters_match_dict_backend(self):
+        g = relaxed_caveman_graph(3, 5, 0.1, seed=9)
+        csr = CSRGraph.from_graph(g)
+        source = random_vertex(g)
+        dict_counters, csr_counters = Counters(), Counters()
+        h_bounded_bfs(g, source, 2, counters=dict_counters)
+        csr_h_bounded_bfs(csr, source, 2, counters=csr_counters)
+        assert csr_counters.bfs_calls == dict_counters.bfs_calls == 1
+        assert csr_counters.vertices_visited == dict_counters.vertices_visited
+
+
+class TestAliveMask:
+    def test_set_protocol(self):
+        alive = AliveMask.of(6, [0, 2, 4])
+        assert len(alive) == 3 and bool(alive)
+        assert 2 in alive and 1 not in alive
+        assert sorted(alive) == [0, 2, 4]
+        alive.discard(2)
+        alive.discard(2)  # idempotent
+        assert len(alive) == 2 and sorted(alive) == [0, 4]
+        for i in (0, 4):
+            alive.discard(i)
+        assert not alive
+
+    def test_discard_syncs_installed_sentinels(self):
+        """A mask installed in a scratch must reflect later discards."""
+        g = complete_graph(5)
+        engine = CSREngine(g)
+        alive = engine.full_alive()
+        assert engine.h_degree(0, 1, alive) == 4
+        alive.discard(3)
+        assert engine.h_degree(0, 1, alive) == 3
+        # Switching to the unrestricted context and back re-installs.
+        assert engine.h_degree(0, 1, None) == 4
+        assert engine.h_degree(0, 1, alive) == 3
+
+
+class TestEngineResolution:
+    def test_auto_picks_csr_for_integer_graphs(self):
+        assert isinstance(resolve_engine(path_graph(4), "auto"), CSREngine)
+        assert isinstance(resolve_engine(Graph([("a", "b")]), "auto"), DictEngine)
+
+    def test_explicit_names(self):
+        g = path_graph(4)
+        assert isinstance(resolve_engine(g, "dict"), DictEngine)
+        assert isinstance(resolve_engine(g, "csr"), CSREngine)
+
+    def test_engine_instances_pass_through(self):
+        g = path_graph(4)
+        engine = CSREngine(g)
+        assert resolve_engine(g, engine) is engine
+        with pytest.raises(ParameterError):
+            resolve_engine(path_graph(3), engine)
+
+    def test_stale_csr_engine_rejected_after_mutation(self):
+        g = path_graph(4)
+        engine = CSREngine(g)
+        g.add_edge(0, 3)
+        with pytest.raises(ParameterError):
+            resolve_engine(g, engine)
+        with pytest.raises(ParameterError):
+            h_bz(g, 2, backend=engine)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParameterError):
+            resolve_engine(path_graph(3), "nope")
+        with pytest.raises(ParameterError):
+            core_decomposition(path_graph(3), 2, backend="nope")
+
+
+class TestBackendEquivalence:
+    """The acceptance property: identical core numbers on every test graph."""
+
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_facade_backends_agree_across_generators(self, h):
+        for name, graph in generator_battery().items():
+            expected = core_decomposition(graph, h, backend="dict").core_index
+            actual = core_decomposition(graph, h, backend="csr").core_index
+            assert actual == expected, f"{name}, h={h}"
+
+    @pytest.mark.parametrize("algorithm", ["h-BZ", "h-LB", "h-LB+UB"])
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_each_algorithm_agrees(self, algorithm, h):
+        for name, graph in generator_battery().items():
+            expected = core_decomposition(graph, h, algorithm=algorithm,
+                                          backend="dict").core_index
+            actual = core_decomposition(graph, h, algorithm=algorithm,
+                                        backend="csr").core_index
+            assert actual == expected, f"{name}, {algorithm}, h={h}"
+
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_csr_agrees_with_naive_oracle(self, h):
+        graph = relaxed_caveman_graph(3, 4, 0.15, seed=6)
+        expected = naive_core_decomposition(graph, h).core_index
+        for algorithm in ("h-BZ", "h-LB", "h-LB+UB"):
+            result = core_decomposition(graph, h, algorithm=algorithm,
+                                        backend="csr")
+            assert result.core_index == expected
+
+    def test_auto_backend_agrees_on_fixture(self, paper_style_graph):
+        for h in (1, 2, 3):
+            auto = core_decomposition(paper_style_graph, h, backend="auto")
+            ref = core_decomposition(paper_style_graph, h, backend="dict")
+            assert auto.core_index == ref.core_index
+
+    def test_string_labeled_graph_via_explicit_csr(self):
+        graph = Graph([("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"),
+                       ("d", "e")])
+        for h in (1, 2, 3):
+            expected = core_decomposition(graph, h, backend="dict").core_index
+            assert core_decomposition(graph, h,
+                                      backend="csr").core_index == expected
+
+    def test_hlbub_partition_sizes_agree(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=8)
+        expected = h_lb_ub(graph, 2).core_index
+        for partition_size in (1, 2, 4):
+            result = h_lb_ub(graph, 2, partition_size=partition_size,
+                             backend="csr")
+            assert result.core_index == expected
+
+    def test_removal_order_is_complete_on_csr(self):
+        graph = erdos_renyi_graph(20, 0.2, seed=3)
+        for algorithm in (h_bz, h_lb):
+            order = algorithm(graph, 2, backend="csr").removal_order
+            assert sorted(order) == sorted(graph.vertices())
+
+    def test_counters_populated_on_csr(self):
+        counters = Counters()
+        h_bz(erdos_renyi_graph(20, 0.2, seed=1), 2, counters=counters,
+             backend="csr")
+        assert counters.bfs_calls > 0
+        assert counters.vertices_visited > 0
+        assert counters.hdegree_computations > 0
+
+    def test_engine_reuse_across_decompositions(self):
+        graph = erdos_renyi_graph(25, 0.15, seed=4)
+        engine = resolve_engine(graph, "csr")
+        for h in (2, 3):
+            expected = core_decomposition(graph, h, backend="dict").core_index
+            assert core_decomposition(graph, h,
+                                      backend=engine).core_index == expected
+
+
+class TestBulkHDegrees:
+    def test_compute_h_degrees_backend_parity(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=2)
+        reference = compute_h_degrees(graph, 2)
+        assert compute_h_degrees(graph, 2, backend="csr") == reference
+        assert compute_h_degrees(graph, 2, backend="auto") == reference
+
+    def test_threaded_csr_bulk_matches_sequential(self):
+        graph = erdos_renyi_graph(40, 0.12, seed=5)
+        sequential = Counters()
+        threaded = Counters()
+        a = compute_h_degrees(graph, 2, backend="csr", counters=sequential)
+        b = compute_h_degrees(graph, 2, backend="csr", num_threads=4,
+                              counters=threaded)
+        assert a == b
+        assert threaded.vertices_visited == sequential.vertices_visited
+        assert threaded.hdegree_computations == sequential.hdegree_computations
+
+    def test_alive_and_vertices_restrictions(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=6)
+        vertices = sorted(graph.vertices())
+        alive = set(vertices[:20])
+        targets = vertices[5:15]
+        reference = compute_h_degrees(graph, 2, vertices=targets, alive=alive)
+        assert compute_h_degrees(graph, 2, vertices=targets, alive=alive,
+                                 backend="csr") == reference

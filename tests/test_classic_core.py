@@ -13,7 +13,7 @@ from repro.graph.generators import (
     star_graph,
 )
 
-from conftest import to_networkx
+from helpers import to_networkx
 
 
 class TestClassicCore:

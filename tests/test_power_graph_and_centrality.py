@@ -8,7 +8,7 @@ from repro.graph.generators import cycle_graph, erdos_renyi_graph, path_graph, s
 from repro.traversal import betweenness_centrality, closeness_centrality, power_graph
 from repro.traversal.centrality import top_k_by_centrality
 
-from conftest import to_networkx
+from helpers import to_networkx
 
 
 class TestPowerGraph:

@@ -29,7 +29,7 @@ from repro.core import (
 from repro.graph import Graph
 from repro.traversal.hneighborhood import all_h_degrees
 
-from conftest import to_networkx
+from helpers import to_networkx
 
 MAX_VERTEX = 13
 

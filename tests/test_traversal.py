@@ -14,6 +14,7 @@ from repro.traversal import (
     double_sweep_diameter_estimate,
     eccentricity,
     h_bounded_bfs,
+    h_bounded_neighbors,
     h_degree,
     h_neighborhood,
     all_h_degrees,
@@ -27,7 +28,7 @@ from repro.traversal.distances import all_pairs_distances, induced_diameter_at_m
 from repro.traversal.hneighborhood import h_neighbors_with_distance
 from repro.traversal.components import same_component
 
-from conftest import to_networkx
+from helpers import to_networkx
 
 
 class TestBFS:
@@ -80,6 +81,48 @@ class TestBFS:
         assert parents[0] is None
         assert parents[1] == 0
         assert parents[3] == 2
+
+
+class TestSourceExclusion:
+    """Regression: the h-neighborhood excludes the source on every code path.
+
+    The old implementation built ``{source: 0}`` into the BFS result and then
+    ``del``-eted it on the hot path; :func:`h_bounded_neighbors` (and the CSR
+    engine's array BFS) never materialize the source entry — but the observable
+    contract must be identical either way.
+    """
+
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_dict_paths_exclude_source(self, h):
+        g = erdos_renyi_graph(20, 0.2, seed=4)
+        for v in g.vertices():
+            assert v not in h_neighborhood(g, v, h)
+            assert v not in h_neighbors_with_distance(g, v, h)
+            assert v not in h_bounded_neighbors(g, v, h)
+            # ...while the full-BFS variant keeps the source at distance 0.
+            assert h_bounded_bfs(g, v, h)[v] == 0
+
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_csr_engine_excludes_source(self, h):
+        from repro.core.backends import CSREngine
+        g = erdos_renyi_graph(20, 0.2, seed=4)
+        engine = CSREngine(g)
+        for handle in engine.nodes():
+            assert handle not in engine.h_neighborhood(handle, h)
+            assert handle not in dict(engine.h_neighbors_with_distance(handle, h))
+
+    def test_neighbors_variant_matches_bfs_minus_source(self):
+        g = grid_graph(4, 4)
+        for v in g.vertices():
+            full = h_bounded_bfs(g, v, 2)
+            trimmed = h_bounded_neighbors(g, v, 2)
+            assert trimmed == {u: d for u, d in full.items() if u != v}
+
+    def test_isolated_vertex_has_empty_neighborhood(self):
+        g = Graph()
+        g.add_vertex(0)
+        assert h_neighborhood(g, 0, 2) == set()
+        assert h_bounded_neighbors(g, 0, 2) == {}
 
 
 class TestHNeighborhood:
