@@ -39,8 +39,11 @@ from repro.core import (
     h_lb_ub,
 )
 from repro.traversal import h_degree, h_neighborhood, power_graph
+from repro.dynamic import DynamicKHCore, EdgeUpdate, read_update_stream
 
-__version__ = "1.0.0"
+#: Single source of truth alongside pyproject.toml's ``version`` — keep the
+#: two in lockstep when releasing.
+__version__ = "0.3.0"
 
 __all__ = [
     "__version__",
@@ -70,4 +73,8 @@ __all__ = [
     "h_degree",
     "h_neighborhood",
     "power_graph",
+    # dynamic maintenance
+    "DynamicKHCore",
+    "EdgeUpdate",
+    "read_update_stream",
 ]

@@ -1,4 +1,4 @@
-"""Command-line interface: decompose an edge-list file.
+"""Command-line interface: decompose an edge-list file, or replay a stream.
 
 Usage::
 
@@ -6,29 +6,40 @@ Usage::
     python -m repro input.edges --h 3 --algorithm h-LB+UB --output cores.txt
     python -m repro input.edges --h 2 --summary       # only aggregate stats
     python -m repro --demo --h 2                      # run on a built-in demo graph
+    python -m repro stream updates.txt --h 2          # replay an edge stream
+    python -m repro stream updates.txt --graph input.edges --batch-size 32
 
 The input format is a plain edge list (one ``u v`` pair per line, ``#``/``%``
 comments allowed — the SNAP convention).  The output is one ``vertex core``
 pair per line, or a short summary with ``--summary``.
+
+The ``stream`` subcommand replays an edge-update stream (one ``op u v`` line
+per update, ``op`` being ``+`` or ``-``) through the dynamic maintenance
+engine (:class:`repro.dynamic.DynamicKHCore`), starting from an optional
+base graph, and prints the final core indices plus maintenance statistics.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.core import core_decomposition_with_report
+from repro.core.backends import resolved_backend_name
+from repro.dynamic import DynamicKHCore, read_update_stream
 from repro.errors import ReproError
 from repro.graph import Graph, read_edge_list
 from repro.graph.generators import relaxed_caveman_graph
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the command-line argument parser."""
+    """Build the argument parser of the (default) decompose command."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Distance-generalized ((k,h)-core) decomposition of an edge list.",
+        epilog="Use 'python -m repro stream --help' for the streaming replay mode.",
     )
     parser.add_argument("input", nargs="?", help="edge-list file (u v per line)")
     parser.add_argument("--demo", action="store_true",
@@ -38,11 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--algorithm", default="auto",
                         choices=("auto", "classic", "naive", "h-BZ", "h-LB", "h-LB+UB"),
                         help="decomposition algorithm (default: auto)")
-    parser.add_argument("--backend", default="auto",
-                        choices=("auto", "dict", "csr"),
-                        help="graph backend for the generalized algorithms: "
-                             "dict (reference), csr (flat-array, faster), or "
-                             "auto (csr for integer-vertex graphs)")
+    _add_backend_arguments(parser)
     parser.add_argument("--partition-size", type=int, default=1,
                         help="partition size S for h-LB+UB (default: 1)")
     parser.add_argument("--threads", type=int, default=1,
@@ -50,7 +57,51 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output", help="write 'vertex core' lines to this file")
     parser.add_argument("--summary", action="store_true",
                         help="print only aggregate statistics")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print extra diagnostics (e.g. the resolved backend)")
     return parser
+
+
+def build_stream_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``stream`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stream",
+        description="Replay an edge-update stream through the dynamic "
+                    "(k,h)-core maintenance engine.",
+    )
+    parser.add_argument("updates",
+                        help="update-stream file ('+ u v' / '- u v' per line)")
+    parser.add_argument("--graph", dest="graph",
+                        help="edge-list file with the initial graph "
+                             "(default: start from an empty graph)")
+    parser.add_argument("--h", type=int, default=2, dest="h",
+                        help="distance threshold h (default: 2)")
+    _add_backend_arguments(parser)
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="apply updates in batches of this size "
+                             "(default: 1 = one maintenance round per update)")
+    parser.add_argument("--fallback-ratio", type=float, default=None,
+                        help="dirty-region fraction of |V| above which a "
+                             "batch falls back to full recomputation "
+                             "(default: engine default)")
+    parser.add_argument("--output", help="write 'vertex core' lines to this file")
+    parser.add_argument("--summary", action="store_true",
+                        help="print only aggregate statistics")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-batch progress and the resolved backend")
+    return parser
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "dict", "csr"),
+                        help="graph backend for the generalized algorithms: "
+                             "dict (reference), csr (flat-array, faster), or "
+                             "auto (csr for integer-vertex graphs)")
+    parser.add_argument("--csr-threshold", type=int, default=None,
+                        help="minimum vertex count for backend=auto to pick "
+                             "csr (default: KH_CORE_CSR_THRESHOLD env var, "
+                             "then 0)")
 
 
 def _load_graph(args: argparse.Namespace) -> Graph:
@@ -61,24 +112,56 @@ def _load_graph(args: argparse.Namespace) -> Graph:
     return read_edge_list(args.input)
 
 
+def _emit_core_lines(core_index, output: Optional[str]) -> int:
+    """Print or write ``vertex core`` lines; returns the process exit code."""
+    lines = [f"{vertex} {core}" for vertex, core in
+             sorted(core_index.items(), key=lambda item: repr(item[0]))]
+    if output:
+        try:
+            with open(output, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"# wrote {len(lines)} lines to {output}", file=sys.stderr)
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for ``python -m repro``."""
+    """Entry point for ``python -m repro`` (and the ``kh-core`` script).
+
+    The ``stream`` subcommand is dispatched on the first token rather than
+    through argparse subparsers, because the default command's optional
+    positional input would otherwise be ambiguous.  Consequence: an
+    edge-list file literally named ``stream`` must be passed as
+    ``./stream``.
+    """
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "stream":
+        return stream_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         graph = _load_graph(args)
+        backend = resolved_backend_name(graph, args.backend,
+                                        csr_threshold=args.csr_threshold)
         report = core_decomposition_with_report(
             graph, args.h, algorithm=args.algorithm,
             dataset_name=args.input or "demo",
             partition_size=args.partition_size, num_threads=args.threads,
-            backend=args.backend)
-    except ReproError as error:
+            backend=backend)
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
     result = report.result
     print(f"# graph: {graph.num_vertices} vertices, {graph.num_edges} edges", file=sys.stderr)
     print(f"# algorithm: {result.algorithm}, h = {args.h}", file=sys.stderr)
+    if args.verbose:
+        print(f"# backend: {backend} (requested: {args.backend})", file=sys.stderr)
     print(f"# time: {report.seconds:.3f}s, h-BFS visits: {report.visits}", file=sys.stderr)
     print(f"# h-degeneracy: {result.degeneracy}, distinct cores: {result.num_distinct_cores}",
           file=sys.stderr)
@@ -89,16 +172,59 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"core {k}: {sizes[k]} vertices")
         return 0
 
-    lines = [f"{vertex} {core}" for vertex, core in
-             sorted(result.core_index.items(), key=lambda item: repr(item[0]))]
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write("\n".join(lines) + "\n")
-        print(f"# wrote {len(lines)} lines to {args.output}", file=sys.stderr)
-    else:
-        for line in lines:
-            print(line)
-    return 0
+    return _emit_core_lines(result.core_index, args.output)
+
+
+def stream_main(argv: Sequence[str]) -> int:
+    """Entry point for ``python -m repro stream``."""
+    parser = build_stream_parser()
+    args = parser.parse_args(list(argv))
+    try:
+        graph = read_edge_list(args.graph) if args.graph else Graph()
+        updates = read_update_stream(args.updates)
+        engine_kwargs = {}
+        if args.fallback_ratio is not None:
+            engine_kwargs["fallback_ratio"] = args.fallback_ratio
+        backend = resolved_backend_name(graph, args.backend,
+                                        csr_threshold=args.csr_threshold)
+        engine = DynamicKHCore(graph, h=args.h, backend=backend,
+                               **engine_kwargs)
+        if args.verbose:
+            print(f"# backend: {backend} (requested: {args.backend})",
+                  file=sys.stderr)
+            print(f"# initial graph: {graph.num_vertices} vertices, "
+                  f"{graph.num_edges} edges", file=sys.stderr)
+
+        batch_size = max(1, args.batch_size)
+        started = time.perf_counter()
+        for offset in range(0, len(updates), batch_size):
+            summary = engine.apply_batch(updates[offset:offset + batch_size])
+            if args.verbose:
+                print(f"# batch {offset // batch_size}: mode={summary.mode} "
+                      f"applied={summary.applied} "
+                      f"region={summary.region_size} "
+                      f"cores_changed={summary.cores_changed}",
+                      file=sys.stderr)
+        elapsed = time.perf_counter() - started
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    stats = engine.stats
+    print(f"# replayed {stats.updates_applied} updates "
+          f"({stats.noop_updates} no-ops) in {elapsed:.3f}s", file=sys.stderr)
+    print(f"# final graph: {engine.graph.num_vertices} vertices, "
+          f"{engine.graph.num_edges} edges", file=sys.stderr)
+    print(f"# maintenance: {stats.incremental_repeels} incremental, "
+          f"{stats.full_recomputes} full recomputations, "
+          f"peak dirty universe {stats.peak_universe_size}", file=sys.stderr)
+
+    if args.summary:
+        sizes = engine.decomposition().core_sizes()
+        for k in sorted(sizes):
+            print(f"core {k}: {sizes[k]} vertices")
+        return 0
+    return _emit_core_lines(engine.core_numbers(), args.output)
 
 
 if __name__ == "__main__":

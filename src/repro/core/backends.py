@@ -84,6 +84,9 @@ class DictEngine:
     def alive_subset(self, handles: Iterable[Vertex]) -> set:
         return set(handles)
 
+    def refresh(self, touched=None) -> None:
+        """No-op: the dict engine reads the live graph, it has no snapshot."""
+
     # -- traversal primitives ------------------------------------------ #
     def h_degree(self, handle: Vertex, h: int, alive=None,
                  counters: Counters = NULL_COUNTERS) -> int:
@@ -114,12 +117,42 @@ class CSREngine:
 
     name = "csr"
 
-    __slots__ = ("graph", "csr", "_scratch")
+    __slots__ = ("graph", "csr", "_scratch", "built_version")
 
     def __init__(self, graph: Graph, csr: Optional[CSRGraph] = None) -> None:
         self.graph = graph
+        if csr is not None and (
+                (csr.source_version is not None
+                 and csr.source_version != graph.version)
+                or csr.num_vertices != graph.num_vertices
+                or csr.num_edges != graph.num_edges):
+            # The built_version stamp below only vouches for snapshots
+            # taken *now*, so validate a supplied snapshot here: its
+            # recorded source version must match (catching equal-size
+            # mutations like remove+add of an edge), with the size check as
+            # a backstop for hand-assembled snapshots that carry no stamp.
+            raise ParameterError(
+                "the supplied CSR snapshot does not match the graph "
+                "(was the graph mutated after CSRGraph.from_graph?)"
+            )
         self.csr = csr if csr is not None else CSRGraph.from_graph(graph)
         self._scratch = ArrayBFS(self.csr)
+        self.built_version = graph.version
+
+    def refresh(self, touched=None) -> None:
+        """Re-snapshot a mutated graph, reusing untouched CSR rows.
+
+        ``touched`` is the set of vertex labels whose adjacency may have
+        changed since the snapshot (see :meth:`CSRGraph.rebuilt`); passing
+        ``None`` forces a full rebuild.  Indices of surviving vertices are
+        stable across a delta refresh, so handles held by callers remain
+        valid.  No-op when the snapshot is already current.
+        """
+        if self.built_version == self.graph.version:
+            return
+        self.csr = self.csr.rebuilt(self.graph, touched)
+        self._scratch = ArrayBFS(self.csr)
+        self.built_version = self.graph.version
 
     # -- handle space -------------------------------------------------- #
     def nodes(self) -> range:
@@ -212,14 +245,17 @@ class CSREngine:
 Engine = Union[DictEngine, CSREngine]
 
 
-def resolve_engine(graph: Graph, backend: Union[str, Engine] = "dict") -> Engine:
+def resolve_engine(graph: Graph, backend: Union[str, Engine] = "dict",
+                   csr_threshold: Optional[int] = None) -> Engine:
     """Return the engine requested by ``backend`` for ``graph``.
 
     ``backend`` may be one of the names in :data:`BACKENDS` or an
     already-constructed engine (useful to amortize a CSR build across
     several decompositions of the same graph).  ``"auto"`` picks CSR for
     integer-friendly graphs (see :func:`~repro.graph.csr.csr_suitable`)
-    and the dict reference engine otherwise.
+    and the dict reference engine otherwise; ``csr_threshold`` overrides the
+    minimum vertex count for that choice (default: the
+    ``KH_CORE_CSR_THRESHOLD`` environment variable).
     """
     if isinstance(backend, (DictEngine, CSREngine)):
         if backend.graph is not graph:
@@ -227,23 +263,37 @@ def resolve_engine(graph: Graph, backend: Union[str, Engine] = "dict") -> Engine
                 "the supplied engine was built for a different graph"
             )
         if isinstance(backend, CSREngine) and (
-                backend.csr.num_vertices != graph.num_vertices
-                or backend.csr.num_edges != graph.num_edges):
+                backend.built_version != graph.version):
             # The CSR snapshot is immutable; a mutated graph would silently
-            # decompose the old topology.  Size equality is a cheap guard,
-            # not a full structural check — rebuild the engine after any
-            # mutation regardless.
+            # decompose the old topology.  The graph's version counter makes
+            # this an exact staleness test — refresh the engine
+            # (CSREngine.refresh) after any mutation.
             raise ParameterError(
                 "the supplied CSR engine is stale: the graph was mutated "
-                "after the snapshot was built (rebuild with resolve_engine)"
+                "after the snapshot was built (call engine.refresh() or "
+                "rebuild with resolve_engine)"
             )
         return backend
-    if backend == "auto":
-        backend = "csr" if csr_suitable(graph) else "dict"
-    if backend == "dict":
+    # Single source of truth for name validation and the "auto" policy.
+    name = resolved_backend_name(graph, backend, csr_threshold)
+    if name == "dict":
         return DictEngine(graph)
-    if backend == "csr":
-        return CSREngine(graph)
+    return CSREngine(graph)
+
+
+def resolved_backend_name(graph: Graph, backend: Union[str, Engine],
+                          csr_threshold: Optional[int] = None) -> str:
+    """Return the concrete backend name ``backend`` resolves to for ``graph``.
+
+    Cheap (no engine is built): used by the CLI to surface which backend an
+    ``"auto"`` request actually selected.
+    """
+    if isinstance(backend, (DictEngine, CSREngine)):
+        return backend.name
+    if backend == "auto":
+        return "csr" if csr_suitable(graph, csr_threshold) else "dict"
+    if backend in BACKENDS:
+        return backend
     raise ParameterError(
         f"unknown backend {backend!r}; expected one of {BACKENDS}"
     )

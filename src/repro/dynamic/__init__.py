@@ -1,0 +1,57 @@
+"""Dynamic (k,h)-core maintenance for streaming edge updates.
+
+Public entry points:
+
+* :class:`repro.dynamic.DynamicKHCore` — the maintenance engine: ingest
+  edge insertions/deletions (:meth:`~DynamicKHCore.apply`,
+  :meth:`~DynamicKHCore.apply_batch`) and query exact core indices at any
+  point (:meth:`~DynamicKHCore.core_numbers`).
+* Stream plumbing: :class:`EdgeUpdate`, :func:`read_update_stream`,
+  :func:`write_update_stream`, :func:`random_update_stream`.
+* Bookkeeping: :class:`DynamicStats`, :class:`UpdateSummary`.
+
+See ``docs/architecture.md`` ("Dynamic maintenance") for the dirty-region
+model and the fallback policy.
+"""
+
+from repro.dynamic.engine import (
+    DEFAULT_FALLBACK_RATIO,
+    DEFAULT_MAX_EXPANSIONS,
+    DynamicKHCore,
+)
+from repro.dynamic.repeel import repeel_region
+from repro.dynamic.stats import (
+    MODE_FULL,
+    MODE_INCREMENTAL,
+    MODE_NOOP,
+    DynamicStats,
+    UpdateSummary,
+)
+from repro.dynamic.stream import (
+    DELETE,
+    INSERT,
+    EdgeUpdate,
+    iter_update_stream,
+    random_update_stream,
+    read_update_stream,
+    write_update_stream,
+)
+
+__all__ = [
+    "DynamicKHCore",
+    "DEFAULT_FALLBACK_RATIO",
+    "DEFAULT_MAX_EXPANSIONS",
+    "repeel_region",
+    "DynamicStats",
+    "UpdateSummary",
+    "MODE_INCREMENTAL",
+    "MODE_FULL",
+    "MODE_NOOP",
+    "EdgeUpdate",
+    "INSERT",
+    "DELETE",
+    "iter_update_stream",
+    "read_update_stream",
+    "write_update_stream",
+    "random_update_stream",
+]

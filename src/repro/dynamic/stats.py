@@ -1,0 +1,106 @@
+"""Bookkeeping types for the dynamic maintenance engine.
+
+:class:`DynamicStats` accumulates engine-lifetime counters (how often the
+incremental path ran versus the full-recomputation fallback, how large the
+dirty regions were) and :class:`UpdateSummary` describes what a single
+``apply`` / ``apply_batch`` call did.  Both are plain data — the work
+counters of the underlying traversals live in the shared
+:class:`~repro.instrumentation.Counters` sink, as everywhere else in the
+library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: ``UpdateSummary.mode`` values.
+MODE_INCREMENTAL = "incremental"
+MODE_FULL = "full"
+MODE_NOOP = "noop"
+
+
+@dataclass
+class DynamicStats:
+    """Lifetime counters of one :class:`~repro.dynamic.DynamicKHCore`.
+
+    Attributes
+    ----------
+    updates_applied:
+        Edge insertions/deletions that actually changed the graph.
+    noop_updates:
+        Updates skipped because they changed nothing (inserting an existing
+        edge).
+    batches:
+        Number of ``apply`` / ``apply_batch`` calls that reached the
+        maintenance machinery.
+    incremental_repeels:
+        Batches resolved by re-peeling a dirty region.
+    full_recomputes:
+        Batches resolved by the full-recomputation fallback (region above
+        threshold, or too many expansion rounds).
+    region_expansions:
+        Fixed-point rounds that had to grow the dirty region because a
+        changed core touched the region boundary.
+    external_resyncs:
+        Full recomputations forced by out-of-band mutations of the
+        underlying graph (detected through the graph's version counter).
+    last_region_size / last_universe_size:
+        Region (recomputed vertices) and universe (region + frozen shell)
+        sizes of the most recent incremental re-peel.
+    peak_universe_size:
+        Largest universe any incremental re-peel has used.
+    vertices_repeeled:
+        Total region vertices re-peeled across all incremental batches.
+    cores_changed:
+        Total vertices whose core index actually changed.
+    """
+
+    updates_applied: int = 0
+    noop_updates: int = 0
+    batches: int = 0
+    incremental_repeels: int = 0
+    full_recomputes: int = 0
+    region_expansions: int = 0
+    external_resyncs: int = 0
+    last_region_size: int = 0
+    last_universe_size: int = 0
+    peak_universe_size: int = 0
+    vertices_repeeled: int = 0
+    cores_changed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (suitable for JSON or report tables)."""
+        return {
+            "updates_applied": self.updates_applied,
+            "noop_updates": self.noop_updates,
+            "batches": self.batches,
+            "incremental_repeels": self.incremental_repeels,
+            "full_recomputes": self.full_recomputes,
+            "region_expansions": self.region_expansions,
+            "external_resyncs": self.external_resyncs,
+            "last_region_size": self.last_region_size,
+            "last_universe_size": self.last_universe_size,
+            "peak_universe_size": self.peak_universe_size,
+            "vertices_repeeled": self.vertices_repeeled,
+            "cores_changed": self.cores_changed,
+        }
+
+
+@dataclass(frozen=True)
+class UpdateSummary:
+    """What one ``apply`` / ``apply_batch`` call did.
+
+    ``mode`` is :data:`MODE_INCREMENTAL`, :data:`MODE_FULL` or
+    :data:`MODE_NOOP`; the size fields are zero unless the incremental path
+    ran.
+    """
+
+    mode: str
+    applied: int = 0
+    skipped: int = 0
+    region_size: int = 0
+    universe_size: int = 0
+    expansions: int = 0
+    cores_changed: int = 0
+    reason: str = ""

@@ -1,0 +1,177 @@
+"""Edge-update streams: the wire format of the dynamic engine.
+
+An update stream is a sequence of :class:`EdgeUpdate` records — ``("+", u,
+v)`` for an insertion, ``("-", u, v)`` for a deletion.  The file format read
+by :func:`read_update_stream` (and the ``kh-core stream`` CLI subcommand) is
+one update per line::
+
+    + 4 17
+    - 4 9
+    # comments and blank lines are ignored (% too, the SNAP convention)
+
+:func:`random_update_stream` generates valid mixed streams against a live
+graph; benchmarks, property tests and the streaming example all share it so
+"a random update stream" means the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, NamedTuple, Optional, TextIO, Tuple, Union
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph, Vertex
+from repro.graph.io import _parse_vertex
+
+#: Operation codes.
+INSERT = "+"
+DELETE = "-"
+
+_OP_ALIASES = {
+    "+": INSERT, "a": INSERT, "add": INSERT, "i": INSERT, "insert": INSERT,
+    "-": DELETE, "d": DELETE, "del": DELETE, "delete": DELETE,
+    "r": DELETE, "remove": DELETE,
+}
+
+
+class EdgeUpdate(NamedTuple):
+    """One streaming edge update."""
+
+    op: str
+    u: Vertex
+    v: Vertex
+
+
+def normalize_op(op: str) -> str:
+    """Map an operation spelling to :data:`INSERT` / :data:`DELETE`.
+
+    Raises :class:`~repro.errors.GraphFormatError` for unknown spellings.
+    """
+    try:
+        return _OP_ALIASES[op.lower()]
+    except (KeyError, AttributeError):
+        raise GraphFormatError(
+            f"unknown update operation {op!r}; expected one of "
+            f"{sorted(set(_OP_ALIASES))}"
+        ) from None
+
+
+# Token parsing is shared with repro.graph.io so a stream replayed on top
+# of a read edge list always refers to the same vertex objects.
+
+def iter_update_stream(handle: TextIO) -> Iterator[EdgeUpdate]:
+    """Yield updates from an open text stream, validating as it goes."""
+    for line_number, line in enumerate(handle, start=1):
+        stripped = line.strip()
+        if not stripped or stripped[0] in "#%":
+            continue
+        parts = stripped.split()
+        if len(parts) != 3:
+            raise GraphFormatError(
+                f"line {line_number}: expected 'op u v', got {stripped!r}"
+            )
+        op = normalize_op(parts[0])
+        yield EdgeUpdate(op, _parse_vertex(parts[1]), _parse_vertex(parts[2]))
+
+
+def read_update_stream(path: Union[str, "object"]) -> List[EdgeUpdate]:
+    """Read a whole update-stream file into a list."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(iter_update_stream(handle))
+
+
+def write_update_stream(updates: List[EdgeUpdate], path) -> None:
+    """Write updates in the one-per-line text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for op, u, v in updates:
+            handle.write(f"{op} {u} {v}\n")
+
+
+def random_update_stream(graph: Graph, length: int,
+                         insert_fraction: float = 0.5,
+                         new_vertex_p: float = 0.0,
+                         seed: Optional[int] = None) -> List[EdgeUpdate]:
+    """Generate ``length`` valid updates, mutating a scratch copy of ``graph``.
+
+    Each step flips a coin: with probability ``insert_fraction`` insert an
+    edge that is currently absent (between existing vertices, or — with
+    probability ``new_vertex_p`` — from a brand-new integer vertex), and
+    otherwise delete an existing edge.  When the preferred operation is
+    impossible (no edges left to delete, no missing pair to insert) the
+    other one is used, so the stream is always applicable in order.
+    ``graph`` itself is not modified.
+    """
+    rng = random.Random(seed)
+    scratch = graph.copy()
+    updates: List[EdgeUpdate] = []
+    next_fresh = max((v for v in scratch.vertices() if isinstance(v, int)),
+                     default=-1) + 1
+
+    # Incrementally maintained pools (sorted once up front, then appended /
+    # swap-removed) so generation is O(1)-ish per update instead of
+    # re-materializing and re-sorting V and E every step.
+    vertices: List[Vertex] = sorted(scratch.vertices(), key=repr)
+    edges: List[Tuple[Vertex, Vertex]] = sorted(
+        (tuple(sorted(edge, key=repr)) for edge in scratch.edges()),
+        key=repr)
+    edge_pos = {edge: i for i, edge in enumerate(edges)}
+
+    def pool_add_edge(u: Vertex, v: Vertex) -> None:
+        key = tuple(sorted((u, v), key=repr))
+        edge_pos[key] = len(edges)
+        edges.append(key)
+
+    def pool_remove_edge(u: Vertex, v: Vertex) -> None:
+        key = tuple(sorted((u, v), key=repr))
+        position = edge_pos.pop(key)
+        last = edges.pop()
+        if last != key:
+            edges[position] = last
+            edge_pos[last] = position
+
+    def random_missing_pair() -> Optional[EdgeUpdate]:
+        if new_vertex_p and rng.random() < new_vertex_p:
+            nonlocal next_fresh
+            fresh = next_fresh
+            next_fresh += 1
+            if vertices:
+                anchor = rng.choice(vertices)
+            else:
+                # Empty graph: mint a second fresh vertex as the anchor (and
+                # advance past it, so no later step can self-pair with it).
+                anchor = next_fresh
+                next_fresh += 1
+            return EdgeUpdate(INSERT, fresh, anchor)
+        if len(vertices) < 2:
+            return None
+        for _ in range(64):
+            u, v = rng.sample(vertices, 2)
+            if not scratch.has_edge(u, v):
+                return EdgeUpdate(INSERT, u, v)
+        return None
+
+    def random_present_edge() -> Optional[EdgeUpdate]:
+        if not edges:
+            return None
+        u, v = rng.choice(edges)
+        return EdgeUpdate(DELETE, u, v)
+
+    for _ in range(length):
+        if rng.random() < insert_fraction:
+            update = random_missing_pair() or random_present_edge()
+        else:
+            update = random_present_edge() or random_missing_pair()
+        if update is None:
+            break
+        updates.append(update)
+        if update.op == INSERT:
+            if update.u not in scratch:
+                vertices.append(update.u)
+            if update.v not in scratch:
+                vertices.append(update.v)
+            scratch.add_edge(update.u, update.v)
+            pool_add_edge(update.u, update.v)
+        else:
+            scratch.remove_edge(update.u, update.v)
+            pool_remove_edge(update.u, update.v)
+    return updates

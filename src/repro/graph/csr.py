@@ -23,10 +23,19 @@ iteration.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import VertexNotFoundError
+from repro.errors import ParameterError, VertexNotFoundError
 from repro.graph.graph import Graph, Vertex
+
+#: Minimum vertex count for ``backend="auto"`` to choose CSR when no explicit
+#: threshold (keyword or ``KH_CORE_CSR_THRESHOLD`` env var) is given.  Zero
+#: preserves the historical behavior: any integer-vertex graph opts in.
+DEFAULT_CSR_AUTO_THRESHOLD = 0
+
+#: Environment variable overriding :data:`DEFAULT_CSR_AUTO_THRESHOLD`.
+CSR_THRESHOLD_ENV_VAR = "KH_CORE_CSR_THRESHOLD"
 
 
 class CSRGraph:
@@ -46,14 +55,23 @@ class CSRGraph:
     True
     """
 
-    __slots__ = ("indptr", "adjacency", "labels", "index_of")
+    __slots__ = ("indptr", "adjacency", "labels", "index_of",
+                 "source_version")
 
     def __init__(self, indptr: List[int], adjacency: List[int],
-                 labels: List[Vertex]) -> None:
+                 labels: List[Vertex],
+                 index_of: Optional[Dict[Vertex, int]] = None,
+                 source_version: Optional[int] = None) -> None:
         self.indptr = indptr
         self.adjacency = adjacency
         self.labels = labels
-        self.index_of: Dict[Vertex, int] = {v: i for i, v in enumerate(labels)}
+        self.index_of: Dict[Vertex, int] = (
+            index_of if index_of is not None
+            else {v: i for i, v in enumerate(labels)})
+        #: ``Graph.version`` of the source graph at snapshot time (None for
+        #: hand-assembled instances).  Lets consumers detect snapshots taken
+        #: before a mutation even when |V| and |E| happen to match.
+        self.source_version = source_version
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
@@ -71,7 +89,74 @@ class CSRGraph:
             neighbors = sorted(index_of[u] for u in graph.neighbors(v))
             adjacency.extend(neighbors)
             indptr[i + 1] = len(adjacency)
-        return cls(indptr, adjacency, labels)
+        return cls(indptr, adjacency, labels, index_of,
+                   source_version=graph.version)
+
+    def rebuilt(self, graph: Graph,
+                touched: Optional[Iterable[Vertex]] = None) -> "CSRGraph":
+        """Return a snapshot of ``graph`` reusing as much of this one as possible.
+
+        ``touched`` is the set of vertex labels whose adjacency may differ
+        from this snapshot (the endpoints of changed edges plus any new
+        vertices); rows of untouched vertices are copied from the existing
+        flat arrays without re-sorting, and the label/index mapping is reused
+        verbatim.  New vertices are appended, so **indices of existing
+        vertices are stable across the rebuild** — the property the dynamic
+        maintenance engine relies on to keep handle-keyed state valid.
+
+        Falls back to a full :meth:`from_graph` build when ``touched`` is
+        ``None`` or when a vertex of this snapshot has been removed (index
+        stability is impossible then).
+        """
+        if touched is None:
+            return CSRGraph.from_graph(graph)
+        touched_set = {v for v in touched if v in graph}
+        if graph.num_vertices < len(self.labels) or any(
+                label not in graph for label in self.labels):
+            return CSRGraph.from_graph(graph)
+
+        index_of = self.index_of
+        added = [v for v in graph.vertices() if v not in index_of]
+        if added:
+            labels = self.labels + added
+            index_of = dict(index_of)
+            for offset, v in enumerate(added, start=len(self.labels)):
+                index_of[v] = offset
+            touched_set.update(added)
+        else:
+            labels = self.labels
+
+        # Untouched rows are copied span-wise: one bulk slice per maximal
+        # run of untouched rows (typically two spans around two touched
+        # endpoints), with their indptr entries shifted by the span's
+        # offset delta, instead of a Python-level loop over every row.
+        old_indptr, old_adjacency = self.indptr, self.adjacency
+        old_count = len(self.labels)
+        indptr: List[int] = [0] * (len(labels) + 1)
+        adjacency: List[int] = []
+        next_row = 0
+
+        def copy_span(stop: int) -> None:
+            """Bulk-copy untouched old rows ``next_row .. stop - 1``."""
+            nonlocal next_row
+            if stop <= next_row:
+                return
+            delta = len(adjacency) - old_indptr[next_row]
+            adjacency.extend(old_adjacency[old_indptr[next_row]:
+                                           old_indptr[stop]])
+            for j in range(next_row, stop):
+                indptr[j + 1] = old_indptr[j + 1] + delta
+            next_row = stop
+
+        for i in sorted(index_of[v] for v in touched_set):
+            copy_span(min(i, old_count))
+            adjacency.extend(sorted(index_of[u]
+                                    for u in graph.neighbors(labels[i])))
+            indptr[i + 1] = len(adjacency)
+            next_row = i + 1
+        copy_span(old_count)
+        return CSRGraph(indptr, adjacency, labels, index_of,
+                        source_version=graph.version)
 
     # ------------------------------------------------------------------ #
     # queries (index space)
@@ -130,12 +215,46 @@ class CSRGraph:
         return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
 
 
-def csr_suitable(graph: Graph) -> bool:
+def resolve_csr_threshold(min_vertices: Optional[int] = None) -> int:
+    """Resolve the auto-backend size threshold.
+
+    Precedence: explicit ``min_vertices`` keyword, then the
+    ``KH_CORE_CSR_THRESHOLD`` environment variable, then
+    :data:`DEFAULT_CSR_AUTO_THRESHOLD`.
+    """
+    if min_vertices is not None:
+        if min_vertices < 0:
+            raise ParameterError("the CSR auto-backend threshold must be >= 0")
+        return min_vertices
+    raw = os.environ.get(CSR_THRESHOLD_ENV_VAR)
+    if raw is None:
+        return DEFAULT_CSR_AUTO_THRESHOLD
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ParameterError(
+            f"{CSR_THRESHOLD_ENV_VAR}={raw!r} is not an integer"
+        ) from None
+    if value < 0:
+        raise ParameterError(
+            f"{CSR_THRESHOLD_ENV_VAR} must be >= 0, got {value}"
+        )
+    return value
+
+
+def csr_suitable(graph: Graph, min_vertices: Optional[int] = None) -> bool:
     """Return True if ``graph`` is "integer-friendly" for the auto backend.
 
     The CSR backend works for any hashable vertex type, but ``backend="auto"``
     only opts in when every vertex is a plain ``int`` (the common case for
     the synthetic generators and SNAP-style edge lists), where the relabeling
-    layer is guaranteed cheap and lossless.
+    layer is guaranteed cheap and lossless — and when the graph has at least
+    ``min_vertices`` vertices, so tiny graphs can skip the snapshot build
+    cost.  The threshold defaults to the ``KH_CORE_CSR_THRESHOLD``
+    environment variable, falling back to
+    :data:`DEFAULT_CSR_AUTO_THRESHOLD` (see :func:`resolve_csr_threshold`).
+    Explicit ``backend="csr"`` requests bypass this gate entirely.
     """
+    if graph.num_vertices < resolve_csr_threshold(min_vertices):
+        return False
     return all(type(v) is int for v in graph.vertices())

@@ -8,12 +8,24 @@ the synthetic generators use consecutive integers.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (Callable, Dict, Hashable, Iterable, Iterator, List,
+                    Optional, Set, Tuple)
 
 from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
+
+#: Signature of a mutation listener: ``listener(event, payload)``.
+#: Events and payloads:
+#:
+#: * ``"add_vertex"`` — the new vertex;
+#: * ``"add_edge"`` / ``"remove_edge"`` — the ``(u, v)`` pair;
+#: * ``"remove_vertex"`` — ``(v, frozenset(neighbors))``: the incident
+#:   edges vanish with the vertex *without* individual ``"remove_edge"``
+#:   events, so listeners tracking touched adjacency must consume the
+#:   neighbor set.
+MutationListener = Callable[[str, object], None]
 
 
 class Graph:
@@ -33,11 +45,13 @@ class Graph:
     2
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_version", "_listeners")
 
     def __init__(self, edges: Optional[Iterable[Edge]] = None,
                  vertices: Optional[Iterable[Vertex]] = None) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._version = 0
+        self._listeners: List[MutationListener] = []
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -48,10 +62,42 @@ class Graph:
     # ------------------------------------------------------------------ #
     # construction / mutation
     # ------------------------------------------------------------------ #
+    def _mutated(self, event: str, payload: object) -> None:
+        """Bump the version and fan the event out to mutation listeners."""
+        self._version += 1
+        for listener in self._listeners:
+            listener(event, payload)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter incremented on every structural change.
+
+        Idempotent no-ops (re-adding an existing vertex or edge) do not bump
+        the version, so snapshot consumers (the CSR engine, the dynamic
+        maintenance engine) can use equality of versions as an exact
+        freshness test.
+        """
+        return self._version
+
+    def add_mutation_listener(self, listener: MutationListener) -> None:
+        """Subscribe ``listener`` to structural changes.
+
+        The listener is called *after* each mutation as ``listener(event,
+        payload)``; see :data:`MutationListener` for the event vocabulary.
+        Listeners are not copied by :meth:`copy`.  An update log is one
+        ``add_mutation_listener(lambda e, p: log.append((e, p)))`` away.
+        """
+        self._listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        """Unsubscribe a listener previously added (must be present)."""
+        self._listeners.remove(listener)
+
     def add_vertex(self, v: Vertex) -> None:
         """Add an isolated vertex (no-op if it already exists)."""
         if v not in self._adj:
             self._adj[v] = set()
+            self._mutated("add_vertex", v)
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``, creating endpoints as needed."""
@@ -59,8 +105,10 @@ class Graph:
             raise GraphError(f"self-loops are not supported (vertex {u!r})")
         self.add_vertex(u)
         self.add_vertex(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._mutated("add_edge", (u, v))
 
     def add_edges_from(self, edges: Iterable[Edge]) -> None:
         """Add every edge in ``edges``."""
@@ -68,13 +116,18 @@ class Graph:
             self.add_edge(u, v)
 
     def remove_vertex(self, v: Vertex) -> None:
-        """Remove ``v`` and every edge incident to it."""
+        """Remove ``v`` and every edge incident to it.
+
+        Listeners receive one ``"remove_vertex"`` event whose payload
+        carries the former neighbor set (see :data:`MutationListener`).
+        """
         try:
             neighbors = self._adj.pop(v)
         except KeyError:
             raise VertexNotFoundError(v) from None
         for u in neighbors:
             self._adj[u].discard(v)
+        self._mutated("remove_vertex", (v, frozenset(neighbors)))
 
     def remove_vertices_from(self, vertices: Iterable[Vertex]) -> None:
         """Remove every vertex in ``vertices`` (each must exist)."""
@@ -87,6 +140,7 @@ class Graph:
             raise EdgeNotFoundError(u, v)
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._mutated("remove_edge", (u, v))
 
     # ------------------------------------------------------------------ #
     # queries
@@ -150,7 +204,12 @@ class Graph:
     # derived graphs
     # ------------------------------------------------------------------ #
     def copy(self) -> "Graph":
-        """Return a deep copy of the graph."""
+        """Return a deep copy of the graph.
+
+        The copy starts with a fresh version counter and no mutation
+        listeners: it is a new, independent graph, not a second handle on
+        the same evolving one.
+        """
         clone = Graph()
         clone._adj = {v: set(adj) for v, adj in self._adj.items()}
         return clone

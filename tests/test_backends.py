@@ -312,3 +312,182 @@ class TestBulkHDegrees:
         reference = compute_h_degrees(graph, 2, vertices=targets, alive=alive)
         assert compute_h_degrees(graph, 2, vertices=targets, alive=alive,
                                  backend="csr") == reference
+
+
+class TestCSRAutoThreshold:
+    """The csr_suitable size gate: keyword > env var > default."""
+
+    def test_keyword_threshold(self):
+        g = path_graph(4)
+        assert csr_suitable(g, min_vertices=0)
+        assert csr_suitable(g, min_vertices=4)
+        assert not csr_suitable(g, min_vertices=5)
+
+    def test_env_var_threshold(self, monkeypatch):
+        g = path_graph(4)
+        monkeypatch.setenv("KH_CORE_CSR_THRESHOLD", "100")
+        assert not csr_suitable(g)
+        assert isinstance(resolve_engine(g, "auto"), DictEngine)
+        monkeypatch.setenv("KH_CORE_CSR_THRESHOLD", "4")
+        assert csr_suitable(g)
+        assert isinstance(resolve_engine(g, "auto"), CSREngine)
+
+    def test_keyword_overrides_env_var(self, monkeypatch):
+        monkeypatch.setenv("KH_CORE_CSR_THRESHOLD", "100")
+        assert csr_suitable(path_graph(4), min_vertices=0)
+
+    def test_explicit_csr_request_bypasses_threshold(self, monkeypatch):
+        monkeypatch.setenv("KH_CORE_CSR_THRESHOLD", "100")
+        assert isinstance(resolve_engine(path_graph(4), "csr"), CSREngine)
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv("KH_CORE_CSR_THRESHOLD", "many")
+        with pytest.raises(ParameterError):
+            csr_suitable(path_graph(4))
+        monkeypatch.setenv("KH_CORE_CSR_THRESHOLD", "-3")
+        with pytest.raises(ParameterError):
+            csr_suitable(path_graph(4))
+
+    def test_negative_keyword_rejected(self):
+        with pytest.raises(ParameterError):
+            csr_suitable(path_graph(4), min_vertices=-1)
+
+    def test_resolved_backend_name(self, monkeypatch):
+        from repro.core.backends import resolved_backend_name
+        g = path_graph(4)
+        assert resolved_backend_name(g, "auto") == "csr"
+        assert resolved_backend_name(g, "dict") == "dict"
+        assert resolved_backend_name(g, CSREngine(g)) == "csr"
+        monkeypatch.setenv("KH_CORE_CSR_THRESHOLD", "100")
+        assert resolved_backend_name(g, "auto") == "dict"
+        with pytest.raises(ParameterError):
+            resolved_backend_name(g, "gpu")
+
+
+class TestCSRDeltaRebuild:
+    """CSRGraph.rebuilt / CSREngine.refresh: stale snapshots catch up."""
+
+    def _assert_same_topology(self, csr, graph):
+        fresh = CSRGraph.from_graph(graph)
+        for v in graph.vertices():
+            assert csr.neighbors_of_label(v) == fresh.neighbors_of_label(v)
+        assert csr.num_vertices == graph.num_vertices
+        assert csr.num_edges == graph.num_edges
+
+    def test_rebuilt_after_edge_changes(self):
+        g = erdos_renyi_graph(20, 0.2, seed=2)
+        csr = CSRGraph.from_graph(g)
+        g.add_edge(0, 19)
+        g.remove_edge(*next(iter(g.edges())))
+        touched = {0, 19} | set(range(20))  # superset of changed rows is fine
+        self._assert_same_topology(csr.rebuilt(g, touched), g)
+
+    def test_rebuilt_preserves_existing_indices(self):
+        g = path_graph(6)
+        csr = CSRGraph.from_graph(g)
+        g.add_edge(0, 5)
+        rebuilt = csr.rebuilt(g, {0, 5})
+        for v in range(6):
+            assert rebuilt.index(v) == csr.index(v)
+
+    def test_rebuilt_appends_new_vertices(self):
+        g = path_graph(4)
+        csr = CSRGraph.from_graph(g)
+        g.add_edge(3, 99)
+        rebuilt = csr.rebuilt(g, {3, 99})
+        assert rebuilt.index(99) == 4
+        self._assert_same_topology(rebuilt, g)
+
+    def test_rebuilt_matches_from_graph_under_random_mutations(self):
+        # Span-copy stress: adjacent touched rows, touched rows at both
+        # ends, appended vertices and untouched runs must all reassemble
+        # into exactly the arrays a fresh build produces.
+        import random
+        rng = random.Random(7)
+        g = erdos_renyi_graph(30, 0.15, seed=6)
+        for round_number in range(25):
+            csr = CSRGraph.from_graph(g)
+            touched = set()
+            for _ in range(rng.randint(1, 4)):
+                if rng.random() < 0.3:
+                    new = 100 + round_number * 10 + rng.randint(0, 9)
+                    anchor = rng.choice(sorted(g.vertices(), key=repr))
+                    if new != anchor and not g.has_edge(new, anchor):
+                        g.add_edge(new, anchor)
+                        touched.update((new, anchor))
+                elif rng.random() < 0.5 and g.num_edges:
+                    u, v = rng.choice(sorted(g.edges(), key=repr))
+                    g.remove_edge(u, v)
+                    touched.update((u, v))
+                else:
+                    u, v = rng.sample(sorted(g.vertices(), key=repr), 2)
+                    if not g.has_edge(u, v):
+                        g.add_edge(u, v)
+                        touched.update((u, v))
+            rebuilt = csr.rebuilt(g, touched)
+            fresh = CSRGraph.from_graph(g)
+            assert rebuilt.labels[:csr.num_vertices] == csr.labels
+            assert rebuilt.num_vertices == fresh.num_vertices
+            assert rebuilt.num_edges == fresh.num_edges
+            for v in g.vertices():
+                assert rebuilt.neighbors_of_label(v) == \
+                    fresh.neighbors_of_label(v)
+
+    def test_rebuilt_falls_back_on_vertex_removal(self):
+        g = path_graph(5)
+        csr = CSRGraph.from_graph(g)
+        g.remove_vertex(2)
+        rebuilt = csr.rebuilt(g, {2})
+        self._assert_same_topology(rebuilt, g)
+
+    def test_rebuilt_none_touched_full_rebuild(self):
+        g = path_graph(4)
+        csr = CSRGraph.from_graph(g)
+        g.add_edge(0, 3)
+        self._assert_same_topology(csr.rebuilt(g), g)
+
+    def test_engine_refresh_unstales_engine(self):
+        g = erdos_renyi_graph(15, 0.2, seed=4)
+        engine = CSREngine(g)
+        g.add_edge(0, 99)  # guaranteed-new vertex: always a real mutation
+        with pytest.raises(ParameterError):
+            resolve_engine(g, engine)
+        engine.refresh({0, 99})
+        assert resolve_engine(g, engine) is engine
+        expected = h_bz(g, 2, backend="dict").core_index
+        assert h_bz(g, 2, backend=engine).core_index == expected
+
+    def test_engine_refresh_is_noop_when_current(self):
+        g = path_graph(4)
+        engine = CSREngine(g)
+        snapshot = engine.csr
+        engine.refresh()
+        assert engine.csr is snapshot
+
+    def test_dict_engine_refresh_is_noop(self):
+        g = path_graph(4)
+        engine = DictEngine(g)
+        g.add_edge(0, 3)
+        engine.refresh()
+        assert resolve_engine(g, engine) is engine
+
+    def test_prebuilt_snapshot_from_older_graph_state_rejected(self):
+        # The version stamp is taken at construction, so it cannot vouch
+        # for a snapshot built before a mutation; the snapshot's recorded
+        # source version must catch that at the constructor boundary.
+        g = path_graph(4)
+        csr = CSRGraph.from_graph(g)
+        g.add_edge(0, 99)
+        with pytest.raises(ParameterError):
+            CSREngine(g, csr)
+
+    def test_prebuilt_snapshot_rejected_even_with_equal_sizes(self):
+        # remove+add keeps |V| and |E| identical; only the source-version
+        # stamp distinguishes the stale snapshot from a fresh one.
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        csr = CSRGraph.from_graph(g)
+        g.remove_edge(0, 1)
+        g.add_edge(0, 2)
+        with pytest.raises(ParameterError):
+            CSREngine(g, csr)
+        assert CSRGraph.from_graph(g).source_version == g.version

@@ -72,3 +72,98 @@ class TestMain:
             cli_cores[int(vertex)] = int(core)
         expected = core_decomposition(read_edge_list(edge_list_file), 2).core_index
         assert cli_cores == expected
+
+
+class TestVerboseBackend:
+    def test_verbose_surfaces_resolved_backend(self, edge_list_file, capsys):
+        exit_code = main([str(edge_list_file), "--h", "2", "--verbose"])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "# backend: csr (requested: auto)" in err
+
+    def test_verbose_respects_csr_threshold(self, edge_list_file, capsys):
+        exit_code = main([str(edge_list_file), "--h", "2", "--verbose",
+                          "--csr-threshold", "1000"])
+        assert exit_code == 0
+        assert "# backend: dict (requested: auto)" in capsys.readouterr().err
+
+    def test_quiet_by_default(self, edge_list_file, capsys):
+        main([str(edge_list_file), "--h", "2"])
+        assert "# backend" not in capsys.readouterr().err
+
+
+class TestStreamSubcommand:
+    @pytest.fixture
+    def update_file(self, tmp_path):
+        path = tmp_path / "updates.txt"
+        path.write_text("# toy stream\n+ 0 3\n- 3 4\n+ 1 4\n")
+        return path
+
+    def test_replay_matches_from_scratch(self, edge_list_file, update_file,
+                                         capsys):
+        from repro.core import core_decomposition
+        from repro.graph import read_edge_list
+
+        exit_code = main(["stream", str(update_file),
+                          "--graph", str(edge_list_file), "--h", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        got = {int(line.split()[0]): int(line.split()[1])
+               for line in out.strip().splitlines()}
+        graph = read_edge_list(edge_list_file)
+        graph.add_edge(0, 3)
+        graph.remove_edge(3, 4)
+        graph.add_edge(1, 4)
+        assert got == core_decomposition(graph, 2).core_index
+
+    def test_summary_and_stats(self, edge_list_file, update_file, capsys):
+        exit_code = main(["stream", str(update_file),
+                          "--graph", str(edge_list_file), "--summary"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "replayed 3 updates" in captured.err
+        assert "core" in captured.out
+
+    def test_verbose_reports_batches_and_backend(self, edge_list_file,
+                                                 update_file, capsys):
+        exit_code = main(["stream", str(update_file),
+                          "--graph", str(edge_list_file),
+                          "--batch-size", "2", "--verbose"])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "# backend:" in err
+        assert "# batch 0:" in err
+        assert "# batch 1:" in err
+
+    def test_output_file(self, edge_list_file, update_file, tmp_path, capsys):
+        target = tmp_path / "cores.txt"
+        exit_code = main(["stream", str(update_file),
+                          "--graph", str(edge_list_file),
+                          "--output", str(target)])
+        assert exit_code == 0
+        assert len(target.read_text().strip().splitlines()) == 6
+
+    def test_empty_start_graph_delete_errors_cleanly(self, update_file,
+                                                     capsys):
+        exit_code = main(["stream", str(update_file)])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_update_file_errors_cleanly(self, tmp_path, capsys):
+        exit_code = main(["stream", str(tmp_path / "nope.txt")])
+        assert exit_code == 2
+
+    def test_malformed_stream_errors_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("+ 1\n")
+        exit_code = main(["stream", str(bad)])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_fallback_ratio_forwarded(self, edge_list_file, update_file,
+                                      capsys):
+        exit_code = main(["stream", str(update_file),
+                          "--graph", str(edge_list_file),
+                          "--fallback-ratio", "0.0", "--verbose"])
+        assert exit_code == 0
+        assert "mode=full" in capsys.readouterr().err

@@ -81,6 +81,125 @@ class TestMutation:
         assert g.num_edges == 2
 
 
+class TestVersionAndListeners:
+    def test_version_starts_at_zero(self):
+        assert Graph().version == 0
+
+    def test_structural_changes_bump_version(self):
+        g = Graph()
+        g.add_vertex(1)
+        after_vertex = g.version
+        assert after_vertex > 0
+        g.add_edge(1, 2)
+        after_edge = g.version
+        assert after_edge > after_vertex
+        g.remove_edge(1, 2)
+        assert g.version > after_edge
+        before_removal = g.version
+        g.remove_vertex(2)
+        assert g.version > before_removal
+
+    def test_idempotent_noops_do_not_bump_version(self):
+        g = Graph([(1, 2)])
+        version = g.version
+        g.add_vertex(1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.version == version
+
+    def test_listener_receives_events(self):
+        g = Graph()
+        log = []
+        g.add_mutation_listener(lambda event, payload: log.append((event, payload)))
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        g.remove_vertex(1)
+        assert ("add_vertex", 1) in log
+        assert ("add_edge", (1, 2)) in log
+        assert ("remove_edge", (1, 2)) in log
+        assert log[-1] == ("remove_vertex", (1, frozenset()))
+
+    def test_remove_vertex_event_carries_incident_neighbors(self):
+        # Incident edges vanish without individual remove_edge events; the
+        # payload's neighbor set is what touched-adjacency trackers need.
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        log = []
+        g.add_mutation_listener(lambda event, payload: log.append((event, payload)))
+        g.remove_vertex(1)
+        assert log == [("remove_vertex", (1, frozenset({2, 3})))]
+
+    def test_listener_not_called_for_noops(self):
+        g = Graph([(1, 2)])
+        log = []
+        g.add_mutation_listener(lambda event, payload: log.append(event))
+        g.add_edge(1, 2)
+        assert log == []
+
+    def test_remove_listener(self):
+        g = Graph()
+        log = []
+        listener = lambda event, payload: log.append(event)  # noqa: E731
+        g.add_mutation_listener(listener)
+        g.remove_mutation_listener(listener)
+        g.add_vertex(1)
+        assert log == []
+
+    def test_copy_does_not_share_version_or_listeners(self):
+        g = Graph([(1, 2)])
+        log = []
+        g.add_mutation_listener(lambda event, payload: log.append(event))
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert log == []
+        assert clone.version != g.version or g.version == 0
+
+
+class TestRemovalSemantics:
+    """Removal behavior the dynamic engine depends on."""
+
+    def test_remove_edge_keeps_isolated_endpoints(self):
+        g = Graph([(1, 2)])
+        g.remove_edge(1, 2)
+        assert g.has_vertex(1) and g.has_vertex(2)
+        assert g.degree(1) == 0 and g.degree(2) == 0
+
+    def test_remove_edge_is_symmetric(self):
+        g = Graph([(1, 2)])
+        g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+
+    def test_remove_edge_twice_raises(self):
+        g = Graph([(1, 2)])
+        g.remove_edge(1, 2)
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 2)
+
+    def test_errors_are_key_errors_and_graph_errors(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(KeyError):
+            g.remove_vertex(9)
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 9)
+
+    def test_remove_vertex_after_neighbor_removed(self):
+        g = Graph([(1, 2), (2, 3)])
+        g.remove_vertex(2)
+        g.remove_vertex(1)
+        assert set(g.vertices()) == {3}
+
+    def test_removed_edge_error_carries_edge(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(EdgeNotFoundError) as excinfo:
+            g.remove_edge(1, 3)
+        assert excinfo.value.edge == (1, 3)
+
+    def test_removed_vertex_error_carries_vertex(self):
+        g = Graph()
+        with pytest.raises(VertexNotFoundError) as excinfo:
+            g.remove_vertex("ghost")
+        assert excinfo.value.vertex == "ghost"
+
+
 class TestQueries:
     def test_neighbors(self):
         g = Graph([(1, 2), (1, 3), (2, 3)])
