@@ -1,12 +1,41 @@
-"""Benchmark: Figure 5 — h-LB+UB runtime on snowball samples of growing size."""
+"""Benchmark: Figure 5 — scalability on snowball samples and across cores.
 
+Two claims are asserted, not assumed:
+
+1. **Runtime grows with sample size** (the paper's Figure 5 series).
+2. **The process executor with 4 workers is >= 2x faster than the serial
+   bulk h-degree pass** on a machine with >= 4 cores — the §4.6
+   parallelization finally measured with real cores instead of GIL-bound
+   threads.  The speedup test is skipped on boxes with fewer cores and
+   under pytest-xdist (several test processes already saturate the CPUs,
+   so wall-clock ratios stop meaning anything); CI runs it in the
+   dedicated non-xdist benchmark step with ``KH_CORE_BENCH_QUICK=1``.
+"""
+
+import os
+import statistics
+import time
+
+import pytest
 from bench_utils import run_once
 
 from repro.core import h_lb_ub
+from repro.core.backends import CSREngine
 from repro.datasets import load_dataset
 from repro.experiments import figure5_scalability
 from repro.experiments.common import ExperimentConfig
+from repro.graph.generators import barabasi_albert_graph
 from repro.graph.sampling import snowball_sample
+
+QUICK = os.environ.get("KH_CORE_BENCH_QUICK", "") not in ("", "0")
+
+#: Size of the Barabási–Albert graph for the process-speedup benchmark and
+#: the distance threshold of its bulk pass (h = 3 makes the per-vertex BFS
+#: expensive enough that chunk dispatch overhead is amortized).
+SPEEDUP_GRAPH_SIZE = 2500 if QUICK else 5000
+SPEEDUP_H = 3
+SPEEDUP_WORKERS = 4
+REQUIRED_PROCESS_SPEEDUP = 2.0
 
 
 def test_figure5_regeneration(benchmark):
@@ -20,6 +49,23 @@ def test_figure5_regeneration(benchmark):
     assert times[-1] >= times[0] * 0.5
 
 
+def test_figure5b_executor_scaling_regeneration(benchmark):
+    """Regenerate the executor-scaling table (timing artifact for CI)."""
+    config = ExperimentConfig(scale="tiny", h_values=(2,))
+    config.extra["executors"] = ("serial", "thread", "process")
+    config.extra["worker_counts"] = (2,)
+    config.extra["scaling_sample_size"] = 80 if QUICK else 200
+    config.extra["repeats"] = 1
+    rows = run_once(benchmark, figure5_scalability.run_executor_scaling,
+                    config)
+    print("\nexecutor scaling (cores=%s):" % (os.cpu_count() or 1))
+    for row in rows:
+        print(f"  {row['executor']:>7} x{row['workers']}: "
+              f"{row['time (s)']:.4f}s  speedup={row['speedup']}")
+    assert {row["executor"] for row in rows} == \
+        {"serial", "thread", "process"}
+
+
 def test_snowball_sampling_kernel(benchmark):
     base = load_dataset("lj", scale="tiny", seed=0)
     sample = benchmark(snowball_sample, base, 60, 1)
@@ -31,3 +77,76 @@ def test_h_lb_ub_on_sample_kernel(benchmark):
     sample = snowball_sample(base, 80, seed=1)
     result = benchmark(h_lb_ub, sample, 2)
     assert result.degeneracy > 0
+
+
+def _bulk_seconds(engine, executor, workers, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.bulk_h_degrees(SPEEDUP_H, num_threads=workers,
+                              executor=executor)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_process_pool_beats_serial_bulk_pass():
+    """Process executor with 4 workers must be >= 2x serial (>= 4 cores)."""
+    cores = os.cpu_count() or 1
+    if cores < SPEEDUP_WORKERS:
+        pytest.skip(f"needs >= {SPEEDUP_WORKERS} cores, have {cores}")
+    if os.environ.get("PYTEST_XDIST_WORKER"):
+        pytest.skip("wall-clock speedups are meaningless under xdist")
+
+    graph = barabasi_albert_graph(SPEEDUP_GRAPH_SIZE, 3, seed=0)
+    engine = CSREngine(graph)
+    try:
+        serial_seconds = _bulk_seconds(engine, "serial", 1)
+        serial_result = engine.bulk_h_degrees(SPEEDUP_H)
+
+        # Warm the pool and the shared-memory export before timing.
+        engine.bulk_h_degrees(SPEEDUP_H, targets=range(16),
+                              num_threads=SPEEDUP_WORKERS,
+                              executor="process")
+        process_seconds = _bulk_seconds(engine, "process", SPEEDUP_WORKERS)
+        process_result = engine.bulk_h_degrees(
+            SPEEDUP_H, num_threads=SPEEDUP_WORKERS, executor="process")
+    finally:
+        engine.close()
+
+    speedup = serial_seconds / process_seconds if process_seconds \
+        else float("inf")
+    print(f"\n|V|={graph.num_vertices} h={SPEEDUP_H} "
+          f"serial={serial_seconds * 1000:.0f}ms "
+          f"process(x{SPEEDUP_WORKERS})={process_seconds * 1000:.0f}ms "
+          f"speedup={speedup:.2f}x "
+          f"(required: {REQUIRED_PROCESS_SPEEDUP}x, cores={cores})")
+
+    assert process_result == serial_result
+    assert speedup >= REQUIRED_PROCESS_SPEEDUP, (
+        f"process executor with {SPEEDUP_WORKERS} workers degraded to "
+        f"{speedup:.2f}x over serial "
+        f"(required >= {REQUIRED_PROCESS_SPEEDUP}x)"
+    )
+
+
+def test_thread_pool_documents_gil_ceiling():
+    """The legacy thread path must stay *correct*; no speedup is claimed.
+
+    This pins the motivation for the process engine: whatever the thread
+    pool measures, its results are identical to serial.  (Median used so a
+    noisy scheduler cannot flake the equality check's companion timing.)
+    """
+    graph = barabasi_albert_graph(400, 3, seed=1)
+    engine = CSREngine(graph)
+    try:
+        serial = engine.bulk_h_degrees(2)
+        durations = []
+        for _ in range(3):
+            start = time.perf_counter()
+            threaded = engine.bulk_h_degrees(2, num_threads=4,
+                                             executor="thread")
+            durations.append(time.perf_counter() - start)
+        assert threaded == serial
+        assert statistics.median(durations) > 0
+    finally:
+        engine.close()

@@ -5,6 +5,7 @@ Usage::
     python -m repro input.edges --h 2                 # print core indices
     python -m repro input.edges --h 3 --algorithm h-LB+UB --output cores.txt
     python -m repro input.edges --h 2 --summary       # only aggregate stats
+    python -m repro input.edges --h 2 --workers 4 --executor process
     python -m repro --demo --h 2                      # run on a built-in demo graph
     python -m repro stream updates.txt --h 2          # replay an edge stream
     python -m repro stream updates.txt --graph input.edges --batch-size 32
@@ -53,7 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--partition-size", type=int, default=1,
                         help="partition size S for h-LB+UB (default: 1)")
     parser.add_argument("--threads", type=int, default=1,
-                        help="threads for bulk h-degree computation (default: 1)")
+                        help="legacy alias for --workers (default: 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="workers for the bulk h-degree passes "
+                             "(default: the --threads value)")
+    parser.add_argument("--executor", default="thread",
+                        choices=("serial", "thread", "process"),
+                        help="scheduler for the bulk h-degree passes: "
+                             "serial, thread (GIL-bound), or process "
+                             "(shared-memory multiprocessing; scales with "
+                             "real cores)")
     parser.add_argument("--output", help="write 'vertex core' lines to this file")
     parser.add_argument("--summary", action="store_true",
                         help="print only aggregate statistics")
@@ -148,11 +158,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         graph = _load_graph(args)
         backend = resolved_backend_name(graph, args.backend,
                                         csr_threshold=args.csr_threshold)
+        workers = args.workers if args.workers is not None else args.threads
         report = core_decomposition_with_report(
             graph, args.h, algorithm=args.algorithm,
             dataset_name=args.input or "demo",
-            partition_size=args.partition_size, num_threads=args.threads,
-            backend=backend)
+            partition_size=args.partition_size, num_workers=workers,
+            executor=args.executor, backend=backend)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -162,6 +173,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"# algorithm: {result.algorithm}, h = {args.h}", file=sys.stderr)
     if args.verbose:
         print(f"# backend: {backend} (requested: {args.backend})", file=sys.stderr)
+        print(f"# executor: {args.executor}, workers: {workers}",
+              file=sys.stderr)
     print(f"# time: {report.seconds:.3f}s, h-BFS visits: {report.visits}", file=sys.stderr)
     print(f"# h-degeneracy: {result.degeneracy}, distinct cores: {result.num_distinct_cores}",
           file=sys.stderr)

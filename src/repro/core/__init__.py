@@ -36,7 +36,7 @@ from repro.core.bounds import (
 from repro.core.hbz import h_bz
 from repro.core.hlb import h_lb
 from repro.core.hlbub import h_lb_ub, build_partitions
-from repro.core.parallel import compute_h_degrees
+from repro.core.parallel import EXECUTORS, chunk_plan, compute_h_degrees, map_batches
 from repro.core.decomposition import (
     ALGORITHMS,
     core_decomposition,
@@ -66,7 +66,10 @@ __all__ = [
     "h_lb_ub",
     "build_partitions",
     "compute_h_degrees",
+    "chunk_plan",
+    "map_batches",
     "ALGORITHMS",
+    "EXECUTORS",
     "core_decomposition",
     "core_decomposition_with_report",
     "VertexSpectrum",

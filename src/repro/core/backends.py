@@ -19,6 +19,17 @@ Algorithms are written once against the engine API (see
 :mod:`repro.core.hbz`, :mod:`repro.core.peeling`, :mod:`repro.core.bounds`),
 which is what guarantees both backends produce identical core numbers.
 
+The bulk h-degree pass additionally selects an *executor* (``"serial"``,
+``"thread"`` or ``"process"`` — see :data:`repro.core.parallel.EXECUTORS`).
+The process executor is the only one that scales on CPython; on the CSR
+engine it runs through the shared-memory subsystem (:mod:`repro.parallel`):
+the flat arrays are exported once per snapshot generation, a persistent
+worker pool attaches to the block, and :meth:`CSREngine.refresh` re-exports
+with a bumped generation so workers never traverse a stale topology.
+Engines that spun up a process pool own it — call :meth:`CSREngine.close`
+(the facade does this for engines it resolved itself) to shut the pool down
+and unlink the shared block; a GC finalizer backstops forgotten engines.
+
 Engine contract
 ---------------
 Handles are opaque to the algorithms; only the engine translates them back to
@@ -49,10 +60,14 @@ class DictEngine:
 
     name = "dict"
 
-    __slots__ = ("graph",)
+    __slots__ = ("graph", "_process_delegate")
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
+        # Lazily-built CSREngine serving executor="process" bulk passes, so
+        # one dict-backend decomposition spins the worker pool up once, not
+        # once per pass (see bulk_h_degrees).
+        self._process_delegate = None
 
     # -- handle space -------------------------------------------------- #
     def nodes(self) -> List[Vertex]:
@@ -85,7 +100,18 @@ class DictEngine:
         return set(handles)
 
     def refresh(self, touched=None) -> None:
-        """No-op: the dict engine reads the live graph, it has no snapshot."""
+        """Near no-op: the dict engine reads the live graph directly.
+
+        Only the process-executor delegate (a CSR snapshot) needs syncing.
+        """
+        if self._process_delegate is not None:
+            self._process_delegate.refresh(touched)
+
+    def close(self) -> None:
+        """Tear down the process-executor delegate's pool, if one was built."""
+        delegate, self._process_delegate = self._process_delegate, None
+        if delegate is not None:
+            delegate.close()
 
     # -- traversal primitives ------------------------------------------ #
     def h_degree(self, handle: Vertex, h: int, alive=None,
@@ -106,10 +132,22 @@ class DictEngine:
 
     def bulk_h_degrees(self, h: int, targets=None, alive=None,
                        num_threads: int = 1,
-                       counters: Counters = NULL_COUNTERS) -> Dict[Vertex, int]:
+                       counters: Counters = NULL_COUNTERS,
+                       executor: str = "thread") -> Dict[Vertex, int]:
         from repro.core.parallel import compute_h_degrees
+        backend: object = "dict"
+        if executor == "process" and num_threads > 1:
+            # Process dispatch needs a CSR snapshot; cache one engine (and
+            # its worker pool) across this engine's bulk passes instead of
+            # paying a pool spin-up per pass.
+            if self._process_delegate is None:
+                self._process_delegate = CSREngine(self.graph)
+            elif self._process_delegate.built_version != self.graph.version:
+                self._process_delegate.refresh(None)
+            backend = self._process_delegate
         return compute_h_degrees(self.graph, h, vertices=targets, alive=alive,
-                                 num_threads=num_threads, counters=counters)
+                                 num_threads=num_threads, counters=counters,
+                                 backend=backend, executor=executor)
 
 
 class CSREngine:
@@ -117,10 +155,11 @@ class CSREngine:
 
     name = "csr"
 
-    __slots__ = ("graph", "csr", "_scratch", "built_version")
+    __slots__ = ("graph", "csr", "_scratch", "built_version", "_shm_pool")
 
     def __init__(self, graph: Graph, csr: Optional[CSRGraph] = None) -> None:
         self.graph = graph
+        self._shm_pool = None
         if csr is not None and (
                 (csr.source_version is not None
                  and csr.source_version != graph.version)
@@ -153,6 +192,44 @@ class CSREngine:
         self.csr = self.csr.rebuilt(self.graph, touched)
         self._scratch = ArrayBFS(self.csr)
         self.built_version = self.graph.version
+        if self._shm_pool is not None:
+            # Version-stamped re-export: the worker pool survives the
+            # refresh, but the stale block is unlinked now and the next
+            # process dispatch exports the new snapshot under a bumped
+            # generation (every dispatch calls ensure_export), so no worker
+            # ever traverses the stale topology.  Invalidate-only keeps a
+            # mutation stream from paying an O(n + m) export per refresh
+            # when no dispatch happens in between.
+            self._shm_pool.invalidate_export()
+
+    def close(self) -> None:
+        """Tear down the process pool and shared-memory export, if any.
+
+        Idempotent; the engine remains usable afterwards (a later
+        ``executor="process"`` bulk pass simply spins the pool up again).
+        """
+        pool, self._shm_pool = self._shm_pool, None
+        if pool is not None:
+            pool.close()
+
+    def _process_pool(self, num_workers: int,
+                      start_method: Optional[str] = None):
+        """Return the persistent shared-memory executor, (re)building it
+        when the requested worker count changes."""
+        from repro.parallel.pool import SharedMemoryExecutor
+        pool = self._shm_pool
+        if pool is not None and (pool.closed
+                                 or pool.num_workers != num_workers):
+            # A failed dispatch tears its executor down; discard it here so
+            # the next process request recovers with a fresh pool instead
+            # of erroring forever on the cached corpse.
+            pool.close()
+            pool = None
+        if pool is None:
+            pool = SharedMemoryExecutor(num_workers,
+                                        start_method=start_method)
+            self._shm_pool = pool
+        return pool
 
     # -- handle space -------------------------------------------------- #
     def nodes(self) -> range:
@@ -207,18 +284,34 @@ class CSREngine:
     def bulk_h_degrees(self, h: int, targets=None,
                        alive: Optional[AliveMask] = None,
                        num_threads: int = 1,
-                       counters: Counters = NULL_COUNTERS) -> Dict[int, int]:
-        """h-degree of every target index, optionally across a thread pool.
+                       counters: Counters = NULL_COUNTERS,
+                       executor: str = "thread") -> Dict[int, int]:
+        """h-degree of every target index, optionally across a worker pool.
 
-        Mirrors :func:`repro.core.parallel.compute_h_degrees`: each worker
-        owns a private :class:`ArrayBFS` scratch (the shared one is not
+        ``executor`` selects the scheduler (see
+        :data:`repro.core.parallel.EXECUTORS`).  The thread path mirrors
+        :func:`repro.core.parallel.compute_h_degrees`: each worker owns a
+        private :class:`ArrayBFS` scratch (the shared one is not
         thread-safe) and a private :class:`Counters`, merged at the end.
+        The process path exports the CSR arrays into shared memory once per
+        snapshot generation and fans degree-weighted chunks out to a
+        persistent worker pool (:mod:`repro.parallel`) — the only executor
+        that scales on CPython.
         """
+        from repro.core.parallel import _validate_executor
+        _validate_executor(executor)
         if targets is None:
             targets = alive if alive is not None else range(self.csr.num_vertices)
         indices = list(targets)
 
-        if num_threads <= 1 or len(indices) < 2:
+        if executor == "process" and num_threads > 1 and len(indices) >= 2:
+            indptr = self.csr.indptr
+            weights = [indptr[i + 1] - indptr[i] for i in indices]
+            pool = self._process_pool(num_threads)
+            return pool.bulk_h_degrees(self.csr, h, indices, alive=alive,
+                                       counters=counters, weights=weights)
+
+        if num_threads <= 1 or len(indices) < 2 or executor == "serial":
             run = self._scratch.run
             result: Dict[int, int] = {}
             for i in indices:

@@ -108,7 +108,8 @@ def lower_bound_lb2(graph: Graph, h: int,
 def engine_upper_bound(engine: Engine, h: int,
                        initial_h_degrees: Optional[Dict[Handle, int]] = None,
                        counters: Counters = NULL_COUNTERS,
-                       num_threads: int = 1) -> Dict[Handle, int]:
+                       num_threads: int = 1,
+                       executor: str = "thread") -> Dict[Handle, int]:
     """``UB(v)`` per handle: classic core index in the implicit h-power graph."""
     _validate_h(h)
     handles = list(engine.nodes())
@@ -117,7 +118,8 @@ def engine_upper_bound(engine: Engine, h: int,
     if initial_h_degrees is None:
         initial_h_degrees = engine.bulk_h_degrees(h, targets=handles,
                                                   num_threads=num_threads,
-                                                  counters=counters)
+                                                  counters=counters,
+                                                  executor=executor)
     estimate: Dict[Handle, int] = dict(initial_h_degrees)
     buckets = BucketQueue(counters)
     for v, d in estimate.items():
@@ -145,7 +147,8 @@ def engine_upper_bound(engine: Engine, h: int,
 def upper_bound(graph: Graph, h: int,
                 initial_h_degrees: Optional[Dict[Vertex, int]] = None,
                 counters: Counters = NULL_COUNTERS,
-                num_threads: int = 1) -> Dict[Vertex, int]:
+                num_threads: int = 1,
+                executor: str = "thread") -> Dict[Vertex, int]:
     """Return ``UB(v)``: the classic core index of ``v`` in the h-power graph.
 
     Implements Algorithm 5.  The power graph is kept implicit: when a vertex
@@ -163,7 +166,8 @@ def upper_bound(graph: Graph, h: int,
     """
     return engine_upper_bound(DictEngine(graph), h,
                               initial_h_degrees=initial_h_degrees,
-                              counters=counters, num_threads=num_threads)
+                              counters=counters, num_threads=num_threads,
+                              executor=executor)
 
 
 # --------------------------------------------------------------------- #
@@ -172,7 +176,8 @@ def upper_bound(graph: Graph, h: int,
 def engine_improve_lb(engine: Engine, h: int, candidate: Iterable[Handle],
                       k: int,
                       counters: Counters = NULL_COUNTERS,
-                      num_threads: int = 1):
+                      num_threads: int = 1,
+                      executor: str = "thread"):
     """Clean ``candidate`` = V[k]; return ``(alive set, min h-degree)``.
 
     The returned alive set uses the engine's native alive type (a Python
@@ -184,7 +189,8 @@ def engine_improve_lb(engine: Engine, h: int, candidate: Iterable[Handle],
     if not alive:
         return alive, 0
     degrees = engine.bulk_h_degrees(h, targets=alive, alive=alive,
-                                    num_threads=num_threads, counters=counters)
+                                    num_threads=num_threads, counters=counters,
+                                    executor=executor)
     min_degree = min(degrees.values())
     pending = {v for v, d in degrees.items() if d < k}
     while pending:
@@ -204,7 +210,8 @@ def engine_improve_lb(engine: Engine, h: int, candidate: Iterable[Handle],
 
 def improve_lb(graph: Graph, h: int, candidate: Set[Vertex], k: int,
                counters: Counters = NULL_COUNTERS,
-               num_threads: int = 1) -> Tuple[Set[Vertex], int]:
+               num_threads: int = 1,
+               executor: str = "thread") -> Tuple[Set[Vertex], int]:
     """Clean ``candidate`` = V[k] and return ``(surviving vertices, min h-degree)``.
 
     Implements Algorithm 6.  The minimum h-degree over the candidate set is a
@@ -215,4 +222,5 @@ def improve_lb(graph: Graph, h: int, candidate: Set[Vertex], k: int,
     partition entirely when it contains no core.
     """
     return engine_improve_lb(DictEngine(graph), h, candidate, k,
-                             counters=counters, num_threads=num_threads)
+                             counters=counters, num_threads=num_threads,
+                             executor=executor)

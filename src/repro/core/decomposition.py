@@ -14,6 +14,7 @@ from typing import Optional, Union
 from repro.errors import InvalidDistanceThresholdError, ParameterError
 from repro.graph.graph import Graph
 from repro.core.backends import BACKENDS, Engine, resolve_engine
+from repro.core.parallel import _validate_executor
 from repro.core.classic import classic_core_decomposition
 from repro.core.hbz import h_bz
 from repro.core.hlb import h_lb
@@ -35,7 +36,9 @@ def core_decomposition(graph: Graph, h: int,
                        partition_size: int = 1,
                        num_threads: int = 1,
                        counters: Optional[Counters] = None,
-                       backend: Union[str, Engine] = "auto") -> CoreDecomposition:
+                       backend: Union[str, Engine] = "auto",
+                       executor: str = "thread",
+                       num_workers: Optional[int] = None) -> CoreDecomposition:
     """Compute the distance-generalized core decomposition of ``graph``.
 
     Parameters
@@ -51,9 +54,19 @@ def core_decomposition(graph: Graph, h: int,
     partition_size:
         Parameter ``S`` of h-LB+UB (ignored by the other algorithms).
     num_threads:
-        Number of threads for the bulk h-degree computations (§4.6).
+        Number of workers for the bulk h-degree computations (§4.6);
+        ``num_workers`` is the preferred alias and wins when both are given.
     counters:
         Optional instrumentation sink filled with visit/recompute counts.
+    executor:
+        Scheduler for the bulk h-degree passes: ``"serial"``, ``"thread"``
+        (the legacy pool — correct, but GIL-bound on CPython) or
+        ``"process"`` (shared-memory multiprocessing over CSR arrays, the
+        path that actually scales; see :mod:`repro.parallel`).  All
+        executors produce identical core numbers.
+    num_workers:
+        Worker count for the selected executor (alias for ``num_threads``
+        now that workers are not necessarily threads).
     backend:
         Graph backend for the generalized algorithms: ``"dict"`` (the
         reference dict-of-sets representation), ``"csr"`` (flat-array CSR
@@ -87,6 +100,8 @@ def core_decomposition(graph: Graph, h: int,
         )
     if not isinstance(h, int) or isinstance(h, bool) or h < 1:
         raise InvalidDistanceThresholdError(h)
+    _validate_executor(executor)
+    workers = num_workers if num_workers is not None else num_threads
     sink = counters if counters is not None else Counters()
 
     if algorithm == "auto":
@@ -104,21 +119,29 @@ def core_decomposition(graph: Graph, h: int,
     if algorithm == "naive":
         return naive_core_decomposition(graph, h)
     # Resolve the backend once so "auto" makes a single suitability scan and
-    # a CSR snapshot is built (at most) once per decomposition.
+    # a CSR snapshot is built (at most) once per decomposition.  Engines
+    # resolved *here* are owned here: any process pool / shared-memory block
+    # they spin up is torn down before returning.  Callers who want to
+    # amortize the pool across decompositions pass a pre-built engine.
     engine = resolve_engine(graph, backend)
-    if h == 1:
-        # All three generalized algorithms are correct for h = 1 but the
-        # classic peeling is strictly faster; keep explicit requests honest by
-        # still running the requested algorithm.
-        pass
-    if algorithm == "h-BZ":
-        return h_bz(graph, h, counters=sink, num_threads=num_threads,
-                    backend=engine)
-    if algorithm == "h-LB":
-        return h_lb(graph, h, counters=sink, num_threads=num_threads,
-                    backend=engine)
-    return h_lb_ub(graph, h, partition_size=partition_size, counters=sink,
-                   num_threads=num_threads, backend=engine)
+    owned = isinstance(backend, str)
+    try:
+        if h == 1:
+            # All three generalized algorithms are correct for h = 1 but the
+            # classic peeling is strictly faster; keep explicit requests
+            # honest by still running the requested algorithm.
+            pass
+        if algorithm == "h-BZ":
+            return h_bz(graph, h, counters=sink, num_threads=workers,
+                        backend=engine, executor=executor)
+        if algorithm == "h-LB":
+            return h_lb(graph, h, counters=sink, num_threads=workers,
+                        backend=engine, executor=executor)
+        return h_lb_ub(graph, h, partition_size=partition_size, counters=sink,
+                       num_threads=workers, backend=engine, executor=executor)
+    finally:
+        if owned:
+            engine.close()
 
 
 def core_decomposition_with_report(graph: Graph, h: int,
@@ -126,20 +149,24 @@ def core_decomposition_with_report(graph: Graph, h: int,
                                    dataset_name: str = "graph",
                                    partition_size: int = 1,
                                    num_threads: int = 1,
-                                   backend: Union[str, Engine] = "auto"
+                                   backend: Union[str, Engine] = "auto",
+                                   executor: str = "thread",
+                                   num_workers: Optional[int] = None
                                    ) -> RunReport:
     """Run :func:`core_decomposition` and return a timed, counted report.
 
     The experiment harness (Tables 3 and 5) is built on this wrapper.
     """
     counters = Counters()
+    workers = num_workers if num_workers is not None else num_threads
     timer = Timer()
     with timer:
         result = core_decomposition(graph, h, algorithm=algorithm,
                                     partition_size=partition_size,
-                                    num_threads=num_threads,
+                                    num_threads=workers,
                                     counters=counters,
-                                    backend=backend)
+                                    backend=backend,
+                                    executor=executor)
     return RunReport(
         algorithm=result.algorithm,
         dataset=dataset_name,
@@ -147,6 +174,7 @@ def core_decomposition_with_report(graph: Graph, h: int,
         seconds=timer.elapsed,
         counters=counters,
         result=result,
-        params={"partition_size": partition_size, "num_threads": num_threads,
+        params={"partition_size": partition_size, "num_threads": workers,
+                "executor": executor,
                 "backend": backend if isinstance(backend, str) else backend.name},
     )

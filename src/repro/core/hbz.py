@@ -22,7 +22,8 @@ from repro.instrumentation import Counters, NULL_COUNTERS
 def h_bz(graph: Graph, h: int,
          counters: Counters = NULL_COUNTERS,
          num_threads: int = 1,
-         backend: Union[str, Engine] = "dict") -> CoreDecomposition:
+         backend: Union[str, Engine] = "dict",
+         executor: str = "thread") -> CoreDecomposition:
     """Compute the (k,h)-core decomposition with the baseline h-BZ algorithm.
 
     Parameters
@@ -36,10 +37,15 @@ def h_bz(graph: Graph, h: int,
     counters:
         Instrumentation sink (visits, h-degree recomputations, bucket moves).
     num_threads:
-        Threads used for the initial h-degree computation (§4.6).
+        Workers used for the initial h-degree computation (§4.6).
     backend:
         ``"dict"`` (reference), ``"csr"`` (array backend), ``"auto"``, or a
         pre-built engine.  Both backends produce identical core numbers.
+    executor:
+        Scheduler for the initial bulk pass: ``"serial"``, ``"thread"``
+        (GIL-bound) or ``"process"`` (shared-memory worker pool — the only
+        one that scales on CPython).  All executors produce identical core
+        numbers.
 
     Returns
     -------
@@ -49,39 +55,45 @@ def h_bz(graph: Graph, h: int,
         raise InvalidDistanceThresholdError(h)
 
     engine = resolve_engine(graph, backend)
-    alive = engine.full_alive()
-    core_index: Dict[object, int] = {}
-    removal_order: list = []
-    if not alive:
-        return CoreDecomposition(graph, h, core_index, algorithm="h-BZ",
-                                 removal_order=removal_order)
+    owned = isinstance(backend, str)
+    try:
+        alive = engine.full_alive()
+        core_index: Dict[object, int] = {}
+        removal_order: list = []
+        if not alive:
+            return CoreDecomposition(graph, h, core_index, algorithm="h-BZ",
+                                     removal_order=removal_order)
 
-    # Lines 1-3: initial h-degrees and bucket initialization.
-    degrees = engine.bulk_h_degrees(h, targets=alive, alive=alive,
-                                    num_threads=num_threads, counters=counters)
-    buckets = BucketQueue(counters)
-    for v, d in degrees.items():
-        buckets.insert(v, d)
+        # Lines 1-3: initial h-degrees and bucket initialization.
+        degrees = engine.bulk_h_degrees(h, targets=alive, alive=alive,
+                                        num_threads=num_threads,
+                                        counters=counters, executor=executor)
+        buckets = BucketQueue(counters)
+        for v, d in degrees.items():
+            buckets.insert(v, d)
 
-    # Lines 4-11: peel in increasing order of (current) h-degree.
-    k = 0
-    while alive:
-        if buckets.is_empty(k):
-            k += 1
-            continue
-        vertex = buckets.pop_from(k)
-        core_index[vertex] = k
-        removal_order.append(vertex)
-        # The h-neighborhood is taken in the *current* alive graph, before
-        # removing the vertex (Algorithm 1, line 8).
-        neighborhood = engine.h_neighborhood(vertex, h, alive, counters)
-        alive.discard(vertex)
-        for u in neighborhood:
-            new_degree = engine.h_degree(u, h, alive, counters)
-            counters.count_hdegree()
-            degrees[u] = new_degree
-            buckets.move(u, max(new_degree, k))
+        # Lines 4-11: peel in increasing order of (current) h-degree.
+        k = 0
+        while alive:
+            if buckets.is_empty(k):
+                k += 1
+                continue
+            vertex = buckets.pop_from(k)
+            core_index[vertex] = k
+            removal_order.append(vertex)
+            # The h-neighborhood is taken in the *current* alive graph, before
+            # removing the vertex (Algorithm 1, line 8).
+            neighborhood = engine.h_neighborhood(vertex, h, alive, counters)
+            alive.discard(vertex)
+            for u in neighborhood:
+                new_degree = engine.h_degree(u, h, alive, counters)
+                counters.count_hdegree()
+                degrees[u] = new_degree
+                buckets.move(u, max(new_degree, k))
 
-    return CoreDecomposition(graph, h, engine.to_labels(core_index),
-                             algorithm="h-BZ",
-                             removal_order=engine.labels_of(removal_order))
+        return CoreDecomposition(graph, h, engine.to_labels(core_index),
+                                 algorithm="h-BZ",
+                                 removal_order=engine.labels_of(removal_order))
+    finally:
+        if owned:
+            engine.close()

@@ -15,6 +15,7 @@ from repro.errors import InvalidDistanceThresholdError
 from repro.graph.graph import Graph
 from repro.core.backends import Engine, resolve_engine
 from repro.core.bounds import engine_lb1, engine_lb2
+from repro.core.parallel import _validate_executor
 from repro.core.buckets import BucketQueue
 from repro.core.peeling import core_decomp
 from repro.core.result import CoreDecomposition
@@ -25,7 +26,8 @@ def h_lb(graph: Graph, h: int,
          counters: Counters = NULL_COUNTERS,
          num_threads: int = 1,
          use_lb1_only: bool = False,
-         backend: Union[str, Engine] = "dict") -> CoreDecomposition:
+         backend: Union[str, Engine] = "dict",
+         executor: str = "thread") -> CoreDecomposition:
     """Compute the (k,h)-core decomposition with the h-LB algorithm.
 
     Parameters
@@ -37,8 +39,12 @@ def h_lb(graph: Graph, h: int,
     counters:
         Instrumentation sink.
     num_threads:
-        Threads for the initial bound computation (kept for API symmetry; the
+        Workers for the initial bound computation (kept for API symmetry; the
         LB1/LB2 pass is cheap compared to the peeling).
+    executor:
+        Scheduler name, kept for API symmetry with h-BZ and h-LB+UB (h-LB
+        has no bulk h-degree pass: LB1 for h in {2, 3} is the plain degree
+        and the peeling itself is inherently sequential).
     use_lb1_only:
         If True, bucket vertices by LB1 instead of LB2.  This reproduces the
         "LB1" column of the paper's bound-ablation experiment (Table 5); the
@@ -53,6 +59,7 @@ def h_lb(graph: Graph, h: int,
     """
     if not isinstance(h, int) or isinstance(h, bool) or h < 1:
         raise InvalidDistanceThresholdError(h)
+    _validate_executor(executor)
 
     engine = resolve_engine(graph, backend)
     alive = engine.full_alive()

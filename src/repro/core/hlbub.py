@@ -71,7 +71,8 @@ def h_lb_ub(graph: Graph, h: int,
             num_threads: int = 1,
             use_hdegree_as_upper_bound: bool = False,
             precomputed_upper_bound: Optional[Dict[Vertex, int]] = None,
-            backend: Union[str, Engine] = "dict") -> CoreDecomposition:
+            backend: Union[str, Engine] = "dict",
+            executor: str = "thread") -> CoreDecomposition:
     """Compute the (k,h)-core decomposition with the h-LB+UB algorithm.
 
     Parameters
@@ -87,7 +88,13 @@ def h_lb_ub(graph: Graph, h: int,
     counters:
         Instrumentation sink.
     num_threads:
-        Threads used for the bulk h-degree computations (§4.6).
+        Workers used for the bulk h-degree computations (§4.6).
+    executor:
+        Scheduler for the bulk h-degree passes (the initial pass, the upper
+        bound's seeding pass, and each partition's ``ImproveLB`` pass):
+        ``"serial"``, ``"thread"`` (GIL-bound) or ``"process"``
+        (shared-memory worker pool).  All executors produce identical core
+        numbers.
     use_hdegree_as_upper_bound:
         If True, use the plain h-degree as the upper bound instead of the
         power-graph core index.  Reproduces the "h-degree" column of the
@@ -108,64 +115,78 @@ def h_lb_ub(graph: Graph, h: int,
         raise InvalidDistanceThresholdError(h)
 
     engine = resolve_engine(graph, backend)
-    all_handles = list(engine.nodes())
-    algorithm = "h-LB+UB(h-degree)" if use_hdegree_as_upper_bound else "h-LB+UB"
-    if not all_handles:
-        return CoreDecomposition(graph, h, {}, algorithm=algorithm)
+    owned = isinstance(backend, str)
+    try:
+        all_handles = list(engine.nodes())
+        algorithm = ("h-LB+UB(h-degree)" if use_hdegree_as_upper_bound
+                     else "h-LB+UB")
+        if not all_handles:
+            return CoreDecomposition(graph, h, {}, algorithm=algorithm)
 
-    # Lines 3-6: initial h-degrees and the LB2 lower bound.
-    initial_degrees = engine.bulk_h_degrees(h, targets=all_handles,
-                                            num_threads=num_threads,
-                                            counters=counters)
-    lb1 = engine_lb1(engine, h, counters=counters)
-    lb2 = engine_lb2(engine, h, lb1=lb1, counters=counters)
-    lb3: Dict[object, int] = {v: 0 for v in all_handles}
-
-    # Line 7: the upper bound (Algorithm 5), or the h-degree ablation variant.
-    if precomputed_upper_bound is not None:
-        ub = {engine.handle_of(v): value
-              for v, value in precomputed_upper_bound.items()}
-    elif use_hdegree_as_upper_bound:
-        ub = dict(initial_degrees)
-    else:
-        ub = engine_upper_bound(engine, h, initial_h_degrees=initial_degrees,
-                                counters=counters, num_threads=num_threads)
-
-    # Lines 8-11: partition the interval [min LB2, max UB] top-down.
-    min_lb = min(lb2.values())
-    partitions = build_partitions(ub, min_lb, partition_size)
-
-    core_index: Dict[object, int] = {}
-    # Lines 11-18: process each partition independently, top-down.
-    for kmin, kmax in partitions:
-        candidate = [v for v in all_handles if ub[v] >= kmin]
-        if not candidate:
-            continue
-        cleaned, min_degree = engine_improve_lb(engine, h, candidate, kmin,
+        # Lines 3-6: initial h-degrees and the LB2 lower bound.
+        initial_degrees = engine.bulk_h_degrees(h, targets=all_handles,
+                                                num_threads=num_threads,
                                                 counters=counters,
-                                                num_threads=num_threads)
-        if not cleaned:
-            continue
-        for v in cleaned:
-            lb3[v] = max(lb3[v], lb2[v], min_degree)
+                                                executor=executor)
+        lb1 = engine_lb1(engine, h, counters=counters)
+        lb2 = engine_lb2(engine, h, lb1=lb1, counters=counters)
+        lb3: Dict[object, int] = {v: 0 for v in all_handles}
 
-        buckets = BucketQueue(counters)
-        set_lb: Dict[object, bool] = {}
-        stored_degree: Dict[object, int] = {}
-        alive = cleaned
-        for v in alive:
-            assigned = core_index.get(v, 0)
-            buckets.insert(v, max(assigned, lb3[v], kmin - 1, 0))
-            set_lb[v] = True
+        # Line 7: the upper bound (Algorithm 5), or the h-degree ablation
+        # variant.
+        if precomputed_upper_bound is not None:
+            ub = {engine.handle_of(v): value
+                  for v, value in precomputed_upper_bound.items()}
+        elif use_hdegree_as_upper_bound:
+            ub = dict(initial_degrees)
+        else:
+            ub = engine_upper_bound(engine, h,
+                                    initial_h_degrees=initial_degrees,
+                                    counters=counters,
+                                    num_threads=num_threads,
+                                    executor=executor)
 
-        core_decomp(engine, h, kmin=kmin, kmax=kmax, buckets=buckets,
-                    set_lb=set_lb, alive=alive, stored_degree=stored_degree,
-                    core_index=core_index, counters=counters)
+        # Lines 8-11: partition the interval [min LB2, max UB] top-down.
+        min_lb = min(lb2.values())
+        partitions = build_partitions(ub, min_lb, partition_size)
 
-    # Vertices never assigned belong to core 0 (isolated or below the lowest
-    # partition; the lowest kmin equals the minimum LB2, which is 0 for them).
-    for v in all_handles:
-        core_index.setdefault(v, 0)
+        core_index: Dict[object, int] = {}
+        # Lines 11-18: process each partition independently, top-down.
+        for kmin, kmax in partitions:
+            candidate = [v for v in all_handles if ub[v] >= kmin]
+            if not candidate:
+                continue
+            cleaned, min_degree = engine_improve_lb(engine, h, candidate,
+                                                    kmin, counters=counters,
+                                                    num_threads=num_threads,
+                                                    executor=executor)
+            if not cleaned:
+                continue
+            for v in cleaned:
+                lb3[v] = max(lb3[v], lb2[v], min_degree)
 
-    return CoreDecomposition(graph, h, engine.to_labels(core_index),
-                             algorithm=algorithm)
+            buckets = BucketQueue(counters)
+            set_lb: Dict[object, bool] = {}
+            stored_degree: Dict[object, int] = {}
+            alive = cleaned
+            for v in alive:
+                assigned = core_index.get(v, 0)
+                buckets.insert(v, max(assigned, lb3[v], kmin - 1, 0))
+                set_lb[v] = True
+
+            core_decomp(engine, h, kmin=kmin, kmax=kmax, buckets=buckets,
+                        set_lb=set_lb, alive=alive,
+                        stored_degree=stored_degree,
+                        core_index=core_index, counters=counters)
+
+        # Vertices never assigned belong to core 0 (isolated or below the
+        # lowest partition; the lowest kmin equals the minimum LB2, which is
+        # 0 for them).
+        for v in all_handles:
+            core_index.setdefault(v, 0)
+
+        return CoreDecomposition(graph, h, engine.to_labels(core_index),
+                                 algorithm=algorithm)
+    finally:
+        if owned:
+            engine.close()

@@ -1,48 +1,166 @@
-"""Multi-threaded h-degree computation (§4.6 of the paper).
+"""Parallel h-degree computation (§4.6 of the paper): scheduling layer.
 
 The paper parallelizes the bulk h-degree computations — the initial h-degree
 pass and the per-removal neighbor updates — by handing disjoint batches of
-h-bounded BFS traversals to a pool of threads.  We reproduce that structure
-with :class:`concurrent.futures.ThreadPoolExecutor`.  On CPython the GIL
-limits the achievable speed-up for pure-Python BFS, so the experiments run
-single-threaded by default; the parallel code path exists, is correct (each
-thread owns a private :class:`Counters` that is merged at the end), and is
-exercised by the test suite.
+h-bounded BFS traversals to a pool of workers.  This module is the
+scheduler-agnostic dispatch for that fan-out:
+
+* ``executor="serial"`` — one inline batch (the reference path).
+* ``executor="thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  On CPython the GIL serializes pure-Python BFS, so this path is correct but
+  does not scale; it exists for the paper-faithful structure and for
+  workloads that release the GIL.
+* ``executor="process"`` — real cores.  The hot path
+  (:meth:`repro.core.backends.CSREngine.bulk_h_degrees`) routes through the
+  shared-memory engine in :mod:`repro.parallel` (CSR arrays exported once,
+  persistent worker pool, no graph pickling per task);
+  :func:`map_batches` additionally offers a generic process mode for
+  arbitrary *picklable* workers, used by tests and one-off callers.
+
+Chunking is exact and optionally weight-balanced (:func:`chunk_plan`): with
+per-item weights (typically vertex degrees) chunks are packed
+largest-first onto the currently lightest chunk, which keeps skewed degree
+distributions from serializing the pass behind one heavy chunk.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+import heapq
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import ParameterError
 from repro.graph.graph import Graph, Vertex
 from repro.instrumentation import Counters, NULL_COUNTERS
 from repro.traversal.hneighborhood import h_degree
 
+#: Executor names accepted by the decomposition entry points.
+EXECUTORS = ("serial", "thread", "process")
+
+
+def _validate_executor(executor: str) -> None:
+    if executor not in EXECUTORS:
+        raise ParameterError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+
 
 def _chunks(items: Sequence[Vertex], num_chunks: int) -> List[Sequence[Vertex]]:
-    """Split ``items`` into at most ``num_chunks`` near-equal contiguous chunks."""
-    if num_chunks <= 1 or len(items) <= 1:
+    """Split ``items`` into exactly ``min(num_chunks, len(items))`` chunks.
+
+    Chunks are contiguous, non-empty and their sizes differ by at most one.
+    (An earlier version produced *more* than ``num_chunks`` chunks whenever
+    ``len(items)`` was not divisible — harmless for threads, but every extra
+    chunk is a round-trip on the process pool.)  A single chunk — possibly
+    empty — is returned when ``num_chunks <= 1`` or there is at most one
+    item, preserving the historical contract of :func:`map_batches`.
+    """
+    n = len(items)
+    if num_chunks <= 1 or n <= 1:
         return [items]
-    size = max(1, (len(items) + num_chunks - 1) // num_chunks)
-    return [items[i:i + size] for i in range(0, len(items), size)]
+    num_chunks = min(num_chunks, n)
+    base, extra = divmod(n, num_chunks)
+    chunks: List[Sequence[Vertex]] = []
+    start = 0
+    for index in range(num_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
 
 
-def map_batches(targets: Sequence, num_threads: int, worker,
-                counters: Counters = NULL_COUNTERS) -> Dict:
-    """Fan ``targets`` out over a thread pool and merge the per-batch dicts.
+def chunk_plan(items: Sequence, num_chunks: int,
+               weights: Optional[Sequence[int]] = None) -> List[Sequence]:
+    """Cut ``items`` into at most ``num_chunks`` balanced, non-empty chunks.
+
+    Without ``weights`` this is the exact contiguous split of
+    :func:`_chunks`.  With ``weights`` (``weights[i]`` belongs to
+    ``items[i]``; typically the degree of the vertex, a cheap proxy for its
+    h-BFS cost) items are assigned largest-first to the currently lightest
+    chunk (LPT scheduling), so a handful of hubs cannot serialize a
+    process-pool dispatch behind one overweight chunk.
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    if weights is None:
+        return [chunk for chunk in _chunks(items, num_chunks) if len(chunk)]
+    if len(weights) != n:
+        raise ParameterError(
+            f"chunk_plan got {n} items but {len(weights)} weights"
+        )
+    num_chunks = max(1, min(num_chunks, n))
+    if num_chunks == 1:
+        return [list(items)]
+    chunks: List[List] = [[] for _ in range(num_chunks)]
+    # (current load, chunk index) min-heap; ties broken by chunk index.
+    heap: List[Tuple[int, int]] = [(0, index) for index in range(num_chunks)]
+    order = sorted(range(n), key=lambda i: weights[i], reverse=True)
+    for i in order:
+        load, index = heapq.heappop(heap)
+        chunks[index].append(items[i])
+        heapq.heappush(heap, (load + weights[i], index))
+    return [chunk for chunk in chunks if chunk]
+
+
+def _run_batch_in_process(worker, batch) -> Tuple[Dict, Counters]:
+    """Top-level trampoline for the generic process mode of map_batches.
+
+    Runs in the worker process: gives ``worker`` a private :class:`Counters`
+    (cross-process mutation of the caller's object is impossible) and ships
+    both the batch result and the counters back for merging.
+    """
+    local = Counters()
+    return worker(batch, local), local
+
+
+def map_batches(targets: Sequence, num_workers: int, worker,
+                counters: Counters = NULL_COUNTERS,
+                executor: str = "thread",
+                weights: Optional[Sequence[int]] = None) -> Dict:
+    """Fan ``targets`` out over an executor and merge the per-batch dicts.
 
     ``worker(batch, local_counters)`` must return a dict for its batch and
     record instrumentation only into its private ``local_counters``; the
     locals are merged into ``counters`` after all workers finish, so the
-    reported totals are identical to a sequential run.  Shared by the dict
-    path below and :meth:`repro.core.backends.CSREngine.bulk_h_degrees`
-    (whose workers additionally need a private BFS scratch).
+    reported totals are identical to a sequential run.
+
+    ``executor`` selects the scheduler: ``"serial"`` (one inline batch),
+    ``"thread"`` (the in-process pool; closures welcome) or ``"process"``
+    (a one-shot :class:`~concurrent.futures.ProcessPoolExecutor`; ``worker``
+    must then be picklable — a module-level function or a
+    :func:`functools.partial` over one).  The decomposition hot path does
+    **not** use the generic process mode: pickling a closure over the graph
+    per batch is exactly what the shared-memory engine
+    (:class:`repro.parallel.SharedMemoryExecutor`, reached through
+    :meth:`repro.core.backends.CSREngine.bulk_h_degrees`) exists to avoid.
+
+    ``weights`` (optional, one per target) activates balanced chunking for
+    skewed workloads — see :func:`chunk_plan`.
     """
-    batches = _chunks(targets, num_threads)
+    _validate_executor(executor)
+    if executor == "serial" or num_workers <= 1 or len(targets) < 2:
+        local = Counters()
+        merged = dict(worker(targets, local))
+        if counters is not NULL_COUNTERS:
+            counters.merge(local)
+        return merged
+
+    batches = chunk_plan(targets, num_workers, weights=weights)
+    merged = {}
+    if executor == "process":
+        with ProcessPoolExecutor(max_workers=num_workers) as pool:
+            futures = [pool.submit(_run_batch_in_process, worker, batch)
+                       for batch in batches]
+            for future in futures:
+                out, local = future.result()
+                merged.update(out)
+                if counters is not NULL_COUNTERS:
+                    counters.merge(local)
+        return merged
+
     local_counters = [Counters() for _ in batches]
-    merged: Dict = {}
-    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+    with ThreadPoolExecutor(max_workers=num_workers) as pool:
         futures = [
             pool.submit(worker, batch, local)
             for batch, local in zip(batches, local_counters)
@@ -60,39 +178,65 @@ def compute_h_degrees(graph: Graph, h: int,
                       alive: Optional[Set[Vertex]] = None,
                       num_threads: int = 1,
                       counters: Counters = NULL_COUNTERS,
-                      backend: str = "dict") -> Dict[Vertex, int]:
+                      backend: str = "dict",
+                      executor: str = "thread") -> Dict[Vertex, int]:
     """Compute the h-degree of every vertex in ``vertices`` (default: all alive).
 
     With ``num_threads > 1`` the per-vertex h-bounded BFS traversals are
-    distributed over a thread pool; each worker accumulates into a private
-    counter object that is merged into ``counters`` once all workers finish,
-    so the reported totals are identical to the sequential run.
+    distributed over the selected ``executor`` (see :data:`EXECUTORS`); each
+    worker accumulates into a private counter object that is merged into
+    ``counters`` once all workers finish, so the reported totals are
+    identical to the sequential run.
 
     With ``backend="csr"`` (or ``"auto"`` on an integer-friendly graph) the
     BFS traversals run on a one-shot CSR snapshot through the array backend;
     ``vertices``/``alive`` stay in label space and the result is keyed by the
-    original vertices either way.
+    original vertices either way.  ``executor="process"`` always runs on a
+    CSR snapshot (any hashable vertex type works — only the shared flat
+    arrays can cross the process boundary without pickling the graph), and
+    the snapshot plus its worker pool are torn down before returning unless
+    the caller supplied a pre-built engine as ``backend``.  Consequence:
+    each ``backend="dict"`` process call pays a full pool spin-up — callers
+    with repeated bulk passes (the decomposition algorithms do this through
+    their resolved engine) should pass a :class:`CSREngine
+    <repro.core.backends.CSREngine>` to amortize it.
     """
-    if backend not in ("dict",):
+    _validate_executor(executor)
+    want_process = executor == "process" and num_threads > 1
+    if backend not in ("dict",) or want_process:
         # Imported lazily: backends.DictEngine delegates back to this module.
         from repro.core.backends import CSREngine, resolve_engine
-        engine = resolve_engine(graph, backend)
+        owned = isinstance(backend, str)
+        if want_process and backend in ("dict",):
+            # Straight to the CSR snapshot — building the DictEngine only
+            # to discard it would be wasted work.
+            engine = CSREngine(graph)
+        else:
+            engine = resolve_engine(graph, backend)
+            if want_process and not isinstance(engine, CSREngine):
+                engine = CSREngine(graph)
+                owned = True
         if isinstance(engine, CSREngine):
-            targets = None if vertices is None else \
-                [engine.handle_of(v) for v in vertices]
-            alive_mask = None if alive is None else \
-                engine.alive_subset(engine.handle_of(v) for v in alive)
-            degrees = engine.bulk_h_degrees(h, targets=targets,
-                                            alive=alive_mask,
-                                            num_threads=num_threads,
-                                            counters=counters)
-            return engine.to_labels(degrees)
+            try:
+                targets = None if vertices is None else \
+                    [engine.handle_of(v) for v in vertices]
+                alive_mask = None if alive is None else \
+                    engine.alive_subset(engine.handle_of(v) for v in alive)
+                degrees = engine.bulk_h_degrees(h, targets=targets,
+                                                alive=alive_mask,
+                                                num_threads=num_threads,
+                                                counters=counters,
+                                                executor=executor)
+                return engine.to_labels(degrees)
+            finally:
+                if owned:
+                    engine.close()
 
     if vertices is None:
         vertices = alive if alive is not None else graph.vertices()
     targets = list(vertices)
 
-    if num_threads <= 1 or len(targets) < 2:
+    if num_threads <= 1 or len(targets) < 2 or executor == "serial":
         result: Dict[Vertex, int] = {}
         for v in targets:
             result[v] = h_degree(graph, v, h, alive=alive, counters=counters)
@@ -106,4 +250,5 @@ def compute_h_degrees(graph: Graph, h: int,
             local.count_hdegree()
         return out
 
-    return map_batches(targets, num_threads, worker, counters)
+    return map_batches(targets, num_threads, worker, counters,
+                       executor="thread")

@@ -43,6 +43,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "table4": (table4_bounds.run, "Table 4: bound quality"),
     "table5": (table5_bound_ablation.run, "Table 5: bound ablation runtimes"),
     "figure5": (figure5_scalability.run, "Figure 5: scalability on snowball samples"),
+    "figure5b": (figure5_scalability.run_executor_scaling,
+                 "Figure 5b: bulk h-degree pass, executor scaling (§4.6)"),
     "table6": (table6_hclub.run, "Table 6: maximum h-club runtimes"),
     "table7": (table7_landmarks.run, "Table 7: landmark selection error"),
     "figure6": (figure6_core_scatter.run, "Figure 6: core-index scatter"),

@@ -1,0 +1,39 @@
+"""True multi-core execution for the bulk h-degree passes (§4.6).
+
+The paper parallelizes the bulk h-degree computations; on CPython a thread
+pool cannot deliver that for pure-Python BFS (the GIL serializes the
+workers), so this subpackage provides the *process* backend: CSR adjacency
+arrays are exported once into :mod:`multiprocessing.shared_memory`, a
+persistent pool of worker processes attaches to the block, and only tiny
+``(chunk, h, generation)`` descriptors cross the pipe per task.
+
+Layering
+--------
+* :mod:`repro.parallel.shm` — block layout, parent-side export
+  (:class:`SharedCSRExport`), worker-side zero-copy view
+  (:class:`SharedCSRView`).
+* :mod:`repro.parallel.worker` — the per-process task entry point
+  (:func:`run_chunk`) with its attach/alive caches.
+* :mod:`repro.parallel.pool` — :class:`SharedMemoryExecutor`: pool
+  lifecycle, version-stamped re-export, chunk dispatch, teardown.
+
+Consumers select it through the ``executor="process"`` argument of the
+decomposition entry points (see :func:`repro.core.core_decomposition` and
+the ``kh-core --executor process --workers N`` CLI flags); the scheduling
+itself lives in :func:`repro.core.parallel.map_batches` and
+:meth:`repro.core.backends.CSREngine.bulk_h_degrees`.
+"""
+
+from repro.core.parallel import EXECUTORS
+from repro.parallel.pool import DEFAULT_OVERSUBSCRIPTION, SharedMemoryExecutor
+from repro.parallel.shm import SharedCSRExport, SharedCSRView
+from repro.parallel.worker import run_chunk
+
+__all__ = [
+    "DEFAULT_OVERSUBSCRIPTION",
+    "EXECUTORS",
+    "SharedCSRExport",
+    "SharedCSRView",
+    "SharedMemoryExecutor",
+    "run_chunk",
+]

@@ -1,0 +1,149 @@
+"""Shared-memory export of CSR adjacency arrays (§4.6, process backend).
+
+A :class:`SharedCSRExport` packs one :class:`~repro.graph.csr.CSRGraph`
+snapshot into a single :class:`multiprocessing.shared_memory.SharedMemory`
+block so that worker *processes* can traverse the graph without ever
+receiving it over a pipe.  The block layout is::
+
+    +-------------------------+------------------------+----------------+
+    | indptr                  | adjacency              | alive          |
+    | int64 x (n + 1)         | int64 x len(adjacency) | uint8 x n      |
+    +-------------------------+------------------------+----------------+
+
+* ``indptr`` / ``adjacency`` are written **once per export** (the export is
+  version-stamped with a generation counter; a mutated graph gets a fresh
+  export, never an in-place rewrite).
+* ``alive`` is a mutable region the parent rewrites *between* dispatches
+  (never while tasks are in flight — the bulk pass is synchronous), so the
+  per-dispatch traffic over the pipe is only ``(chunk, h, generation)``
+  descriptors.
+
+Workers attach with :class:`SharedCSRView`, which exposes ``indptr`` /
+``adjacency`` as zero-copy ``memoryview('q')`` casts — structurally
+compatible with the flat-list interface :class:`~repro.traversal.array_bfs.
+ArrayBFS` expects (integer indexing plus slice iteration), so the exact same
+generation-stamped BFS runs unchanged on the shared block.
+"""
+
+from __future__ import annotations
+
+from array import array
+from multiprocessing import shared_memory
+from typing import Tuple
+
+from repro.graph.csr import CSRGraph
+
+#: Bytes per adjacency/indptr entry (``int64``).
+_INT_SIZE = 8
+
+#: Picklable description of an export: ``(shm name, num_vertices,
+#: adjacency length, generation)``.  Everything a worker needs to attach;
+#: small enough to ride along with every task descriptor.
+SharedCSRLayout = Tuple[str, int, int, int]
+
+
+class SharedCSRExport:
+    """Parent-side owner of one shared-memory CSR block.
+
+    The exporting process is the sole owner of the block's lifetime: it
+    creates, (re)writes and eventually unlinks it.  Workers only ever attach
+    read-only views (:class:`SharedCSRView`).
+    """
+
+    __slots__ = ("shm", "name", "num_vertices", "adjacency_len",
+                 "generation", "_alive_offset")
+
+    def __init__(self, csr: CSRGraph, generation: int) -> None:
+        n = csr.num_vertices
+        m2 = len(csr.adjacency)
+        indptr_bytes = _INT_SIZE * (n + 1)
+        adjacency_bytes = _INT_SIZE * m2
+        size = max(1, indptr_bytes + adjacency_bytes + n)
+        self.shm = shared_memory.SharedMemory(create=True, size=size)
+        self.name = self.shm.name
+        self.num_vertices = n
+        self.adjacency_len = m2
+        self.generation = generation
+        self._alive_offset = indptr_bytes + adjacency_bytes
+        buf = self.shm.buf
+        buf[0:indptr_bytes] = array("q", csr.indptr).tobytes()
+        if m2:
+            adjacency_payload = array("q", csr.adjacency).tobytes()
+            buf[indptr_bytes:self._alive_offset] = adjacency_payload
+
+    def layout(self) -> SharedCSRLayout:
+        """Picklable attach descriptor for worker processes."""
+        return (self.name, self.num_vertices, self.adjacency_len,
+                self.generation)
+
+    def write_alive(self, mask_bytes: bytes) -> None:
+        """Overwrite the alive region (only between dispatches)."""
+        if len(mask_bytes) != self.num_vertices:
+            raise ValueError(
+                f"alive mask has {len(mask_bytes)} bytes, expected "
+                f"{self.num_vertices}"
+            )
+        if self.num_vertices:
+            offset = self._alive_offset
+            self.shm.buf[offset:offset + self.num_vertices] = mask_bytes
+
+    def close(self) -> None:
+        """Release the mapping and unlink the block (idempotent)."""
+        shm, self.shm = self.shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class SharedCSRView:
+    """Worker-side zero-copy view over an attached shared CSR block.
+
+    Duck-types the slice of the :class:`~repro.graph.csr.CSRGraph` interface
+    that :class:`~repro.traversal.array_bfs.ArrayBFS` touches —
+    ``num_vertices``, ``indptr`` and ``adjacency`` — so one worker-local
+    ``ArrayBFS`` scratch (visit marks stay private per process; sharing them
+    would be a data race) can run the h-bounded traversals directly on the
+    shared arrays.
+    """
+
+    __slots__ = ("shm", "indptr", "adjacency", "alive_region",
+                 "num_vertices", "generation", "name")
+
+    def __init__(self, layout: SharedCSRLayout) -> None:
+        name, n, m2, generation = layout
+        self.name = name
+        self.num_vertices = n
+        self.generation = generation
+        # Attaching registers the name with the resource tracker a second
+        # time, but pool workers share the exporting parent's tracker (the
+        # fd is inherited under fork and spawn alike) and registrations are
+        # a set, so the parent's unlink-time unregister stays balanced.  Do
+        # NOT unregister here: that would strip the parent's registration
+        # from the shared tracker.
+        self.shm = shared_memory.SharedMemory(name=name)
+        indptr_bytes = _INT_SIZE * (n + 1)
+        adjacency_bytes = _INT_SIZE * m2
+        buf = self.shm.buf
+        self.indptr = buf[0:indptr_bytes].cast("q")
+        adjacency_end = indptr_bytes + adjacency_bytes
+        self.adjacency = buf[indptr_bytes:adjacency_end].cast("q")
+        alive_offset = indptr_bytes + adjacency_bytes
+        self.alive_region = buf[alive_offset:alive_offset + n]
+
+    def close(self) -> None:
+        """Release the views, then detach from the block (idempotent)."""
+        shm, self.shm = self.shm, None
+        if shm is None:
+            return
+        # The memoryview casts pin the mapping; release them first or
+        # SharedMemory.close() raises BufferError.
+        self.indptr.release()
+        self.adjacency.release()
+        self.alive_region.release()
+        shm.close()

@@ -1,0 +1,89 @@
+"""Process-pool worker for the shared-memory bulk h-degree pass.
+
+:func:`run_chunk` is the only function the parent ever submits.  It is a
+module-level callable (picklable by qualified name under both ``fork`` and
+``spawn`` start methods) and keeps a small per-process cache so that the
+expensive steps — attaching to the shared block and (re)installing the alive
+mask into the BFS scratch — happen once per export generation / alive stamp
+rather than once per task.
+
+The task descriptor is deliberately tiny: ``(layout, chunk, h, use_alive,
+alive_stamp)`` where ``layout`` is the 4-tuple attach descriptor
+(:data:`~repro.parallel.shm.SharedCSRLayout`) and ``chunk`` is a list of
+vertex indices.  No graph data ever crosses the pipe.
+"""
+
+from __future__ import annotations
+
+import atexit
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.instrumentation import Counters
+from repro.parallel.shm import SharedCSRLayout, SharedCSRView
+from repro.traversal.array_bfs import AliveMask, ArrayBFS
+
+#: Per-process cache: the attached view, its BFS scratch, and the alive mask
+#: installed for the current ``alive_stamp``.
+_STATE: Dict[str, Any] = {
+    "name": None,
+    "view": None,
+    "bfs": None,
+    "alive_stamp": None,
+    "mask": None,
+}
+
+
+def _detach() -> None:
+    """Drop the cached attachment (called when the export generation moves)."""
+    view = _STATE["view"]
+    if view is not None:
+        view.close()
+    _STATE.update(name=None, view=None, bfs=None, alive_stamp=None, mask=None)
+
+
+# Release the cached memoryview casts before interpreter teardown: a worker
+# exiting with them alive would hit ``BufferError: cannot close exported
+# pointers exist`` inside SharedMemory.__del__.
+atexit.register(_detach)
+
+
+def _attach(layout: SharedCSRLayout) -> None:
+    _detach()
+    view = SharedCSRView(layout)
+    _STATE.update(name=layout[0], view=view, bfs=ArrayBFS(view))
+
+
+def run_chunk(layout: SharedCSRLayout, chunk: List[int], h: int,
+              use_alive: bool, alive_stamp: int
+              ) -> Tuple[List[Tuple[int, int]], Counters]:
+    """h-degree of every index in ``chunk`` within the shared snapshot.
+
+    Returns ``(pairs, counters)`` where ``pairs`` is ``[(index, h-degree)]``
+    and ``counters`` is this task's private instrumentation, merged by the
+    parent so the reported totals are identical to a serial run.
+    """
+    if _STATE["name"] != layout[0]:
+        _attach(layout)
+    mask: Optional[AliveMask] = None
+    if use_alive:
+        if _STATE["alive_stamp"] != alive_stamp:
+            region = _STATE["view"].alive_region
+            # A fresh AliveMask object per stamp forces ArrayBFS to rebuild
+            # its sentinel-folded visit marks from the (rewritten) shared
+            # region; reusing the old object would skip the reinstall and
+            # traverse a stale alive set.
+            _STATE["mask"] = AliveMask(region, bytes(region).count(1))
+            _STATE["alive_stamp"] = alive_stamp
+        mask = _STATE["mask"]
+
+    bfs: ArrayBFS = _STATE["bfs"]
+    run = bfs.run
+    local = Counters()
+    pairs: List[Tuple[int, int]] = []
+    append = pairs.append
+    for index in chunk:
+        # hook=False: this process never discards from the mask, so the
+        # scratch does not need sentinel upkeep hooks.
+        append((index, run(index, h, mask, local, hook=False)))
+        local.count_hdegree()
+    return pairs, local

@@ -74,6 +74,44 @@ class TestMain:
         assert cli_cores == expected
 
 
+class TestExecutorFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["graph.txt"])
+        assert args.executor == "thread"
+        assert args.workers is None
+        assert args.threads == 1
+
+    def test_executor_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["graph.txt", "--executor", "gpu"])
+
+    def test_process_executor_matches_serial(self, edge_list_file, capsys):
+        main([str(edge_list_file), "--h", "2"])
+        serial_out = capsys.readouterr().out
+        exit_code = main([str(edge_list_file), "--h", "2", "--workers", "2",
+                          "--executor", "process"])
+        assert exit_code == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_demo_process_smoke(self, capsys):
+        exit_code = main(["--demo", "--h", "2", "--workers", "2",
+                          "--executor", "process", "--summary"])
+        assert exit_code == 0
+        assert "core" in capsys.readouterr().out
+
+    def test_verbose_reports_executor(self, edge_list_file, capsys):
+        exit_code = main([str(edge_list_file), "--h", "2", "--verbose",
+                          "--workers", "3", "--executor", "serial"])
+        assert exit_code == 0
+        assert "# executor: serial, workers: 3" in capsys.readouterr().err
+
+    def test_workers_defaults_to_threads_value(self, edge_list_file, capsys):
+        exit_code = main([str(edge_list_file), "--h", "2", "--verbose",
+                          "--threads", "2"])
+        assert exit_code == 0
+        assert "# executor: thread, workers: 2" in capsys.readouterr().err
+
+
 class TestVerboseBackend:
     def test_verbose_surfaces_resolved_backend(self, edge_list_file, capsys):
         exit_code = main([str(edge_list_file), "--h", "2", "--verbose"])

@@ -101,6 +101,17 @@ class TestEfficiencyExperiments:
         assert len(rows) == 2
         assert all(row["mean time (s)"] >= 0 for row in rows)
 
+    def test_figure5b_executor_rows(self):
+        config = ExperimentConfig(scale="tiny", h_values=(2,))
+        config.extra["executors"] = ("serial", "process")
+        config.extra["worker_counts"] = (2,)
+        config.extra["scaling_sample_size"] = 60
+        config.extra["repeats"] = 1
+        rows = figure5_scalability.run_executor_scaling(config)
+        assert [row["executor"] for row in rows] == ["serial", "process"]
+        assert rows[0]["workers"] == 1 and rows[0]["speedup"] == 1.0
+        assert all(row["time (s)"] >= 0 for row in rows)
+
 
 class TestApplicationExperiments:
     def test_table6_sizes_consistent(self):
@@ -141,7 +152,7 @@ class TestApplicationExperiments:
 
 class TestRunnerAndFormatting:
     def test_every_registered_experiment_has_runner_and_title(self):
-        assert len(EXPERIMENTS) == 13
+        assert len(EXPERIMENTS) == 14
         for runner, title in EXPERIMENTS.values():
             assert callable(runner)
             assert title
