@@ -40,10 +40,11 @@ from repro.core import (
 )
 from repro.traversal import h_degree, h_neighborhood, power_graph
 from repro.dynamic import DynamicKHCore, EdgeUpdate, read_update_stream
+from repro.runtime import ExecutionContext
 
 #: Single source of truth alongside pyproject.toml's ``version`` — keep the
 #: two in lockstep when releasing.
-__version__ = "0.3.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "__version__",
@@ -77,4 +78,6 @@ __all__ = [
     "DynamicKHCore",
     "EdgeUpdate",
     "read_update_stream",
+    # execution runtime
+    "ExecutionContext",
 ]

@@ -33,6 +33,7 @@ from repro.dynamic import DynamicKHCore, read_update_stream
 from repro.errors import ReproError
 from repro.graph import Graph, read_edge_list
 from repro.graph.generators import relaxed_caveman_graph
+from repro.runtime import ExecutionContext, resolve_worker_count
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,11 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arguments(parser)
     parser.add_argument("--partition-size", type=int, default=1,
                         help="partition size S for h-LB+UB (default: 1)")
-    parser.add_argument("--threads", type=int, default=1,
-                        help="legacy alias for --workers (default: 1)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="deprecated legacy alias for --workers")
     parser.add_argument("--workers", type=int, default=None,
                         help="workers for the bulk h-degree passes "
-                             "(default: the --threads value)")
+                             "(default: 1)")
     parser.add_argument("--executor", default="thread",
                         choices=("serial", "thread", "process"),
                         help="scheduler for the bulk h-degree passes: "
@@ -158,12 +159,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         graph = _load_graph(args)
         backend = resolved_backend_name(graph, args.backend,
                                         csr_threshold=args.csr_threshold)
-        workers = args.workers if args.workers is not None else args.threads
-        report = core_decomposition_with_report(
-            graph, args.h, algorithm=args.algorithm,
-            dataset_name=args.input or "demo",
-            partition_size=args.partition_size, num_workers=workers,
-            executor=args.executor, backend=backend)
+        # One shared shim handles the legacy spelling (--threads) exactly
+        # like the library handles num_threads=.
+        workers = resolve_worker_count(args.workers, args.threads,
+                                       old="--threads", new="--workers")
+        with ExecutionContext(graph, backend=backend,
+                              executor=args.executor,
+                              num_workers=workers,
+                              csr_threshold=args.csr_threshold) as context:
+            report = core_decomposition_with_report(
+                graph, args.h, algorithm=args.algorithm,
+                dataset_name=args.input or "demo",
+                partition_size=args.partition_size, context=context)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -47,6 +47,7 @@ from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph, csr_suitable
 from repro.graph.graph import Graph, Vertex
 from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.runtime.workers import resolve_worker_count
 from repro.traversal.array_bfs import AliveMask, ArrayBFS
 from repro.traversal.bfs import h_bounded_neighbors
 from repro.traversal.hneighborhood import h_degree as _dict_h_degree
@@ -86,7 +87,8 @@ class DictEngine:
     def labels_of(self, handles: Iterable[Vertex]) -> List[Vertex]:
         return list(handles)
 
-    def to_labels(self, mapping: Dict[Vertex, int]) -> Dict[Vertex, int]:
+    def to_labels(self, mapping) -> Dict[Vertex, int]:
+        # Handles are the labels; dict-engine core maps are plain dicts.
         return mapping
 
     def degree(self, handle: Vertex) -> int:
@@ -131,12 +133,14 @@ class DictEngine:
                                         counters=counters).items())
 
     def bulk_h_degrees(self, h: int, targets=None, alive=None,
-                       num_threads: int = 1,
+                       num_threads: Optional[int] = None,
                        counters: Counters = NULL_COUNTERS,
-                       executor: str = "thread") -> Dict[Vertex, int]:
+                       executor: str = "thread",
+                       num_workers: Optional[int] = None) -> Dict[Vertex, int]:
         from repro.core.parallel import compute_h_degrees
+        workers = resolve_worker_count(num_workers, num_threads)
         backend: object = "dict"
-        if executor == "process" and num_threads > 1:
+        if executor == "process" and workers > 1:
             # Process dispatch needs a CSR snapshot; cache one engine (and
             # its worker pool) across this engine's bulk passes instead of
             # paying a pool spin-up per pass.
@@ -146,7 +150,7 @@ class DictEngine:
                 self._process_delegate.refresh(None)
             backend = self._process_delegate
         return compute_h_degrees(self.graph, h, vertices=targets, alive=alive,
-                                 num_threads=num_threads, counters=counters,
+                                 num_workers=workers, counters=counters,
                                  backend=backend, executor=executor)
 
 
@@ -177,6 +181,17 @@ class CSREngine:
         self.csr = csr if csr is not None else CSRGraph.from_graph(graph)
         self._scratch = ArrayBFS(self.csr)
         self.built_version = graph.version
+
+    @property
+    def scratch(self) -> ArrayBFS:
+        """The engine's reusable BFS scratch (current for this snapshot).
+
+        Exposed for the array-native peel kernels, which read the scratch's
+        ``order`` / ``level_ends`` buffers directly instead of materializing
+        per-neighbor lists.  Not thread-safe — same caveat as every other
+        single-scratch traversal primitive on this engine.
+        """
+        return self._scratch
 
     def refresh(self, touched=None) -> None:
         """Re-snapshot a mutated graph, reusing untouched CSR rows.
@@ -249,7 +264,9 @@ class CSREngine:
         labels = self.csr.labels
         return [labels[i] for i in handles]
 
-    def to_labels(self, mapping: Dict[int, int]) -> Dict[Vertex, int]:
+    def to_labels(self, mapping) -> Dict[Vertex, int]:
+        # Accepts any ``items()``-bearing handle-keyed map — a dict or the
+        # runtime's flat ArrayCoreMap.
         labels = self.csr.labels
         return {labels[i]: value for i, value in mapping.items()}
 
@@ -283,9 +300,10 @@ class CSREngine:
 
     def bulk_h_degrees(self, h: int, targets=None,
                        alive: Optional[AliveMask] = None,
-                       num_threads: int = 1,
+                       num_threads: Optional[int] = None,
                        counters: Counters = NULL_COUNTERS,
-                       executor: str = "thread") -> Dict[int, int]:
+                       executor: str = "thread",
+                       num_workers: Optional[int] = None) -> Dict[int, int]:
         """h-degree of every target index, optionally across a worker pool.
 
         ``executor`` selects the scheduler (see
@@ -300,18 +318,19 @@ class CSREngine:
         """
         from repro.core.parallel import _validate_executor
         _validate_executor(executor)
+        workers = resolve_worker_count(num_workers, num_threads)
         if targets is None:
             targets = alive if alive is not None else range(self.csr.num_vertices)
         indices = list(targets)
 
-        if executor == "process" and num_threads > 1 and len(indices) >= 2:
+        if executor == "process" and workers > 1 and len(indices) >= 2:
             indptr = self.csr.indptr
             weights = [indptr[i + 1] - indptr[i] for i in indices]
-            pool = self._process_pool(num_threads)
+            pool = self._process_pool(workers)
             return pool.bulk_h_degrees(self.csr, h, indices, alive=alive,
                                        counters=counters, weights=weights)
 
-        if num_threads <= 1 or len(indices) < 2 or executor == "serial":
+        if workers <= 1 or len(indices) < 2 or executor == "serial":
             run = self._scratch.run
             result: Dict[int, int] = {}
             for i in indices:
@@ -332,7 +351,7 @@ class CSREngine:
                 local.count_hdegree()
             return out
 
-        return map_batches(indices, num_threads, worker, counters)
+        return map_batches(indices, workers, worker, counters)
 
 
 Engine = Union[DictEngine, CSREngine]

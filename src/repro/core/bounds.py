@@ -8,6 +8,9 @@
   ``G^h`` (Algorithm 5).  The power graph is never materialized: each time a
   vertex is popped its h-neighborhood in the *original* graph is recomputed
   and the surviving neighbors' estimated degrees are decremented by one.
+  The peeling drives the shared :class:`~repro.runtime.peel.PeelState`
+  (flat arrays on the CSR engine — the inner decrement loop walks the BFS
+  scratch buffer directly, with no per-neighbor list materialized).
 * ``ImproveLB`` (Algorithm 6): within a candidate partition ``V[k]``, the
   minimum h-degree is itself a lower bound for every member (Property 3), and
   vertices that certainly cannot reach core index ``k`` are cleaned away.
@@ -26,9 +29,10 @@ from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.errors import InvalidDistanceThresholdError
 from repro.graph.graph import Graph, Vertex
-from repro.core.backends import DictEngine, Engine
-from repro.core.buckets import BucketQueue
+from repro.core.backends import CSREngine, DictEngine, Engine
 from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.runtime.peel import ArrayPeelState, make_peel_state
+from repro.runtime.workers import resolve_worker_count
 
 Handle = Hashable
 
@@ -108,47 +112,112 @@ def lower_bound_lb2(graph: Graph, h: int,
 def engine_upper_bound(engine: Engine, h: int,
                        initial_h_degrees: Optional[Dict[Handle, int]] = None,
                        counters: Counters = NULL_COUNTERS,
-                       num_threads: int = 1,
-                       executor: str = "thread") -> Dict[Handle, int]:
+                       num_workers: Optional[int] = None,
+                       executor: str = "thread",
+                       num_threads: Optional[int] = None,
+                       peel: str = "auto") -> Dict[Handle, int]:
     """``UB(v)`` per handle: classic core index in the implicit h-power graph."""
     _validate_h(h)
+    workers = resolve_worker_count(num_workers, num_threads)
     handles = list(engine.nodes())
     if not handles:
         return {}
     if initial_h_degrees is None:
         initial_h_degrees = engine.bulk_h_degrees(h, targets=handles,
-                                                  num_threads=num_threads,
+                                                  num_workers=workers,
                                                   counters=counters,
                                                   executor=executor)
-    estimate: Dict[Handle, int] = dict(initial_h_degrees)
-    buckets = BucketQueue(counters)
-    for v, d in estimate.items():
-        buckets.insert(v, d)
+    state = make_peel_state(engine, counters, peel=peel)
+    state.fill_exact((v, initial_h_degrees[v]) for v in handles)
 
     ub: Dict[Handle, int] = {}
-    unprocessed = set(handles)
+    remaining = len(handles)
     k = 0
-    while unprocessed:
-        if buckets.is_empty(k):
+    if isinstance(state, ArrayPeelState) and isinstance(engine, CSREngine):
+        # Array fast path: the inner loop only decrements (no nested BFS),
+        # so it can walk the scratch's order buffer in place — zero copies —
+        # with the bucket pop/move inlined on local-bound arrays and the
+        # decrement/move counters flushed in batches (identical totals).
+        scratch = engine.scratch
+        run = scratch.run
+        heads = state.heads
+        nxt = state.nxt
+        prv = state.prv
+        key_of = state.key_of_
+        degrees = state.degrees
+        moves = 0
+        decrements = 0
+        while remaining:
+            vertex = heads[k]
+            if vertex < 0:
+                k += 1
+                continue
+            follower = nxt[vertex]
+            heads[k] = follower
+            if follower >= 0:
+                prv[follower] = -1
+            key_of[vertex] = -1
+            ub[vertex] = k
+            remaining -= 1
+            # Power-graph adjacency = h-neighborhood in the original graph.
+            run(vertex, h, None, counters)
+            order = scratch.order
+            for index in range(1, len(order)):
+                u = order[index]
+                current = key_of[u]
+                if current < 0:
+                    continue
+                degree = degrees[u] - 1
+                degrees[u] = degree
+                decrements += 1
+                key = degree if degree > k else k
+                if current == key:
+                    continue
+                before = prv[u]
+                after = nxt[u]
+                if before >= 0:
+                    nxt[before] = after
+                else:
+                    heads[current] = after
+                if after >= 0:
+                    prv[after] = before
+                head = heads[key]
+                nxt[u] = head
+                prv[u] = -1
+                if head >= 0:
+                    prv[head] = u
+                heads[key] = u
+                key_of[u] = key
+                moves += 1
+        if decrements:
+            counters.record_decrements(decrements)
+        if moves:
+            counters.record_bucket_moves(moves)
+        state._count = 0
+        return ub
+
+    while remaining:
+        vertex = state.pop(k)
+        if vertex is None:
             k += 1
             continue
-        vertex = buckets.pop_from(k)
         ub[vertex] = k
-        unprocessed.discard(vertex)
+        remaining -= 1
         # Power-graph adjacency = h-neighborhood in the original graph.
         for u in engine.h_neighborhood(vertex, h, None, counters):
-            if u in unprocessed:
-                estimate[u] -= 1
+            if u in state:
+                degree = state.decrement(u)
                 counters.record_decrement()
-                buckets.move(u, max(estimate[u], k))
+                state.move_to(u, max(degree, k))
     return ub
 
 
 def upper_bound(graph: Graph, h: int,
                 initial_h_degrees: Optional[Dict[Vertex, int]] = None,
                 counters: Counters = NULL_COUNTERS,
-                num_threads: int = 1,
-                executor: str = "thread") -> Dict[Vertex, int]:
+                num_workers: Optional[int] = None,
+                executor: str = "thread",
+                num_threads: Optional[int] = None) -> Dict[Vertex, int]:
     """Return ``UB(v)``: the classic core index of ``v`` in the h-power graph.
 
     Implements Algorithm 5.  The power graph is kept implicit: when a vertex
@@ -166,8 +235,8 @@ def upper_bound(graph: Graph, h: int,
     """
     return engine_upper_bound(DictEngine(graph), h,
                               initial_h_degrees=initial_h_degrees,
-                              counters=counters, num_threads=num_threads,
-                              executor=executor)
+                              counters=counters, num_workers=num_workers,
+                              executor=executor, num_threads=num_threads)
 
 
 # --------------------------------------------------------------------- #
@@ -176,8 +245,9 @@ def upper_bound(graph: Graph, h: int,
 def engine_improve_lb(engine: Engine, h: int, candidate: Iterable[Handle],
                       k: int,
                       counters: Counters = NULL_COUNTERS,
-                      num_threads: int = 1,
-                      executor: str = "thread"):
+                      num_workers: Optional[int] = None,
+                      executor: str = "thread",
+                      num_threads: Optional[int] = None):
     """Clean ``candidate`` = V[k]; return ``(alive set, min h-degree)``.
 
     The returned alive set uses the engine's native alive type (a Python
@@ -185,11 +255,12 @@ def engine_improve_lb(engine: Engine, h: int, candidate: Iterable[Handle],
     for CSR) so the caller can hand it straight to :func:`core_decomp`.
     """
     _validate_h(h)
+    workers = resolve_worker_count(num_workers, num_threads)
     alive = engine.alive_subset(candidate)
     if not alive:
         return alive, 0
     degrees = engine.bulk_h_degrees(h, targets=alive, alive=alive,
-                                    num_threads=num_threads, counters=counters,
+                                    num_workers=workers, counters=counters,
                                     executor=executor)
     min_degree = min(degrees.values())
     pending = {v for v, d in degrees.items() if d < k}
@@ -210,8 +281,9 @@ def engine_improve_lb(engine: Engine, h: int, candidate: Iterable[Handle],
 
 def improve_lb(graph: Graph, h: int, candidate: Set[Vertex], k: int,
                counters: Counters = NULL_COUNTERS,
-               num_threads: int = 1,
-               executor: str = "thread") -> Tuple[Set[Vertex], int]:
+               num_workers: Optional[int] = None,
+               executor: str = "thread",
+               num_threads: Optional[int] = None) -> Tuple[Set[Vertex], int]:
     """Clean ``candidate`` = V[k] and return ``(surviving vertices, min h-degree)``.
 
     Implements Algorithm 6.  The minimum h-degree over the candidate set is a
@@ -222,5 +294,5 @@ def improve_lb(graph: Graph, h: int, candidate: Set[Vertex], k: int,
     partition entirely when it contains no core.
     """
     return engine_improve_lb(DictEngine(graph), h, candidate, k,
-                             counters=counters, num_threads=num_threads,
-                             executor=executor)
+                             counters=counters, num_workers=num_workers,
+                             executor=executor, num_threads=num_threads)

@@ -5,6 +5,12 @@ dispatches to the classic Batagelj–Zaveršnik peeling for ``h = 1`` and to one
 of the three paper algorithms (``h-BZ``, ``h-LB``, ``h-LB+UB``) for
 ``h > 1``.  It can also return a full :class:`~repro.instrumentation.RunReport`
 with timing and work counters, which is what the experiment harness consumes.
+
+Execution concerns (engine resolution, executor + worker pool, counters,
+teardown) live in one :class:`~repro.runtime.ExecutionContext`; the
+``backend=`` / ``executor=`` / ``num_workers=`` keywords are a thin
+constructor for a call-scoped context, and callers who want to amortize an
+engine or worker pool across runs pass a long-lived ``context=`` instead.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from typing import Optional, Union
 
 from repro.errors import InvalidDistanceThresholdError, ParameterError
 from repro.graph.graph import Graph
-from repro.core.backends import BACKENDS, Engine, resolve_engine
+from repro.core.backends import BACKENDS, Engine
 from repro.core.parallel import _validate_executor
 from repro.core.classic import classic_core_decomposition
 from repro.core.hbz import h_bz
@@ -21,7 +27,9 @@ from repro.core.hlb import h_lb
 from repro.core.hlbub import h_lb_ub
 from repro.core.naive import naive_core_decomposition
 from repro.core.result import CoreDecomposition
-from repro.instrumentation import Counters, RunReport, Timer
+from repro.instrumentation import Counters, NULL_COUNTERS, RunReport, Timer
+from repro.runtime.context import ExecutionContext, scoped_context
+from repro.runtime.workers import resolve_worker_count
 
 #: Algorithms accepted by :func:`core_decomposition`.
 ALGORITHMS = ("auto", "classic", "naive", "h-BZ", "h-LB", "h-LB+UB")
@@ -34,11 +42,13 @@ _AUTO_SIZE_THRESHOLD = 2000
 def core_decomposition(graph: Graph, h: int,
                        algorithm: str = "auto",
                        partition_size: int = 1,
-                       num_threads: int = 1,
+                       num_threads: Optional[int] = None,
                        counters: Optional[Counters] = None,
                        backend: Union[str, Engine] = "auto",
                        executor: str = "thread",
-                       num_workers: Optional[int] = None) -> CoreDecomposition:
+                       num_workers: Optional[int] = None,
+                       context: Optional[ExecutionContext] = None
+                       ) -> CoreDecomposition:
     """Compute the distance-generalized core decomposition of ``graph``.
 
     Parameters
@@ -53,9 +63,10 @@ def core_decomposition(graph: Graph, h: int,
         ``"h-LB"``, or ``"h-LB+UB"``.
     partition_size:
         Parameter ``S`` of h-LB+UB (ignored by the other algorithms).
-    num_threads:
-        Number of workers for the bulk h-degree computations (§4.6);
-        ``num_workers`` is the preferred alias and wins when both are given.
+    num_workers:
+        Worker count for the bulk h-degree computations (§4.6);
+        ``num_threads`` is the deprecated legacy spelling and loses when
+        both are given.
     counters:
         Optional instrumentation sink filled with visit/recompute counts.
     executor:
@@ -64,9 +75,6 @@ def core_decomposition(graph: Graph, h: int,
         ``"process"`` (shared-memory multiprocessing over CSR arrays, the
         path that actually scales; see :mod:`repro.parallel`).  All
         executors produce identical core numbers.
-    num_workers:
-        Worker count for the selected executor (alias for ``num_threads``
-        now that workers are not necessarily threads).
     backend:
         Graph backend for the generalized algorithms: ``"dict"`` (the
         reference dict-of-sets representation), ``"csr"`` (flat-array CSR
@@ -78,6 +86,12 @@ def core_decomposition(graph: Graph, h: int,
         algorithms always run on the dict reference path — ``classic`` is
         already a flat bucket peeling without any BFS, and ``naive`` exists
         purely as a correctness oracle.
+    context:
+        Optional pre-built :class:`~repro.runtime.ExecutionContext` that
+        supersedes ``backend`` / ``executor`` / ``num_workers``.  The
+        context (and any engine or worker pool it owns) is **not** closed
+        here — the caller controls its lifetime, which is how repeated
+        decompositions amortize a CSR snapshot or a process pool.
 
     Returns
     -------
@@ -101,8 +115,12 @@ def core_decomposition(graph: Graph, h: int,
     if not isinstance(h, int) or isinstance(h, bool) or h < 1:
         raise InvalidDistanceThresholdError(h)
     _validate_executor(executor)
-    workers = num_workers if num_workers is not None else num_threads
-    sink = counters if counters is not None else Counters()
+    if counters is not None:
+        sink = counters
+    elif context is not None and context.counters is not NULL_COUNTERS:
+        sink = context.counters
+    else:
+        sink = Counters()
 
     if algorithm == "auto":
         if h == 1:
@@ -118,55 +136,55 @@ def core_decomposition(graph: Graph, h: int,
         return classic_core_decomposition(graph, counters=sink)
     if algorithm == "naive":
         return naive_core_decomposition(graph, h)
-    # Resolve the backend once so "auto" makes a single suitability scan and
-    # a CSR snapshot is built (at most) once per decomposition.  Engines
-    # resolved *here* are owned here: any process pool / shared-memory block
-    # they spin up is torn down before returning.  Callers who want to
-    # amortize the pool across decompositions pass a pre-built engine.
-    engine = resolve_engine(graph, backend)
-    owned = isinstance(backend, str)
-    try:
-        if h == 1:
-            # All three generalized algorithms are correct for h = 1 but the
-            # classic peeling is strictly faster; keep explicit requests
-            # honest by still running the requested algorithm.
-            pass
+    # Resolve the execution context once, so "auto" makes a single
+    # suitability scan and a CSR snapshot is built (at most) once per
+    # decomposition.  Contexts resolved *here* are scoped here: any process
+    # pool / shared-memory block their engine spun up is torn down before
+    # returning.  Callers who want to amortize engine or pool across
+    # decompositions pass a long-lived context (or a pre-built engine).
+    with scoped_context(graph, context, backend=backend, executor=executor,
+                        num_workers=num_workers, num_threads=num_threads,
+                        counters=sink) as ctx:
         if algorithm == "h-BZ":
-            return h_bz(graph, h, counters=sink, num_threads=workers,
-                        backend=engine, executor=executor)
+            return h_bz(graph, h, counters=sink, context=ctx)
         if algorithm == "h-LB":
-            return h_lb(graph, h, counters=sink, num_threads=workers,
-                        backend=engine, executor=executor)
+            return h_lb(graph, h, counters=sink, context=ctx)
         return h_lb_ub(graph, h, partition_size=partition_size, counters=sink,
-                       num_threads=workers, backend=engine, executor=executor)
-    finally:
-        if owned:
-            engine.close()
+                       context=ctx)
 
 
 def core_decomposition_with_report(graph: Graph, h: int,
                                    algorithm: str = "auto",
                                    dataset_name: str = "graph",
                                    partition_size: int = 1,
-                                   num_threads: int = 1,
+                                   num_threads: Optional[int] = None,
                                    backend: Union[str, Engine] = "auto",
                                    executor: str = "thread",
-                                   num_workers: Optional[int] = None
+                                   num_workers: Optional[int] = None,
+                                   context: Optional[ExecutionContext] = None
                                    ) -> RunReport:
     """Run :func:`core_decomposition` and return a timed, counted report.
 
     The experiment harness (Tables 3 and 5) is built on this wrapper.
     """
     counters = Counters()
-    workers = num_workers if num_workers is not None else num_threads
+    if context is not None:
+        workers = context.num_workers
+        executor_name = context.executor
+        backend_name = context.backend_name
+    else:
+        workers = resolve_worker_count(num_workers, num_threads)
+        executor_name = executor
+        backend_name = backend if isinstance(backend, str) else backend.name
     timer = Timer()
     with timer:
         result = core_decomposition(graph, h, algorithm=algorithm,
                                     partition_size=partition_size,
-                                    num_threads=workers,
+                                    num_workers=workers,
                                     counters=counters,
                                     backend=backend,
-                                    executor=executor)
+                                    executor=executor,
+                                    context=context)
     return RunReport(
         algorithm=result.algorithm,
         dataset=dataset_name,
@@ -174,7 +192,7 @@ def core_decomposition_with_report(graph: Graph, h: int,
         seconds=timer.elapsed,
         counters=counters,
         result=result,
-        params={"partition_size": partition_size, "num_threads": workers,
-                "executor": executor,
-                "backend": backend if isinstance(backend, str) else backend.name},
+        params={"partition_size": partition_size, "num_workers": workers,
+                "executor": executor_name,
+                "backend": backend_name},
     )

@@ -5,25 +5,31 @@ removed, the h-degree of **every** vertex in its h-neighborhood is recomputed
 with a fresh h-bounded BFS — this is exactly the cost that the lower/upper
 bound algorithms (h-LB, h-LB+UB) avoid, and the reason the paper reports h-BZ
 as one-to-two orders of magnitude slower.
+
+The per-vertex bookkeeping (buckets + stored degrees) runs on the shared
+:class:`~repro.runtime.peel.PeelState` protocol: flat arrays on the CSR
+engine, dicts on the reference engine — selected by the execution context.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Union
+from typing import Optional, Union
 
 from repro.errors import InvalidDistanceThresholdError
 from repro.graph.graph import Graph
-from repro.core.backends import Engine, resolve_engine
-from repro.core.buckets import BucketQueue
+from repro.core.backends import Engine
 from repro.core.result import CoreDecomposition
 from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.runtime.context import ExecutionContext, scoped_context
 
 
 def h_bz(graph: Graph, h: int,
          counters: Counters = NULL_COUNTERS,
-         num_threads: int = 1,
+         num_threads: Optional[int] = None,
          backend: Union[str, Engine] = "dict",
-         executor: str = "thread") -> CoreDecomposition:
+         executor: str = "thread",
+         num_workers: Optional[int] = None,
+         context: Optional[ExecutionContext] = None) -> CoreDecomposition:
     """Compute the (k,h)-core decomposition with the baseline h-BZ algorithm.
 
     Parameters
@@ -36,8 +42,9 @@ def h_bz(graph: Graph, h: int,
         dispatches h = 1 to the specialized classic implementation).
     counters:
         Instrumentation sink (visits, h-degree recomputations, bucket moves).
-    num_threads:
+    num_workers:
         Workers used for the initial h-degree computation (§4.6).
+        ``num_threads`` is the deprecated legacy spelling.
     backend:
         ``"dict"`` (reference), ``"csr"`` (array backend), ``"auto"``, or a
         pre-built engine.  Both backends produce identical core numbers.
@@ -46,6 +53,9 @@ def h_bz(graph: Graph, h: int,
         (GIL-bound) or ``"process"`` (shared-memory worker pool — the only
         one that scales on CPython).  All executors produce identical core
         numbers.
+    context:
+        Optional pre-built :class:`~repro.runtime.ExecutionContext`; when
+        given it supersedes the keywords above and is **not** closed here.
 
     Returns
     -------
@@ -54,46 +64,43 @@ def h_bz(graph: Graph, h: int,
     if not isinstance(h, int) or isinstance(h, bool) or h < 1:
         raise InvalidDistanceThresholdError(h)
 
-    engine = resolve_engine(graph, backend)
-    owned = isinstance(backend, str)
-    try:
+    with scoped_context(graph, context, backend=backend, executor=executor,
+                        num_workers=num_workers, num_threads=num_threads,
+                        counters=counters) as ctx:
+        sink = ctx.sink(counters)
+        engine = ctx.engine
         alive = engine.full_alive()
-        core_index: Dict[object, int] = {}
+        core_index = ctx.make_core_map()
         removal_order: list = []
         if not alive:
-            return CoreDecomposition(graph, h, core_index, algorithm="h-BZ",
+            return CoreDecomposition(graph, h, {}, algorithm="h-BZ",
                                      removal_order=removal_order)
 
         # Lines 1-3: initial h-degrees and bucket initialization.
-        degrees = engine.bulk_h_degrees(h, targets=alive, alive=alive,
-                                        num_threads=num_threads,
-                                        counters=counters, executor=executor)
-        buckets = BucketQueue(counters)
-        for v, d in degrees.items():
-            buckets.insert(v, d)
+        degrees = ctx.bulk_h_degrees(h, targets=alive, alive=alive,
+                                     counters=sink)
+        state = ctx.make_peel_state(counters=sink)
+        state.fill_exact(degrees.items())
 
         # Lines 4-11: peel in increasing order of (current) h-degree.
         k = 0
         while alive:
-            if buckets.is_empty(k):
+            vertex = state.pop(k)
+            if vertex is None:
                 k += 1
                 continue
-            vertex = buckets.pop_from(k)
             core_index[vertex] = k
             removal_order.append(vertex)
             # The h-neighborhood is taken in the *current* alive graph, before
             # removing the vertex (Algorithm 1, line 8).
-            neighborhood = engine.h_neighborhood(vertex, h, alive, counters)
+            neighborhood = engine.h_neighborhood(vertex, h, alive, sink)
             alive.discard(vertex)
             for u in neighborhood:
-                new_degree = engine.h_degree(u, h, alive, counters)
-                counters.count_hdegree()
-                degrees[u] = new_degree
-                buckets.move(u, max(new_degree, k))
+                new_degree = engine.h_degree(u, h, alive, sink)
+                sink.count_hdegree()
+                state.set_degree(u, new_degree)
+                state.move_to(u, max(new_degree, k))
 
         return CoreDecomposition(graph, h, engine.to_labels(core_index),
                                  algorithm="h-BZ",
                                  removal_order=engine.labels_of(removal_order))
-    finally:
-        if owned:
-            engine.close()

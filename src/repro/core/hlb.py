@@ -9,25 +9,26 @@ to that point, removals of its neighbors require no work at all.
 
 from __future__ import annotations
 
-from typing import Dict, Union
+from typing import Optional, Union
 
 from repro.errors import InvalidDistanceThresholdError
 from repro.graph.graph import Graph
-from repro.core.backends import Engine, resolve_engine
+from repro.core.backends import Engine
 from repro.core.bounds import engine_lb1, engine_lb2
-from repro.core.parallel import _validate_executor
-from repro.core.buckets import BucketQueue
 from repro.core.peeling import core_decomp
 from repro.core.result import CoreDecomposition
 from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.runtime.context import ExecutionContext, scoped_context
 
 
 def h_lb(graph: Graph, h: int,
          counters: Counters = NULL_COUNTERS,
-         num_threads: int = 1,
+         num_threads: Optional[int] = None,
          use_lb1_only: bool = False,
          backend: Union[str, Engine] = "dict",
-         executor: str = "thread") -> CoreDecomposition:
+         executor: str = "thread",
+         num_workers: Optional[int] = None,
+         context: Optional[ExecutionContext] = None) -> CoreDecomposition:
     """Compute the (k,h)-core decomposition with the h-LB algorithm.
 
     Parameters
@@ -38,9 +39,10 @@ def h_lb(graph: Graph, h: int,
         Distance threshold (h >= 1).
     counters:
         Instrumentation sink.
-    num_threads:
+    num_workers:
         Workers for the initial bound computation (kept for API symmetry; the
-        LB1/LB2 pass is cheap compared to the peeling).
+        LB1/LB2 pass is cheap compared to the peeling).  ``num_threads`` is
+        the deprecated legacy spelling.
     executor:
         Scheduler name, kept for API symmetry with h-BZ and h-LB+UB (h-LB
         has no bulk h-degree pass: LB1 for h in {2, 3} is the plain degree
@@ -52,6 +54,9 @@ def h_lb(graph: Graph, h: int,
     backend:
         ``"dict"`` (reference), ``"csr"`` (array backend), ``"auto"``, or a
         pre-built engine.  Both backends produce identical core numbers.
+    context:
+        Optional pre-built :class:`~repro.runtime.ExecutionContext`; when
+        given it supersedes the keywords above and is **not** closed here.
 
     Returns
     -------
@@ -59,35 +64,33 @@ def h_lb(graph: Graph, h: int,
     """
     if not isinstance(h, int) or isinstance(h, bool) or h < 1:
         raise InvalidDistanceThresholdError(h)
-    _validate_executor(executor)
 
-    engine = resolve_engine(graph, backend)
-    alive = engine.full_alive()
-    core_index: Dict[object, int] = {}
-    algorithm = "h-LB(LB1)" if use_lb1_only else "h-LB"
-    if not alive:
-        return CoreDecomposition(graph, h, core_index, algorithm=algorithm)
+    with scoped_context(graph, context, backend=backend, executor=executor,
+                        num_workers=num_workers, num_threads=num_threads,
+                        counters=counters) as ctx:
+        sink = ctx.sink(counters)
+        engine = ctx.engine
+        alive = engine.full_alive()
+        algorithm = "h-LB(LB1)" if use_lb1_only else "h-LB"
+        if not alive:
+            return CoreDecomposition(graph, h, {}, algorithm=algorithm)
 
-    lb1 = engine_lb1(engine, h, counters=counters)
-    bounds = lb1 if use_lb1_only else engine_lb2(engine, h, lb1=lb1,
-                                                 counters=counters)
+        lb1 = engine_lb1(engine, h, counters=sink)
+        bounds = lb1 if use_lb1_only else engine_lb2(engine, h, lb1=lb1,
+                                                     counters=sink)
 
-    buckets = BucketQueue(counters)
-    set_lb: Dict[object, bool] = {}
-    stored_degree: Dict[object, int] = {}
-    for v in alive:
-        buckets.insert(v, bounds[v])
-        set_lb[v] = True
+        state = ctx.make_peel_state(counters=sink)
+        state.fill_lb((v, bounds[v]) for v in alive)
 
-    # kmin = 0 so that vertices with h-degree 0 receive core index 0 (the
-    # paper's pseudocode starts at kmin = 1, leaving isolated vertices
-    # implicitly at 0; making it explicit keeps the result object total).
-    removal_order: list = []
-    core_decomp(engine, h, kmin=0, kmax=engine.num_nodes, buckets=buckets,
-                set_lb=set_lb, alive=alive, stored_degree=stored_degree,
-                core_index=core_index, counters=counters,
-                removal_order=removal_order)
+        # kmin = 0 so that vertices with h-degree 0 receive core index 0 (the
+        # paper's pseudocode starts at kmin = 1, leaving isolated vertices
+        # implicitly at 0; making it explicit keeps the result object total).
+        core_index = ctx.make_core_map()
+        removal_order: list = []
+        core_decomp(engine, h, kmin=0, kmax=engine.num_nodes, state=state,
+                    alive=alive, core_index=core_index, counters=sink,
+                    removal_order=removal_order)
 
-    return CoreDecomposition(graph, h, engine.to_labels(core_index),
-                             algorithm=algorithm,
-                             removal_order=engine.labels_of(removal_order))
+        return CoreDecomposition(graph, h, engine.to_labels(core_index),
+                                 algorithm=algorithm,
+                                 removal_order=engine.labels_of(removal_order))

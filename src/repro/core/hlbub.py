@@ -7,6 +7,11 @@ sub-computations: all (k,h)-cores with ``k >= i`` live inside
 top-down, so the expensive high-core vertices are peeled early and never
 touched again, and each partition is first cleaned and re-bounded by
 ``ImproveLB`` (Algorithm 6, bound LB3).
+
+Each partition's peeling drives the shared kernel
+(:func:`repro.core.peeling.core_decomp`) through a fresh
+:class:`~repro.runtime.peel.PeelState`, while the cross-partition core-index
+map persists for the whole run (a flat array on the CSR engine).
 """
 
 from __future__ import annotations
@@ -15,17 +20,17 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import InvalidDistanceThresholdError, ParameterError
 from repro.graph.graph import Graph, Vertex
-from repro.core.backends import Engine, resolve_engine
+from repro.core.backends import Engine
 from repro.core.bounds import (
     engine_improve_lb,
     engine_lb1,
     engine_lb2,
     engine_upper_bound,
 )
-from repro.core.buckets import BucketQueue
 from repro.core.peeling import core_decomp
 from repro.core.result import CoreDecomposition
 from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.runtime.context import ExecutionContext, scoped_context
 
 
 def build_partitions(upper_bounds: Dict[Vertex, int], min_lower_bound: int,
@@ -68,11 +73,13 @@ def build_partitions(upper_bounds: Dict[Vertex, int], min_lower_bound: int,
 def h_lb_ub(graph: Graph, h: int,
             partition_size: int = 1,
             counters: Counters = NULL_COUNTERS,
-            num_threads: int = 1,
+            num_threads: Optional[int] = None,
             use_hdegree_as_upper_bound: bool = False,
             precomputed_upper_bound: Optional[Dict[Vertex, int]] = None,
             backend: Union[str, Engine] = "dict",
-            executor: str = "thread") -> CoreDecomposition:
+            executor: str = "thread",
+            num_workers: Optional[int] = None,
+            context: Optional[ExecutionContext] = None) -> CoreDecomposition:
     """Compute the (k,h)-core decomposition with the h-LB+UB algorithm.
 
     Parameters
@@ -87,8 +94,9 @@ def h_lb_ub(graph: Graph, h: int,
         finest top-down exploration).
     counters:
         Instrumentation sink.
-    num_threads:
+    num_workers:
         Workers used for the bulk h-degree computations (§4.6).
+        ``num_threads`` is the deprecated legacy spelling.
     executor:
         Scheduler for the bulk h-degree passes (the initial pass, the upper
         bound's seeding pass, and each partition's ``ImproveLB`` pass):
@@ -106,6 +114,9 @@ def h_lb_ub(graph: Graph, h: int,
     backend:
         ``"dict"`` (reference), ``"csr"`` (array backend), ``"auto"``, or a
         pre-built engine.  Both backends produce identical core numbers.
+    context:
+        Optional pre-built :class:`~repro.runtime.ExecutionContext`; when
+        given it supersedes the keywords above and is **not** closed here.
 
     Returns
     -------
@@ -114,9 +125,11 @@ def h_lb_ub(graph: Graph, h: int,
     if not isinstance(h, int) or isinstance(h, bool) or h < 1:
         raise InvalidDistanceThresholdError(h)
 
-    engine = resolve_engine(graph, backend)
-    owned = isinstance(backend, str)
-    try:
+    with scoped_context(graph, context, backend=backend, executor=executor,
+                        num_workers=num_workers, num_threads=num_threads,
+                        counters=counters) as ctx:
+        sink = ctx.sink(counters)
+        engine = ctx.engine
         all_handles = list(engine.nodes())
         algorithm = ("h-LB+UB(h-degree)" if use_hdegree_as_upper_bound
                      else "h-LB+UB")
@@ -124,12 +137,10 @@ def h_lb_ub(graph: Graph, h: int,
             return CoreDecomposition(graph, h, {}, algorithm=algorithm)
 
         # Lines 3-6: initial h-degrees and the LB2 lower bound.
-        initial_degrees = engine.bulk_h_degrees(h, targets=all_handles,
-                                                num_threads=num_threads,
-                                                counters=counters,
-                                                executor=executor)
-        lb1 = engine_lb1(engine, h, counters=counters)
-        lb2 = engine_lb2(engine, h, lb1=lb1, counters=counters)
+        initial_degrees = ctx.bulk_h_degrees(h, targets=all_handles,
+                                             counters=sink)
+        lb1 = engine_lb1(engine, h, counters=sink)
+        lb2 = engine_lb2(engine, h, lb1=lb1, counters=sink)
         lb3: Dict[object, int] = {v: 0 for v in all_handles}
 
         # Line 7: the upper bound (Algorithm 5), or the h-degree ablation
@@ -142,42 +153,38 @@ def h_lb_ub(graph: Graph, h: int,
         else:
             ub = engine_upper_bound(engine, h,
                                     initial_h_degrees=initial_degrees,
-                                    counters=counters,
-                                    num_threads=num_threads,
-                                    executor=executor)
+                                    counters=sink,
+                                    num_workers=ctx.num_workers,
+                                    executor=ctx.executor,
+                                    peel=ctx.peel)
 
         # Lines 8-11: partition the interval [min LB2, max UB] top-down.
         min_lb = min(lb2.values())
         partitions = build_partitions(ub, min_lb, partition_size)
 
-        core_index: Dict[object, int] = {}
+        core_index = ctx.make_core_map()
         # Lines 11-18: process each partition independently, top-down.
         for kmin, kmax in partitions:
             candidate = [v for v in all_handles if ub[v] >= kmin]
             if not candidate:
                 continue
             cleaned, min_degree = engine_improve_lb(engine, h, candidate,
-                                                    kmin, counters=counters,
-                                                    num_threads=num_threads,
-                                                    executor=executor)
+                                                    kmin, counters=sink,
+                                                    num_workers=ctx.num_workers,
+                                                    executor=ctx.executor)
             if not cleaned:
                 continue
             for v in cleaned:
                 lb3[v] = max(lb3[v], lb2[v], min_degree)
 
-            buckets = BucketQueue(counters)
-            set_lb: Dict[object, bool] = {}
-            stored_degree: Dict[object, int] = {}
+            state = ctx.make_peel_state(counters=sink)
             alive = cleaned
-            for v in alive:
-                assigned = core_index.get(v, 0)
-                buckets.insert(v, max(assigned, lb3[v], kmin - 1, 0))
-                set_lb[v] = True
+            floor = max(kmin - 1, 0)
+            state.fill_lb(
+                (v, max(core_index.get(v, 0), lb3[v], floor)) for v in alive)
 
-            core_decomp(engine, h, kmin=kmin, kmax=kmax, buckets=buckets,
-                        set_lb=set_lb, alive=alive,
-                        stored_degree=stored_degree,
-                        core_index=core_index, counters=counters)
+            core_decomp(engine, h, kmin=kmin, kmax=kmax, state=state,
+                        alive=alive, core_index=core_index, counters=sink)
 
         # Vertices never assigned belong to core 0 (isolated or below the
         # lowest partition; the lowest kmin equals the minimum LB2, which is
@@ -187,6 +194,3 @@ def h_lb_ub(graph: Graph, h: int,
 
         return CoreDecomposition(graph, h, engine.to_labels(core_index),
                                  algorithm=algorithm)
-    finally:
-        if owned:
-            engine.close()

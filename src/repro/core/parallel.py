@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.errors import ParameterError
 from repro.graph.graph import Graph, Vertex
 from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.runtime.workers import resolve_worker_count
 from repro.traversal.hneighborhood import h_degree
 
 #: Executor names accepted by the decomposition entry points.
@@ -176,15 +177,17 @@ def map_batches(targets: Sequence, num_workers: int, worker,
 def compute_h_degrees(graph: Graph, h: int,
                       vertices: Optional[Iterable[Vertex]] = None,
                       alive: Optional[Set[Vertex]] = None,
-                      num_threads: int = 1,
+                      num_threads: Optional[int] = None,
                       counters: Counters = NULL_COUNTERS,
-                      backend: str = "dict",
-                      executor: str = "thread") -> Dict[Vertex, int]:
+                      backend: object = "dict",
+                      executor: str = "thread",
+                      num_workers: Optional[int] = None) -> Dict[Vertex, int]:
     """Compute the h-degree of every vertex in ``vertices`` (default: all alive).
 
-    With ``num_threads > 1`` the per-vertex h-bounded BFS traversals are
-    distributed over the selected ``executor`` (see :data:`EXECUTORS`); each
-    worker accumulates into a private counter object that is merged into
+    With ``num_workers > 1`` (``num_threads`` is the deprecated legacy
+    spelling) the per-vertex h-bounded BFS traversals are distributed over
+    the selected ``executor`` (see :data:`EXECUTORS`); each worker
+    accumulates into a private counter object that is merged into
     ``counters`` once all workers finish, so the reported totals are
     identical to the sequential run.
 
@@ -202,7 +205,8 @@ def compute_h_degrees(graph: Graph, h: int,
     <repro.core.backends.CSREngine>` to amortize it.
     """
     _validate_executor(executor)
-    want_process = executor == "process" and num_threads > 1
+    workers = resolve_worker_count(num_workers, num_threads)
+    want_process = executor == "process" and workers > 1
     if backend not in ("dict",) or want_process:
         # Imported lazily: backends.DictEngine delegates back to this module.
         from repro.core.backends import CSREngine, resolve_engine
@@ -224,7 +228,7 @@ def compute_h_degrees(graph: Graph, h: int,
                     engine.alive_subset(engine.handle_of(v) for v in alive)
                 degrees = engine.bulk_h_degrees(h, targets=targets,
                                                 alive=alive_mask,
-                                                num_threads=num_threads,
+                                                num_workers=workers,
                                                 counters=counters,
                                                 executor=executor)
                 return engine.to_labels(degrees)
@@ -236,7 +240,7 @@ def compute_h_degrees(graph: Graph, h: int,
         vertices = alive if alive is not None else graph.vertices()
     targets = list(vertices)
 
-    if num_threads <= 1 or len(targets) < 2 or executor == "serial":
+    if workers <= 1 or len(targets) < 2 or executor == "serial":
         result: Dict[Vertex, int] = {}
         for v in targets:
             result[v] = h_degree(graph, v, h, alive=alive, counters=counters)
@@ -250,5 +254,5 @@ def compute_h_degrees(graph: Graph, h: int,
             local.count_hdegree()
         return out
 
-    return map_batches(targets, num_threads, worker, counters,
+    return map_batches(targets, workers, worker, counters,
                        executor="thread")

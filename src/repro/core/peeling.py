@@ -1,38 +1,50 @@
-"""The shared CoreDecomp peeling routine (Algorithm 3).
+"""The shared CoreDecomp peeling kernel (Algorithm 3).
 
-Both h-LB (over the whole graph) and h-LB+UB (per partition) drive their
-peeling through :func:`core_decomp`.  The routine maintains, per vertex,
-either a *lower bound* on its core index (``set_lb`` is True — the stored
-bucket key is only a lower bound and the true h-degree has not been computed
-yet for the current vertex set) or its *exact* current h-degree (``set_lb``
-is False).  Deferring the first exact computation until the bucket index
-reaches the lower bound is what saves the bulk of the h-bounded BFS
-traversals compared to the baseline h-BZ.
+h-BZ aside (its baseline loop lives in :mod:`repro.core.hbz`), every peeling
+in the repository drives this kernel: h-LB over the whole graph, h-LB+UB per
+partition, and the spectrum sweep.  The kernel maintains, per vertex, either
+a *lower bound* on its core index (the ``lb`` flag is set — the bucket key
+is only a lower bound and the true h-degree has not been computed yet for
+the current vertex set) or its *exact* current h-degree.  Deferring the
+first exact computation until the bucket index reaches the lower bound is
+what saves the bulk of the h-bounded BFS traversals compared to the baseline
+h-BZ.
 
-The routine is written against the backend-engine API
-(:mod:`repro.core.backends`): vertices are opaque *handles* (original vertex
-objects for the dict engine, integer indices for the CSR engine) and
-``alive`` is whatever alive-set type the engine produced.  Callers translate
-handles back to vertex labels when assembling the final result.
+All per-vertex bookkeeping (buckets, stored degrees, lower-bound flags)
+lives in a :class:`~repro.runtime.peel.PeelState`:
+
+* With a :class:`~repro.runtime.peel.DictPeelState` the kernel runs the
+  generic loop below — any engine, any hashable handle type.
+* With an :class:`~repro.runtime.peel.ArrayPeelState` on the CSR engine it
+  dispatches to :func:`_core_decomp_array`, which binds the flat arrays to
+  locals and reads the BFS scratch buffers directly — no per-neighbor
+  ``(vertex, distance)`` tuples are ever materialized, no dict is touched in
+  the inner loop.
+
+Both paths execute the same operation sequence (same traversals, same
+bucket moves, same counter increments), so they are observationally
+identical; the array path is just the same kernel with the Python-object
+overhead stripped out.
+
+Handles are opaque to the kernel (original vertex objects for the dict
+engine, integer indices for the CSR engine) and ``alive`` is whatever
+alive-set type the engine produced.  Callers translate handles back to
+vertex labels when assembling the final result.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.core.backends import Engine
-from repro.core.buckets import BucketQueue
+from repro.core.backends import CSREngine, Engine
 from repro.instrumentation import Counters, NULL_COUNTERS
-
-Handle = object
+from repro.runtime.peel import ArrayPeelState, Handle, PeelState
 
 
 def core_decomp(engine: Engine, h: int, kmin: int, kmax: int,
-                buckets: BucketQueue,
-                set_lb: Dict[Handle, bool],
+                state: PeelState,
                 alive,
-                stored_degree: Dict[Handle, int],
-                core_index: Dict[Handle, int],
+                core_index,
                 counters: Counters = NULL_COUNTERS,
                 removal_order: Optional[List[Handle]] = None) -> None:
     """Peel ``alive`` and assign core indices in ``[kmin, kmax]`` (Algorithm 3).
@@ -46,34 +58,36 @@ def core_decomp(engine: Engine, h: int, kmin: int, kmax: int,
     h:
         Distance threshold.
     kmin, kmax:
-        Only core indices in ``[kmin, kmax]`` are assigned; vertices peeled at
-        bucket ``kmin - 1`` are removed without assignment (they belong to a
-        lower partition and will be handled there).
-    buckets:
-        Bucket queue pre-populated with every handle of ``alive``, keyed by a
-        valid lower bound on its core index (or by its exact degree).
-    set_lb:
-        ``set_lb[v]`` is True while ``v``'s bucket key is only a lower bound.
+        Only core indices in ``[kmin, kmax]`` are assigned; vertices peeled
+        at bucket ``kmin - 1`` are removed without assignment (they belong
+        to a lower partition and will be handled there).
+    state:
+        Peel state (:func:`repro.runtime.peel.make_peel_state`) pre-populated
+        with every handle of ``alive``, keyed by a valid lower bound on its
+        core index (inserted with ``lb=True``) or by its exact degree.
     alive:
         The surviving vertex set (engine-specific type); mutated in place.
-    stored_degree:
-        Exact current h-degrees for handles with ``set_lb[v] == False``;
-        mutated in place.
     core_index:
-        Output map (handle-keyed); only vertices whose core index lies in
-        ``[kmin, kmax]`` (and is not yet assigned) are written.
+        Output map (handle-keyed; a dict or an
+        :class:`~repro.runtime.peel.ArrayCoreMap`); only vertices whose core
+        index lies in ``[kmin, kmax]`` (and is not yet assigned) are written.
     removal_order:
         Optional list that receives every removed handle in removal order
         (used to extract a smallest-last degeneracy ordering for the
         distance-h coloring application).
     """
+    if isinstance(state, ArrayPeelState) and isinstance(engine, CSREngine):
+        _core_decomp_array(engine, h, kmin, kmax, state, alive, core_index,
+                           counters, removal_order)
+        return
+
     k = max(kmin - 1, 0)
     while k <= kmax:
-        vertex = buckets.pop_from(k)
+        vertex = state.pop(k)
         if vertex is None:
             k += 1
             continue
-        if set_lb[vertex]:
+        if state.is_lb(vertex):
             # First time this vertex surfaces in this computation: its bucket
             # key was only a lower bound, so compute the real h-degree and
             # re-bucket (Algorithm 3, lines 4-7).  The max() with k guards the
@@ -82,9 +96,8 @@ def core_decomp(engine: Engine, h: int, kmin: int, kmax: int,
             # exactly k and the vertex must stay in the current bucket.
             degree = engine.h_degree(vertex, h, alive, counters)
             counters.count_hdegree()
-            stored_degree[vertex] = degree
-            buckets.insert(vertex, max(degree, k))
-            set_lb[vertex] = False
+            state.set_degree(vertex, degree)
+            state.insert(vertex, max(degree, k))
             continue
 
         # Exact-degree vertex popped at bucket k: its core index is k
@@ -92,7 +105,6 @@ def core_decomp(engine: Engine, h: int, kmin: int, kmax: int,
         # vertex belongs to a lower partition and is peeled silently.
         if k >= kmin and vertex not in core_index:
             core_index[vertex] = k
-        set_lb[vertex] = True
         if removal_order is not None:
             removal_order.append(vertex)
 
@@ -100,18 +112,140 @@ def core_decomp(engine: Engine, h: int, kmin: int, kmax: int,
                                                         counters)
         alive.discard(vertex)
         for u, distance in neighborhood:
-            if set_lb[u]:
-                # Bucket key is a lower bound on core(u) >= k: no update needed.
+            if u not in state or state.is_lb(u):
+                # Already peeled, or the bucket key is still only a lower
+                # bound on core(u) >= k: no update needed either way.
                 continue
             if distance < h:
                 # Removing the vertex may have destroyed shortest paths that
                 # passed through it: recompute from scratch (line 15).
-                stored_degree[u] = engine.h_degree(u, h, alive, counters)
+                state.set_degree(u, engine.h_degree(u, h, alive, counters))
                 counters.count_hdegree()
             else:
                 # A neighbor at distance exactly h can only lose the removed
                 # vertex itself (no path through it can stay within h), so a
                 # O(1) decrement suffices (line 17).
-                stored_degree[u] -= 1
+                state.decrement(u)
                 counters.record_decrement()
-            buckets.move(u, max(stored_degree[u], k))
+            state.move_to(u, max(state.degree_of(u), k))
+
+
+def _core_decomp_array(engine: CSREngine, h: int, kmin: int, kmax: int,
+                       state: ArrayPeelState, alive, core_index,
+                       counters: Counters,
+                       removal_order: Optional[List[int]]) -> None:
+    """Array-native Algorithm 3: same kernel, flat-array inner loop.
+
+    Reads the engine's BFS scratch directly: ``scratch.order`` holds the
+    visited indices level by level and ``scratch.level_ends`` the segment
+    boundaries, so "is the distance exactly h?" is a positional test against
+    the final segment instead of a per-neighbor distance tuple.  The order
+    buffer is copied once per removal (one C-level slice) because the
+    recompute branch reuses the scratch for its own traversals.
+
+    The bucket operations (pop-head, push-front, move) are inlined on the
+    state's arrays — bound to locals once — and the decrement / bucket-move
+    counters are accumulated locally and flushed in batches (identical
+    totals, a fraction of the calls).  Every traversal, update and counter
+    total matches the generic loop exactly; only the constant factors
+    differ.
+    """
+    scratch = engine.scratch
+    run = scratch.run
+    heads = state.heads
+    nxt = state.nxt
+    prv = state.prv
+    key_of = state.key_of_
+    lb = state.lb
+    degrees = state.degrees
+    count_hdegree = counters.count_hdegree
+    record_decrements = counters.record_decrements
+    record_bucket_moves = counters.record_bucket_moves
+    popped = 0
+    moves = 0
+
+    k = max(kmin - 1, 0)
+    while k <= kmax:
+        # Inline pop-head from bucket k (heads is pre-sized past kmax).
+        vertex = heads[k]
+        if vertex < 0:
+            k += 1
+            continue
+        follower = nxt[vertex]
+        heads[k] = follower
+        if follower >= 0:
+            prv[follower] = -1
+        key_of[vertex] = -1
+        popped += 1
+
+        if lb[vertex]:
+            # Lower-bound pop: compute the real h-degree and re-bucket
+            # (inline push-front at max(degree, k); the flag becomes exact).
+            degree = run(vertex, h, alive, counters)
+            count_hdegree()
+            degrees[vertex] = degree
+            key = degree if degree > k else k
+            head = heads[key]
+            nxt[vertex] = head
+            prv[vertex] = -1
+            if head >= 0:
+                prv[head] = vertex
+            heads[key] = vertex
+            key_of[vertex] = key
+            lb[vertex] = 0
+            popped -= 1
+            continue
+
+        if k >= kmin and vertex not in core_index:
+            core_index[vertex] = k
+        if removal_order is not None:
+            removal_order.append(vertex)
+
+        run(vertex, h, alive, counters)
+        # Copy before the inner recomputations overwrite the scratch.  The
+        # final BFS segment holds exactly the distance-h vertices (when the
+        # traversal reached depth h at all); everything before it is at
+        # distance < h and needs the full recompute.
+        neighbors = scratch.order[1:]
+        ends = scratch.level_ends
+        cut = ends[-2] - 1 if len(ends) - 1 == h else len(neighbors)
+        alive.discard(vertex)
+        decrements = 0
+        for i, u in enumerate(neighbors):
+            current = key_of[u]
+            if current < 0 or lb[u]:
+                continue
+            if i < cut:
+                degree = run(u, h, alive, counters)
+                count_hdegree()
+                degrees[u] = degree
+            else:
+                degree = degrees[u] - 1
+                degrees[u] = degree
+                decrements += 1
+            key = degree if degree > k else k
+            if current == key:
+                continue
+            # Inline move: unlink from bucket ``current``, push-front at
+            # ``key``.
+            before = prv[u]
+            after = nxt[u]
+            if before >= 0:
+                nxt[before] = after
+            else:
+                heads[current] = after
+            if after >= 0:
+                prv[after] = before
+            head = heads[key]
+            nxt[u] = head
+            prv[u] = -1
+            if head >= 0:
+                prv[head] = u
+            heads[key] = u
+            key_of[u] = key
+            moves += 1
+        if decrements:
+            record_decrements(decrements)
+    if moves:
+        record_bucket_moves(moves)
+    state._count -= popped

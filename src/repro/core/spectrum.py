@@ -23,12 +23,12 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import InvalidDistanceThresholdError, ParameterError
 from repro.graph.graph import Graph
 from repro.core.backends import DictEngine
-from repro.core.buckets import BucketQueue
 from repro.core.bounds import lower_bound_lb1, lower_bound_lb2
 from repro.core.classic import classic_core_decomposition
 from repro.core.peeling import core_decomp
 from repro.core.result import CoreDecomposition
 from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.runtime.peel import DictPeelState
 
 Vertex = Hashable
 
@@ -104,17 +104,13 @@ def _h_lb_with_seed(graph: Graph, h: int, seed_lower_bound: Dict[Vertex, int],
 
     lb1 = lower_bound_lb1(graph, h, counters=counters)
     lb2 = lower_bound_lb2(graph, h, lb1=lb1, counters=counters)
-    buckets = BucketQueue(counters)
-    set_lb: Dict[Vertex, bool] = {}
-    stored: Dict[Vertex, int] = {}
+    state = DictPeelState(counters)
     for v in alive:
         bound = max(lb2[v], seed_lower_bound.get(v, 0))
-        buckets.insert(v, bound)
-        set_lb[v] = True
+        state.insert(v, bound, lb=True)
     removal_order: List[Vertex] = []
-    core_decomp(DictEngine(graph), h, kmin=0, kmax=len(graph), buckets=buckets,
-                set_lb=set_lb, alive=alive, stored_degree=stored,
-                core_index=core_index, counters=counters,
+    core_decomp(DictEngine(graph), h, kmin=0, kmax=len(graph), state=state,
+                alive=alive, core_index=core_index, counters=counters,
                 removal_order=removal_order)
     return CoreDecomposition(graph, h, core_index, algorithm="h-LB(spectrum)",
                              removal_order=removal_order)

@@ -37,13 +37,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.core.backends import (
-    CSREngine,
-    Engine,
-    resolve_engine,
-    resolved_backend_name,
-)
+from repro.core.backends import CSREngine, Engine, resolved_backend_name
 from repro.core.decomposition import ALGORITHMS, core_decomposition
+from repro.runtime.context import ExecutionContext
 from repro.core.result import CoreDecomposition
 from repro.dynamic.repeel import repeel_region
 from repro.dynamic.stats import (
@@ -101,8 +97,10 @@ class DynamicKHCore:
     max_expansions:
         Maximum fixed-point expansion rounds before giving up and falling
         back.
-    num_threads / partition_size:
-        Forwarded to the batch algorithm on full recomputations.
+    num_workers / executor / partition_size:
+        Forwarded to the batch algorithm on full recomputations
+        (``num_threads`` is the deprecated legacy spelling of
+        ``num_workers``).
     counters:
         Optional shared instrumentation sink for all traversal work.
 
@@ -122,9 +120,11 @@ class DynamicKHCore:
                  algorithm: str = "auto",
                  fallback_ratio: float = DEFAULT_FALLBACK_RATIO,
                  max_expansions: int = DEFAULT_MAX_EXPANSIONS,
-                 num_threads: int = 1,
+                 num_threads: Optional[int] = None,
                  partition_size: int = 1,
-                 counters: Optional[Counters] = None) -> None:
+                 counters: Optional[Counters] = None,
+                 executor: str = "thread",
+                 num_workers: Optional[int] = None) -> None:
         if not isinstance(h, int) or isinstance(h, bool) or h < 1:
             raise InvalidDistanceThresholdError(h)
         # Backend names are validated by resolved_backend_name below.
@@ -142,14 +142,22 @@ class DynamicKHCore:
         self.algorithm = algorithm
         self.fallback_ratio = fallback_ratio
         self.max_expansions = max_expansions
-        self.num_threads = num_threads
         self.partition_size = partition_size
         self.counters = counters if counters is not None else NULL_COUNTERS
         self.stats = DynamicStats()
 
         #: Backend name fixed at construction ("dict" or "csr").
         self.backend = resolved_backend_name(self.graph, backend)
-        self._engine: Optional[Engine] = None
+        self.executor = executor
+        #: The execution context owns the peeling engine (and any worker
+        #: pool it spins up) for the engine's whole lifetime; rebuilt only
+        #: if the graph object itself is swapped out from under us.
+        self._context = ExecutionContext(self.graph, backend=self.backend,
+                                         executor=executor,
+                                         num_workers=num_workers,
+                                         num_threads=num_threads,
+                                         counters=self.counters)
+        self.num_workers = self._context.num_workers
         self._core: Dict[Vertex, int] = {}
         self._synced_version: int = -1
         self._full_recompute(initial=True)
@@ -444,13 +452,28 @@ class DynamicKHCore:
             expansions += 1
             region |= grow
 
+    def close(self) -> None:
+        """Tear down the owned execution context (worker pools, shared memory).
+
+        Idempotent; the engine rebuilds its context transparently if used
+        again afterwards.
+        """
+        context, self._context = self._context, None
+        if context is not None:
+            context.close()
+
     def _refreshed_engine(self, touched: Optional[Set[Vertex]]) -> Engine:
         """Return the peeling engine, snapshot brought up to date."""
-        if self._engine is None or self._engine.graph is not self.graph:
-            self._engine = resolve_engine(self.graph, self.backend)
-        elif isinstance(self._engine, CSREngine):
-            self._engine.refresh(touched)
-        return self._engine
+        context = self._context
+        if context is None or context.engine.graph is not self.graph:
+            if context is not None:
+                context.close()
+            self._context = context = ExecutionContext(
+                self.graph, backend=self.backend, executor=self.executor,
+                num_workers=self.num_workers, counters=self.counters)
+        elif isinstance(context.engine, CSREngine):
+            context.engine.refresh(touched)
+        return context.engine
 
     def _resync_if_mutated_externally(self) -> None:
         """Recompute everything if the graph changed behind our back."""
@@ -463,13 +486,12 @@ class DynamicKHCore:
                         applied: int = 0, skipped: int = 0,
                         reason: str = "") -> UpdateSummary:
         """From-scratch decomposition with the configured batch algorithm."""
-        engine = self._refreshed_engine(touched)
+        self._refreshed_engine(touched)
         result = core_decomposition(self.graph, self.h,
                                     algorithm=self.algorithm,
                                     partition_size=self.partition_size,
-                                    num_threads=self.num_threads,
                                     counters=self.counters,
-                                    backend=engine)
+                                    context=self._context)
         previous = self._core
         self._core = dict(result.core_index)
         self._synced_version = self.graph.version

@@ -15,6 +15,10 @@ indices are assumed unchanged, :func:`repeel_region` re-runs the peeling on
   global peeling would have removed it.  They are never re-bucketed and never
   receive a new core index.
 
+The per-vertex bookkeeping (buckets + stored degrees) drives the shared
+:class:`~repro.runtime.peel.PeelState` protocol — the same kernel state the
+batch algorithms peel through, flat arrays on the CSR engine.
+
 Why the restricted universe is sufficient: every path of length ``<= h``
 from a region vertex ``w`` only traverses vertices at distance ``<= h - 1``
 from ``w``, so all vertices that can ever appear in (or on a path to) the
@@ -33,8 +37,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List
 
 from repro.core.backends import Engine
-from repro.core.buckets import BucketQueue
 from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.runtime.peel import make_peel_state
 
 Handle = object
 
@@ -42,7 +46,8 @@ Handle = object
 def repeel_region(engine: Engine, h: int,
                   region: Iterable[Handle],
                   shell_levels: Dict[Handle, int],
-                  counters: Counters = NULL_COUNTERS) -> Dict[Handle, int]:
+                  counters: Counters = NULL_COUNTERS,
+                  peel: str = "auto") -> Dict[Handle, int]:
     """Re-peel ``region`` against a frozen ``shell`` and return its new cores.
 
     Parameters
@@ -61,6 +66,12 @@ def repeel_region(engine: Engine, h: int,
         peeling index reaches its level.  Must be disjoint from ``region``.
     counters:
         Instrumentation sink.
+    peel:
+        Peel-state layout (:data:`repro.runtime.peel.PEEL_STATES`);
+        ``"auto"`` selects the flat-array state on the CSR engine when the
+        dirty universe is a sizable fraction of the graph, and the
+        O(|region|)-footprint dict state for small regions (the common
+        incremental case), where an O(n) array allocation would dominate.
 
     Returns
     -------
@@ -74,9 +85,16 @@ def repeel_region(engine: Engine, h: int,
 
     degrees = engine.bulk_h_degrees(h, targets=remaining, alive=alive,
                                     counters=counters)
-    buckets = BucketQueue(counters)
-    for w, d in degrees.items():
-        buckets.insert(w, d)
+    if peel == "auto" and len(alive) * 4 < engine.num_nodes:
+        # The array layout allocates O(n) buckets/degree buffers; a typical
+        # dirty region is a few dozen vertices of a large graph, where that
+        # allocation would dominate the re-peel (the exact cost the dynamic
+        # engine exists to avoid).  Both layouts are observationally
+        # identical, so below a quarter of the graph the hash-based state
+        # with its O(|region|) footprint is the cheaper choice.
+        peel = "dict"
+    state = make_peel_state(engine, counters, peel=peel)
+    state.fill_exact(degrees.items())
 
     shell_by_level: Dict[int, List[Handle]] = {}
     for x, level in shell_levels.items():
@@ -97,17 +115,17 @@ def repeel_region(engine: Engine, h: int,
             if distance < h:
                 # Removal may have destroyed shortest paths through ``vertex``:
                 # recompute from scratch (Algorithm 3, line 15).
-                degrees[u] = engine.h_degree(u, h, alive, counters)
+                state.set_degree(u, engine.h_degree(u, h, alive, counters))
                 counters.count_hdegree()
             else:
                 # A neighbor at distance exactly h can only lose ``vertex``
                 # itself, so a O(1) decrement suffices (line 17).
-                degrees[u] -= 1
+                state.decrement(u)
                 counters.record_decrement()
-            buckets.move(u, max(degrees[u], k))
+            state.move_to(u, max(state.degree_of(u), k))
 
     while remaining:
-        vertex = buckets.pop_from(k)
+        vertex = state.pop(k)
         if vertex is not None:
             new_core[vertex] = k
             remaining.discard(vertex)

@@ -77,7 +77,7 @@ def _bulk_pass_seconds(engine: CSREngine, h: int, executor: str,
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        engine.bulk_h_degrees(h, num_threads=workers, executor=executor)
+        engine.bulk_h_degrees(h, num_workers=workers, executor=executor)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -123,7 +123,7 @@ def run_executor_scaling(config: Optional[ExperimentConfig] = None
             for workers in worker_counts:
                 # Warm-up: spin the pool up / export before timing.
                 engine.bulk_h_degrees(h, targets=range(min(
-                    8, sample.num_vertices)), num_threads=workers,
+                    8, sample.num_vertices)), num_workers=workers,
                     executor=executor)
                 seconds = _bulk_pass_seconds(engine, h, executor, workers,
                                              repeats)

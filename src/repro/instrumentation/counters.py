@@ -57,9 +57,22 @@ class Counters:
         """Record a decrement-only h-degree update."""
         self.hdegree_decrements += 1
 
+    def record_decrements(self, count: int) -> None:
+        """Record ``count`` decrement-only updates in one call.
+
+        Batch twin of :meth:`record_decrement`, used by the array peel
+        kernels to flush a locally accumulated count once per removal;
+        totals are identical to ``count`` individual calls.
+        """
+        self.hdegree_decrements += count
+
     def record_bucket_move(self) -> None:
         """Record a vertex moving between buckets."""
         self.bucket_moves += 1
+
+    def record_bucket_moves(self, count: int) -> None:
+        """Record ``count`` bucket moves in one call (batch twin)."""
+        self.bucket_moves += count
 
     def bump(self, key: str, amount: int = 1) -> None:
         """Increment a named ad-hoc counter."""
@@ -116,7 +129,13 @@ class _NullCounters(Counters):
     def record_decrement(self) -> None:  # noqa: D102
         pass
 
+    def record_decrements(self, count: int) -> None:  # noqa: D102
+        pass
+
     def record_bucket_move(self) -> None:  # noqa: D102
+        pass
+
+    def record_bucket_moves(self, count: int) -> None:  # noqa: D102
         pass
 
     def bump(self, key: str, amount: int = 1) -> None:  # noqa: D102

@@ -1,0 +1,52 @@
+"""The single worker-count deprecation shim.
+
+Historically the entry points disagreed about what the worker-count keyword
+was called: ``core_decomposition`` grew ``num_workers`` when workers stopped
+being threads, while ``h_bz`` / ``h_lb_ub`` / the ``engine_*`` bound helpers
+and the engines' ``bulk_h_degrees`` still said ``num_threads`` (and the CLI
+said ``--threads``).  Every entry point now accepts ``num_workers`` and
+funnels the legacy spelling through :func:`resolve_worker_count`, so the
+deprecation message, the precedence rule (``num_workers`` wins when both are
+given) and the default live in exactly one place.
+
+This module deliberately imports nothing from the rest of the package: it is
+safe to import from any layer (engines, algorithms, CLI) without creating an
+import cycle.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+
+def warn_legacy_workers(old: str = "num_threads",
+                        new: str = "num_workers",
+                        stacklevel: int = 3) -> None:
+    """Emit the one shared :class:`DeprecationWarning` for legacy spellings."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead "
+        "(workers are not necessarily threads)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def resolve_worker_count(num_workers: Optional[int] = None,
+                         num_threads: Optional[int] = None,
+                         default: int = 1,
+                         old: str = "num_threads",
+                         new: str = "num_workers",
+                         stacklevel: int = 4) -> int:
+    """Return the effective worker count from the old and new keywords.
+
+    ``num_workers`` wins when both are given (the precedence
+    :func:`repro.core.core_decomposition` has always used); a non-``None``
+    ``num_threads`` triggers the deprecation warning either way, because the
+    caller spelled out the legacy keyword.
+    """
+    if num_threads is not None:
+        warn_legacy_workers(old=old, new=new, stacklevel=stacklevel)
+        if num_workers is None:
+            return num_threads
+    return num_workers if num_workers is not None else default

@@ -79,7 +79,9 @@ class TestExecutorFlags:
         args = build_parser().parse_args(["graph.txt"])
         assert args.executor == "thread"
         assert args.workers is None
-        assert args.threads == 1
+        # --threads defaults to None so the shared deprecation shim can
+        # tell an explicit legacy request apart from "not given".
+        assert args.threads is None
 
     def test_executor_choices(self):
         with pytest.raises(SystemExit):
