@@ -105,14 +105,23 @@ def build_stream_parser() -> argparse.ArgumentParser:
 
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="auto",
-                        choices=("auto", "dict", "csr"),
+                        choices=("auto", "dict", "csr", "numpy"),
                         help="graph backend for the generalized algorithms: "
-                             "dict (reference), csr (flat-array, faster), or "
-                             "auto (csr for integer-vertex graphs)")
+                             "dict (reference), csr (flat-array, faster), "
+                             "numpy (vectorized kernels; needs the optional "
+                             "NumPy extra), or auto (numpy for large "
+                             "integer-vertex graphs when available, csr "
+                             "below the size threshold)")
     parser.add_argument("--csr-threshold", type=int, default=None,
                         help="minimum vertex count for backend=auto to pick "
                              "csr (default: KH_CORE_CSR_THRESHOLD env var, "
                              "then 0)")
+    parser.add_argument("--relabel", default=None,
+                        choices=("none", "degree", "bfs"),
+                        help="cache-locality vertex relabeling applied at "
+                             "CSR build time (degree: hubs first, bfs: "
+                             "neighbors clustered); results are unaffected, "
+                             "only the internal index order changes")
 
 
 def _load_graph(args: argparse.Namespace) -> Graph:
@@ -166,7 +175,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with ExecutionContext(graph, backend=backend,
                               executor=args.executor,
                               num_workers=workers,
-                              csr_threshold=args.csr_threshold) as context:
+                              csr_threshold=args.csr_threshold,
+                              relabel=args.relabel) as context:
             report = core_decomposition_with_report(
                 graph, args.h, algorithm=args.algorithm,
                 dataset_name=args.input or "demo",
@@ -208,7 +218,7 @@ def stream_main(argv: Sequence[str]) -> int:
         backend = resolved_backend_name(graph, args.backend,
                                         csr_threshold=args.csr_threshold)
         engine = DynamicKHCore(graph, h=args.h, backend=backend,
-                               **engine_kwargs)
+                               relabel=args.relabel, **engine_kwargs)
         if args.verbose:
             print(f"# backend: {backend} (requested: {args.backend})",
                   file=sys.stderr)

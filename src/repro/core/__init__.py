@@ -17,6 +17,8 @@ from repro.core.backends import (
     AliveMask,
     CSREngine,
     DictEngine,
+    NumpyEngine,
+    numpy_available,
     resolve_engine,
 )
 from repro.core.buckets import BucketQueue
@@ -49,6 +51,8 @@ __all__ = [
     "AliveMask",
     "CSREngine",
     "DictEngine",
+    "NumpyEngine",
+    "numpy_available",
     "resolve_engine",
     "BucketQueue",
     "CoreDecomposition",

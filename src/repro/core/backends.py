@@ -41,10 +41,16 @@ so lazily yielding from them would be a correctness bug.
 
 from __future__ import annotations
 
+import importlib.util
+import os
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import ParameterError
-from repro.graph.csr import CSRGraph, csr_suitable
+from repro.graph.csr import (
+    CSRGraph,
+    csr_suitable,
+    resolve_numpy_threshold,
+)
 from repro.graph.graph import Graph, Vertex
 from repro.instrumentation import Counters, NULL_COUNTERS
 from repro.runtime.workers import resolve_worker_count
@@ -53,7 +59,26 @@ from repro.traversal.bfs import h_bounded_neighbors
 from repro.traversal.hneighborhood import h_degree as _dict_h_degree
 
 #: Backend names accepted by the decomposition entry points.
-BACKENDS = ("auto", "dict", "csr")
+BACKENDS = ("auto", "dict", "csr", "numpy")
+
+
+def numpy_available() -> bool:
+    """True when the optional NumPy dependency is importable.
+
+    Gate for the ``numpy`` engine: ``backend="auto"`` consults this (plus
+    the :func:`~repro.graph.csr.resolve_numpy_threshold` size gate) before
+    preferring the vectorized engine, and an explicit ``backend="numpy"``
+    raises a :class:`~repro.errors.ParameterError` when it returns False.
+    Module-level on purpose so tests can monkeypatch NumPy "absent".
+
+    Setting ``KH_CORE_DISABLE_NUMPY=1`` forces False even when NumPy is
+    installed — an operator kill switch for broken NumPy builds, and the
+    lever the test suite uses to exercise the pure-Python fallback without
+    uninstalling anything.
+    """
+    if os.environ.get("KH_CORE_DISABLE_NUMPY", "") not in ("", "0"):
+        return False
+    return importlib.util.find_spec("numpy") is not None
 
 
 class DictEngine:
@@ -159,11 +184,21 @@ class CSREngine:
 
     name = "csr"
 
-    __slots__ = ("graph", "csr", "_scratch", "built_version", "_shm_pool")
+    __slots__ = ("graph", "csr", "_scratch", "built_version", "_shm_pool",
+                 "relabel")
 
-    def __init__(self, graph: Graph, csr: Optional[CSRGraph] = None) -> None:
+    def __init__(self, graph: Graph, csr: Optional[CSRGraph] = None,
+                 relabel: Optional[str] = None) -> None:
         self.graph = graph
         self._shm_pool = None
+        #: Cache-locality permutation requested for this engine's snapshots;
+        #: re-applied if a refresh ever falls back to a full rebuild.
+        self.relabel = relabel
+        if csr is not None and relabel is not None:
+            raise ParameterError(
+                "relabel only applies when the engine builds its own CSR "
+                "snapshot; the supplied snapshot's vertex order is fixed"
+            )
         if csr is not None and (
                 (csr.source_version is not None
                  and csr.source_version != graph.version)
@@ -178,18 +213,31 @@ class CSREngine:
                 "the supplied CSR snapshot does not match the graph "
                 "(was the graph mutated after CSRGraph.from_graph?)"
             )
-        self.csr = csr if csr is not None else CSRGraph.from_graph(graph)
-        self._scratch = ArrayBFS(self.csr)
+        self.csr = csr if csr is not None else CSRGraph.from_graph(
+            graph, relabel=relabel)
+        self._scratch = self._make_scratch()
         self.built_version = graph.version
 
+    def _make_scratch(self):
+        """Fresh traversal scratch for the current snapshot.
+
+        The single point a subclass overrides to swap the traversal kernel
+        (the :class:`NumpyEngine` plugs its vectorized scratch in here);
+        called at construction and after every :meth:`refresh`.
+        """
+        return ArrayBFS(self.csr)
+
     @property
-    def scratch(self) -> ArrayBFS:
+    def scratch(self):
         """The engine's reusable BFS scratch (current for this snapshot).
 
-        Exposed for the array-native peel kernels, which read the scratch's
-        ``order`` / ``level_ends`` buffers directly instead of materializing
-        per-neighbor lists.  Not thread-safe — same caveat as every other
-        single-scratch traversal primitive on this engine.
+        An :class:`~repro.traversal.array_bfs.ArrayBFS` here, its
+        structural twin :class:`~repro.traversal.numpy_bfs.NumpyBFS` on the
+        vectorized subclass.  Exposed for the array-native peel kernels,
+        which read the scratch's ``order`` / ``level_ends`` buffers directly
+        instead of materializing per-neighbor lists.  Not thread-safe —
+        same caveat as every other single-scratch traversal primitive on
+        this engine.
         """
         return self._scratch
 
@@ -204,8 +252,9 @@ class CSREngine:
         """
         if self.built_version == self.graph.version:
             return
-        self.csr = self.csr.rebuilt(self.graph, touched)
-        self._scratch = ArrayBFS(self.csr)
+        self.csr = self.csr.rebuilt(self.graph, touched,
+                                    relabel=self.relabel)
+        self._scratch = self._make_scratch()
         self.built_version = self.graph.version
         if self._shm_pool is not None:
             # Version-stamped re-export: the worker pool survives the
@@ -315,6 +364,14 @@ class CSREngine:
         snapshot generation and fans degree-weighted chunks out to a
         persistent worker pool (:mod:`repro.parallel`) — the only executor
         that scales on CPython.
+
+        The dispatch (executor validation, worker resolution, target
+        defaulting, degree-weighted process fan-out) lives here exactly
+        once; the serial and per-thread *kernels* are the
+        :meth:`_bulk_serial` / :meth:`_bulk_worker_batch` hooks the
+        vectorized subclass overrides, and ``engine_kind=self.name`` rides
+        the shared-memory task descriptors so workers run the matching
+        kernel.
         """
         from repro.core.parallel import _validate_executor
         _validate_executor(executor)
@@ -328,48 +385,134 @@ class CSREngine:
             weights = [indptr[i + 1] - indptr[i] for i in indices]
             pool = self._process_pool(workers)
             return pool.bulk_h_degrees(self.csr, h, indices, alive=alive,
-                                       counters=counters, weights=weights)
+                                       counters=counters, weights=weights,
+                                       engine_kind=self.name)
 
         if workers <= 1 or len(indices) < 2 or executor == "serial":
-            run = self._scratch.run
-            result: Dict[int, int] = {}
-            for i in indices:
-                result[i] = run(i, h, alive, counters)
-                counters.count_hdegree()
-            return result
+            return self._bulk_serial(indices, h, alive, counters)
 
         from repro.core.parallel import map_batches
 
         def worker(batch, local: Counters) -> Dict[int, int]:
-            # Private scratch per worker: ArrayBFS state is not thread-safe.
-            # The shared mask is installed without hooking — workers only
-            # read it, so sentinel upkeep stays with the engine's scratch.
-            scratch = ArrayBFS(self.csr)
-            out: Dict[int, int] = {}
-            for i in batch:
-                out[i] = scratch.run(i, h, alive, local, hook=False)
-                local.count_hdegree()
-            return out
+            return self._bulk_worker_batch(batch, h, alive, local)
 
         return map_batches(indices, workers, worker, counters)
+
+    def _bulk_serial(self, indices: List[int], h: int,
+                     alive: Optional[AliveMask],
+                     counters: Counters) -> Dict[int, int]:
+        """Serial bulk kernel: one interpreted BFS per target."""
+        run = self._scratch.run
+        result: Dict[int, int] = {}
+        for i in indices:
+            result[i] = run(i, h, alive, counters)
+            counters.count_hdegree()
+        return result
+
+    def _bulk_worker_batch(self, batch: List[int], h: int,
+                           alive: Optional[AliveMask],
+                           local: Counters) -> Dict[int, int]:
+        """Thread-pool bulk kernel for one batch.
+
+        Private scratch per worker: ArrayBFS state is not thread-safe.
+        The shared mask is installed without hooking — workers only read
+        it, so sentinel upkeep stays with the engine's scratch.
+        """
+        scratch = ArrayBFS(self.csr)
+        out: Dict[int, int] = {}
+        for i in batch:
+            out[i] = scratch.run(i, h, alive, local, hook=False)
+            local.count_hdegree()
+        return out
+
+
+class NumpyEngine(CSREngine):
+    """Vectorized engine: the CSR snapshot traversed by NumPy kernels.
+
+    Same handle space, alive masks, snapshot/refresh lifecycle,
+    bulk-dispatch logic and shared-memory process path as
+    :class:`CSREngine` — the subclass overrides only the kernel hooks: the
+    per-vertex BFS scratch becomes a
+    :class:`~repro.traversal.numpy_bfs.NumpyBFS` (level-synchronous
+    frontier gathers over flat ndarrays), and the serial/thread bulk leaves
+    run its many-sources kernels, expanding whole blocks of BFS sources per
+    NumPy dispatch.  Traversal orders, removal orders and counter totals
+    are identical to the CSR engine; only the constant factors differ.
+
+    Requires the optional NumPy dependency (``pip install
+    kh-core-repro[numpy]``); :func:`resolve_engine` raises a clear error
+    when it is missing, and ``backend="auto"`` simply never selects it.
+    """
+
+    name = "numpy"
+
+    __slots__ = ()
+
+    def _make_scratch(self):
+        from repro.traversal.numpy_bfs import NumpyBFS
+
+        return NumpyBFS(self.csr)
+
+    def _bulk_serial(self, indices: List[int], h: int,
+                     alive: Optional[AliveMask],
+                     counters: Counters) -> Dict[int, int]:
+        """Serial bulk kernel: whole blocks of sources per NumPy dispatch.
+
+        Result dicts preserve target order, so downstream bucket fills see
+        the exact sequence the CSR engine produces.
+        """
+        degrees = self._scratch.bulk(indices, h, alive, counters)
+        counters.count_hdegrees(len(indices))
+        return dict(zip(indices, degrees.tolist()))
+
+    def _bulk_worker_batch(self, batch: List[int], h: int,
+                           alive: Optional[AliveMask],
+                           local: Counters) -> Dict[int, int]:
+        """Thread-pool bulk kernel: a private cloned scratch per batch.
+
+        The block stamp array is not thread-safe; the CSR ndarrays
+        themselves are shared read-only.
+        """
+        scratch = self._scratch.clone()
+        degrees = scratch.bulk(batch, h, alive, local)
+        local.count_hdegrees(len(batch))
+        return dict(zip(batch, degrees.tolist()))
 
 
 Engine = Union[DictEngine, CSREngine]
 
 
 def resolve_engine(graph: Graph, backend: Union[str, Engine] = "dict",
-                   csr_threshold: Optional[int] = None) -> Engine:
+                   csr_threshold: Optional[int] = None,
+                   relabel: Optional[str] = None) -> Engine:
     """Return the engine requested by ``backend`` for ``graph``.
 
     ``backend`` may be one of the names in :data:`BACKENDS` or an
     already-constructed engine (useful to amortize a CSR build across
-    several decompositions of the same graph).  ``"auto"`` picks CSR for
-    integer-friendly graphs (see :func:`~repro.graph.csr.csr_suitable`)
-    and the dict reference engine otherwise; ``csr_threshold`` overrides the
-    minimum vertex count for that choice (default: the
-    ``KH_CORE_CSR_THRESHOLD`` environment variable).
+    several decompositions of the same graph).  ``"auto"`` picks the
+    vectorized NumPy engine for integer-friendly graphs clearing the NumPy
+    size threshold (when NumPy is importable), the interpreted CSR engine
+    for smaller integer-friendly graphs, and the dict reference engine
+    otherwise; ``csr_threshold`` overrides the minimum vertex count for the
+    CSR choice (default: the ``KH_CORE_CSR_THRESHOLD`` environment
+    variable, with ``KH_CORE_NUMPY_THRESHOLD`` gating the NumPy step-up).
+
+    ``relabel`` applies a cache-locality vertex permutation at CSR build
+    time (``"degree"`` / ``"bfs"`` — see
+    :func:`~repro.graph.csr.relabel_order`); it changes only the internal
+    index order, never label-space results, and is ignored by the dict
+    engine (which has no index layout to permute).
     """
     if isinstance(backend, (DictEngine, CSREngine)):
+        if relabel is not None:
+            # Same conflict as CSREngine(csr=..., relabel=...): an existing
+            # engine's index order is fixed, so silently ignoring the
+            # request would leave the caller believing the permutation is
+            # active.
+            raise ParameterError(
+                "relabel only applies when an engine is built from a "
+                "backend name; the supplied engine's vertex order is fixed"
+            )
         if backend.graph is not graph:
             raise ParameterError(
                 "the supplied engine was built for a different graph"
@@ -390,7 +533,21 @@ def resolve_engine(graph: Graph, backend: Union[str, Engine] = "dict",
     name = resolved_backend_name(graph, backend, csr_threshold)
     if name == "dict":
         return DictEngine(graph)
-    return CSREngine(graph)
+    if name == "numpy":
+        if not numpy_available():
+            if os.environ.get("KH_CORE_DISABLE_NUMPY", "") not in ("", "0"):
+                raise ParameterError(
+                    "backend='numpy' is disabled by KH_CORE_DISABLE_NUMPY "
+                    "in this environment; unset it (or use the 'csr' / "
+                    "'dict' engines)"
+                )
+            raise ParameterError(
+                "backend='numpy' requires the optional NumPy dependency "
+                "(pip install 'kh-core-repro[numpy]'); the 'csr' and "
+                "'dict' engines run without it"
+            )
+        return NumpyEngine(graph, relabel=relabel)
+    return CSREngine(graph, relabel=relabel)
 
 
 def resolved_backend_name(graph: Graph, backend: Union[str, Engine],
@@ -398,12 +555,20 @@ def resolved_backend_name(graph: Graph, backend: Union[str, Engine],
     """Return the concrete backend name ``backend`` resolves to for ``graph``.
 
     Cheap (no engine is built): used by the CLI to surface which backend an
-    ``"auto"`` request actually selected.
+    ``"auto"`` request actually selected.  The ``"auto"`` ladder: dict for
+    graphs that are not integer-friendly or below the CSR threshold, then
+    numpy when NumPy is importable and the graph clears the NumPy size
+    threshold, csr otherwise.
     """
     if isinstance(backend, (DictEngine, CSREngine)):
         return backend.name
     if backend == "auto":
-        return "csr" if csr_suitable(graph, csr_threshold) else "dict"
+        if not csr_suitable(graph, csr_threshold):
+            return "dict"
+        if (numpy_available()
+                and graph.num_vertices >= resolve_numpy_threshold()):
+            return "numpy"
+        return "csr"
     if backend in BACKENDS:
         return backend
     raise ParameterError(

@@ -79,10 +79,15 @@ class DynamicKHCore:
     h:
         Distance threshold (``h >= 1``).
     backend:
-        ``"dict"``, ``"csr"`` or ``"auto"`` — resolved once at construction
-        and kept for the engine's lifetime.  The CSR backend delta-rebuilds
-        its snapshot after each batch (touched rows only), the dict backend
-        reads the live graph.
+        ``"dict"``, ``"csr"``, ``"numpy"`` or ``"auto"`` — resolved once at
+        construction and kept for the engine's lifetime.  The CSR-family
+        backends (``csr`` and the vectorized ``numpy`` engine) delta-rebuild
+        their snapshot after each batch (touched rows only), the dict
+        backend reads the live graph.
+    relabel:
+        Optional cache-locality vertex permutation (``"degree"`` / ``"bfs"``)
+        applied whenever a CSR-family snapshot is built; maintained cores
+        are label-space and unaffected.
     algorithm:
         Batch algorithm used for the initial decomposition and every full
         recomputation (``"auto"`` dispatches as in
@@ -124,7 +129,8 @@ class DynamicKHCore:
                  partition_size: int = 1,
                  counters: Optional[Counters] = None,
                  executor: str = "thread",
-                 num_workers: Optional[int] = None) -> None:
+                 num_workers: Optional[int] = None,
+                 relabel: Optional[str] = None) -> None:
         if not isinstance(h, int) or isinstance(h, bool) or h < 1:
             raise InvalidDistanceThresholdError(h)
         # Backend names are validated by resolved_backend_name below.
@@ -146,9 +152,10 @@ class DynamicKHCore:
         self.counters = counters if counters is not None else NULL_COUNTERS
         self.stats = DynamicStats()
 
-        #: Backend name fixed at construction ("dict" or "csr").
+        #: Backend name fixed at construction ("dict", "csr" or "numpy").
         self.backend = resolved_backend_name(self.graph, backend)
         self.executor = executor
+        self.relabel = relabel
         #: The execution context owns the peeling engine (and any worker
         #: pool it spins up) for the engine's whole lifetime; rebuilt only
         #: if the graph object itself is swapped out from under us.
@@ -156,7 +163,8 @@ class DynamicKHCore:
                                          executor=executor,
                                          num_workers=num_workers,
                                          num_threads=num_threads,
-                                         counters=self.counters)
+                                         counters=self.counters,
+                                         relabel=relabel)
         self.num_workers = self._context.num_workers
         self._core: Dict[Vertex, int] = {}
         self._synced_version: int = -1
@@ -470,7 +478,8 @@ class DynamicKHCore:
                 context.close()
             self._context = context = ExecutionContext(
                 self.graph, backend=self.backend, executor=self.executor,
-                num_workers=self.num_workers, counters=self.counters)
+                num_workers=self.num_workers, counters=self.counters,
+                relabel=self.relabel)
         elif isinstance(context.engine, CSREngine):
             context.engine.refresh(touched)
         return context.engine

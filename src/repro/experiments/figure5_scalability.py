@@ -9,8 +9,10 @@ The stand-in uses the lj-like Barabási–Albert graph from the registry and a
 geometric ladder of sample sizes scaled to this environment.
 
 A second series (:func:`run_executor_scaling`) reports §4.6 parallel
-scalability: the wall time of the bulk h-degree pass under every executor ×
-worker-count combination, with the speedup over the serial pass.  Earlier
+scalability: the wall time of the bulk h-degree pass under every engine ×
+executor × worker-count combination (the vectorized NumPy engine joins the
+grid when the optional dependency is importable), with the speedup over the
+CSR serial pass.  Earlier
 revisions ran this series on a thread pool, where the GIL capped every
 configuration at ~1x — the reported "scaling" was pure overhead.  The
 ``process`` executor (shared-memory CSR arrays, persistent worker pool — see
@@ -27,7 +29,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.core import h_lb_ub
-from repro.core.backends import CSREngine
+from repro.core.backends import CSREngine, numpy_available, resolve_engine
 from repro.datasets import load_dataset
 from repro.experiments.common import ExperimentConfig, format_table
 from repro.graph.sampling import snowball_sample
@@ -104,41 +106,53 @@ def run_executor_scaling(config: Optional[ExperimentConfig] = None
     sample = snowball_sample(base_graph, min(size, base_graph.num_vertices),
                              seed=config.seed)
 
+    # Engine dimension: the interpreted CSR engine always, the vectorized
+    # NumPy engine when the optional dependency is importable.  Every row's
+    # speedup is relative to the *CSR serial* pass, so the engine gain and
+    # the executor gain read off the same column.
+    engines = ["csr"]
+    if numpy_available():
+        engines.append("numpy")
+
     serial_engine = CSREngine(sample)
     serial_seconds = _bulk_pass_seconds(serial_engine, h, "serial", 1,
                                         repeats)
-    rows: List[Dict[str, object]] = [{
-        "executor": "serial",
-        "workers": 1,
-        "h": h,
-        "time (s)": round(serial_seconds, 4),
-        "speedup": 1.0,
-        "cores": os.cpu_count() or 1,
-    }]
-    for executor in executors:
-        if executor == "serial":
-            continue
-        engine = CSREngine(sample)
-        try:
-            for workers in worker_counts:
-                # Warm-up: spin the pool up / export before timing.
-                engine.bulk_h_degrees(h, targets=range(min(
-                    8, sample.num_vertices)), num_workers=workers,
-                    executor=executor)
-                seconds = _bulk_pass_seconds(engine, h, executor, workers,
-                                             repeats)
-                rows.append({
-                    "executor": executor,
-                    "workers": workers,
-                    "h": h,
-                    "time (s)": round(seconds, 4),
-                    "speedup": round(serial_seconds / seconds, 2)
-                    if seconds else float("inf"),
-                    "cores": os.cpu_count() or 1,
-                })
-        finally:
-            engine.close()
     serial_engine.close()
+    cores = os.cpu_count() or 1
+
+    def row(backend: str, executor: str, workers: int,
+            seconds: float) -> Dict[str, object]:
+        return {
+            "engine": backend,
+            "executor": executor,
+            "workers": workers,
+            "h": h,
+            "time (s)": round(seconds, 4),
+            "speedup": round(serial_seconds / seconds, 2)
+            if seconds else float("inf"),
+            "cores": cores,
+        }
+
+    rows: List[Dict[str, object]] = []
+    for backend in engines:
+        for executor in executors:
+            if backend == "csr" and executor == "serial":
+                # Already measured as the baseline above — no second
+                # engine build or warm-up for this cell.
+                rows.append(row(backend, executor, 1, serial_seconds))
+                continue
+            engine = resolve_engine(sample, backend)
+            try:
+                for workers in worker_counts if executor != "serial" else (1,):
+                    # Warm-up: spin the pool up / export before timing.
+                    engine.bulk_h_degrees(h, targets=range(min(
+                        8, sample.num_vertices)), num_workers=workers,
+                        executor=executor)
+                    rows.append(row(backend, executor, workers,
+                                    _bulk_pass_seconds(engine, h, executor,
+                                                       workers, repeats)))
+            finally:
+                engine.close()
     return rows
 
 

@@ -24,6 +24,8 @@ iteration.
 from __future__ import annotations
 
 import os
+import warnings
+from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ParameterError, VertexNotFoundError
@@ -36,6 +38,20 @@ DEFAULT_CSR_AUTO_THRESHOLD = 0
 
 #: Environment variable overriding :data:`DEFAULT_CSR_AUTO_THRESHOLD`.
 CSR_THRESHOLD_ENV_VAR = "KH_CORE_CSR_THRESHOLD"
+
+#: Minimum vertex count for ``backend="auto"`` to step up from the
+#: pure-Python CSR engine to the vectorized NumPy engine (when NumPy is
+#: importable).  Below this size the per-level NumPy dispatch overhead beats
+#: the win from vectorized frontier expansion; the interpreted CSR loop is
+#: faster on tiny graphs.
+DEFAULT_NUMPY_AUTO_THRESHOLD = 512
+
+#: Environment variable overriding :data:`DEFAULT_NUMPY_AUTO_THRESHOLD`.
+NUMPY_THRESHOLD_ENV_VAR = "KH_CORE_NUMPY_THRESHOLD"
+
+#: Cache-locality relabeling strategies accepted by
+#: :meth:`CSRGraph.from_graph` (``None`` behaves like ``"none"``).
+RELABEL_STRATEGIES = ("none", "degree", "bfs")
 
 
 class CSRGraph:
@@ -74,14 +90,24 @@ class CSRGraph:
         self.source_version = source_version
 
     @classmethod
-    def from_graph(cls, graph: Graph) -> "CSRGraph":
+    def from_graph(cls, graph: Graph,
+                   relabel: Optional[str] = None) -> "CSRGraph":
         """Relabel ``graph`` to ``0..n-1`` and pack adjacency into flat arrays.
 
-        Vertex order follows the graph's (deterministic) insertion order;
-        neighbor indices are sorted per vertex, which keeps traversal order
-        deterministic and slightly improves locality.
+        By default, vertex order follows the graph's (deterministic)
+        insertion order; neighbor indices are sorted per vertex, which keeps
+        traversal order deterministic and slightly improves locality.
+
+        ``relabel`` selects a cache-locality permutation instead (see
+        :func:`relabel_order`): ``"degree"`` enumerates vertices in
+        degree-descending order, ``"bfs"`` in a breadth-first order seeded at
+        the highest-degree vertex of each component.  Either way the
+        ``labels`` / ``index_of`` pair *is* the inverse mapping, so results
+        expressed in label space (core numbers, h-degrees, counters) are
+        unaffected — only the internal index enumeration (and therefore
+        traversal order and memory-access pattern) changes.
         """
-        labels = list(graph.vertices())
+        labels = relabel_order(graph, relabel)
         index_of = {v: i for i, v in enumerate(labels)}
         indptr: List[int] = [0] * (len(labels) + 1)
         adjacency: List[int] = []
@@ -93,7 +119,8 @@ class CSRGraph:
                    source_version=graph.version)
 
     def rebuilt(self, graph: Graph,
-                touched: Optional[Iterable[Vertex]] = None) -> "CSRGraph":
+                touched: Optional[Iterable[Vertex]] = None,
+                relabel: Optional[str] = None) -> "CSRGraph":
         """Return a snapshot of ``graph`` reusing as much of this one as possible.
 
         ``touched`` is the set of vertex labels whose adjacency may differ
@@ -103,17 +130,21 @@ class CSRGraph:
         verbatim.  New vertices are appended, so **indices of existing
         vertices are stable across the rebuild** — the property the dynamic
         maintenance engine relies on to keep handle-keyed state valid.
+        (The delta path therefore preserves whatever enumeration order this
+        snapshot was built with, relabeled or not.)
 
         Falls back to a full :meth:`from_graph` build when ``touched`` is
         ``None`` or when a vertex of this snapshot has been removed (index
-        stability is impossible then).
+        stability is impossible then); ``relabel`` is the permutation to
+        re-apply on that path, so an engine's requested cache-locality
+        layout survives the fallback.
         """
         if touched is None:
-            return CSRGraph.from_graph(graph)
+            return CSRGraph.from_graph(graph, relabel=relabel)
         touched_set = {v for v in touched if v in graph}
         if graph.num_vertices < len(self.labels) or any(
                 label not in graph for label in self.labels):
-            return CSRGraph.from_graph(graph)
+            return CSRGraph.from_graph(graph, relabel=relabel)
 
         index_of = self.index_of
         added = [v for v in graph.vertices() if v not in index_of]
@@ -215,31 +246,115 @@ class CSRGraph:
         return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
 
 
+def relabel_order(graph: Graph, relabel: Optional[str]) -> List[Vertex]:
+    """Vertex enumeration order for a CSR build, per ``relabel`` strategy.
+
+    * ``None`` / ``"none"`` — the graph's insertion order (the historical
+      behavior).
+    * ``"degree"`` — degree-descending, ties broken by insertion order.
+      Hubs (and thus the most-gathered adjacency rows and ``seen`` slots)
+      land at small indices, clustering the hot rows of skewed graphs.
+    * ``"bfs"`` — breadth-first order seeded at the highest-degree vertex of
+      each component (neighbors expanded degree-descending, ties by
+      insertion order).  Neighboring vertices get nearby indices, which
+      turns the frontier gathers of mesh-like graphs into near-sequential
+      scans.
+
+    The order is deterministic for any hashable vertex type — ties never
+    compare vertex labels, only insertion positions.
+    """
+    vertices = list(graph.vertices())
+    if relabel is None or relabel == "none":
+        return vertices
+    if relabel not in RELABEL_STRATEGIES:
+        raise ParameterError(
+            f"unknown relabel strategy {relabel!r}; expected one of "
+            f"{RELABEL_STRATEGIES}"
+        )
+    position = {v: i for i, v in enumerate(vertices)}
+
+    def rank(v: Vertex) -> Tuple[int, int]:
+        return (-graph.degree(v), position[v])
+
+    by_degree = sorted(vertices, key=rank)
+    if relabel == "degree":
+        return by_degree
+
+    order: List[Vertex] = []
+    seen = set()
+    for start in by_degree:
+        if start in seen:
+            continue
+        seen.add(start)
+        queue = deque((start,))
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for u in sorted(graph.neighbors(v), key=rank):
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+    return order
+
+
+def _env_threshold(env_var: str, default: int) -> int:
+    """Parse a non-negative int threshold from the environment.
+
+    Invalid values (non-integer or negative) *warn and fall back* to
+    ``default`` instead of raising: a typo in a deployment environment
+    should degrade to the default auto policy, not crash every
+    decomposition entry point.
+    """
+    raw = os.environ.get(env_var)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"{env_var}={raw!r} is not an integer; falling back to the "
+            f"default threshold ({default})",
+            RuntimeWarning, stacklevel=3)
+        return default
+    if value < 0:
+        warnings.warn(
+            f"{env_var} must be >= 0, got {value}; falling back to the "
+            f"default threshold ({default})",
+            RuntimeWarning, stacklevel=3)
+        return default
+    return value
+
+
 def resolve_csr_threshold(min_vertices: Optional[int] = None) -> int:
     """Resolve the auto-backend size threshold.
 
     Precedence: explicit ``min_vertices`` keyword, then the
     ``KH_CORE_CSR_THRESHOLD`` environment variable, then
-    :data:`DEFAULT_CSR_AUTO_THRESHOLD`.
+    :data:`DEFAULT_CSR_AUTO_THRESHOLD`.  An invalid keyword raises (it is a
+    programming error); an invalid environment value warns and falls back to
+    the default (see :func:`_env_threshold`).
     """
     if min_vertices is not None:
         if min_vertices < 0:
             raise ParameterError("the CSR auto-backend threshold must be >= 0")
         return min_vertices
-    raw = os.environ.get(CSR_THRESHOLD_ENV_VAR)
-    if raw is None:
-        return DEFAULT_CSR_AUTO_THRESHOLD
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ParameterError(
-            f"{CSR_THRESHOLD_ENV_VAR}={raw!r} is not an integer"
-        ) from None
-    if value < 0:
-        raise ParameterError(
-            f"{CSR_THRESHOLD_ENV_VAR} must be >= 0, got {value}"
-        )
-    return value
+    return _env_threshold(CSR_THRESHOLD_ENV_VAR, DEFAULT_CSR_AUTO_THRESHOLD)
+
+
+def resolve_numpy_threshold(min_vertices: Optional[int] = None) -> int:
+    """Resolve the minimum size for ``backend="auto"`` to prefer NumPy.
+
+    Same precedence and hardening as :func:`resolve_csr_threshold`, reading
+    ``KH_CORE_NUMPY_THRESHOLD`` and defaulting to
+    :data:`DEFAULT_NUMPY_AUTO_THRESHOLD`.
+    """
+    if min_vertices is not None:
+        if min_vertices < 0:
+            raise ParameterError(
+                "the NumPy auto-backend threshold must be >= 0")
+        return min_vertices
+    return _env_threshold(NUMPY_THRESHOLD_ENV_VAR,
+                          DEFAULT_NUMPY_AUTO_THRESHOLD)
 
 
 def csr_suitable(graph: Graph, min_vertices: Optional[int] = None) -> bool:

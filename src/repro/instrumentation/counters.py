@@ -44,6 +44,16 @@ class Counters:
         self.bfs_calls += 1
         self.vertices_visited += visited
 
+    def record_bfs_batch(self, calls: int, visited: int) -> None:
+        """Record ``calls`` traversals visiting ``visited`` vertices in total.
+
+        Batch twin of :meth:`record_bfs`, used by the vectorized
+        many-sources BFS kernel to flush one block of traversals in a single
+        call; totals are identical to ``calls`` individual calls.
+        """
+        self.bfs_calls += calls
+        self.vertices_visited += visited
+
     def record_hdegree(self, visited: int) -> None:
         """Record a full h-degree computation backed by one h-BFS."""
         self.hdegree_computations += 1
@@ -52,6 +62,10 @@ class Counters:
     def count_hdegree(self) -> None:
         """Record a full h-degree computation whose BFS was counted separately."""
         self.hdegree_computations += 1
+
+    def count_hdegrees(self, count: int) -> None:
+        """Record ``count`` h-degree computations in one call (batch twin)."""
+        self.hdegree_computations += count
 
     def record_decrement(self) -> None:
         """Record a decrement-only h-degree update."""
@@ -120,10 +134,16 @@ class _NullCounters(Counters):
     def record_bfs(self, visited: int) -> None:  # noqa: D102 - documented in base
         pass
 
+    def record_bfs_batch(self, calls: int, visited: int) -> None:  # noqa: D102
+        pass
+
     def record_hdegree(self, visited: int) -> None:  # noqa: D102
         pass
 
     def count_hdegree(self) -> None:  # noqa: D102
+        pass
+
+    def count_hdegrees(self, count: int) -> None:  # noqa: D102
         pass
 
     def record_decrement(self) -> None:  # noqa: D102

@@ -152,7 +152,8 @@ class SharedMemoryExecutor:
                        targets: Iterable[int],
                        alive: Optional[AliveMask] = None,
                        counters: Counters = NULL_COUNTERS,
-                       weights: Optional[Sequence[int]] = None
+                       weights: Optional[Sequence[int]] = None,
+                       engine_kind: str = "csr"
                        ) -> Dict[int, int]:
         """h-degree of every index in ``targets``, fanned over the pool.
 
@@ -163,6 +164,11 @@ class SharedMemoryExecutor:
         consistent mask.  Any failure — a worker exception, a broken pool,
         ``KeyboardInterrupt`` — tears the executor down (pool shutdown +
         shm unlink) before propagating.
+
+        ``engine_kind`` rides along in each task descriptor and selects the
+        worker-side traversal kernel (``"csr"`` interpreted loop /
+        ``"numpy"`` vectorized block kernel over ``np.frombuffer`` views of
+        the same shared block) — see :func:`repro.parallel.worker.run_chunk`.
         """
         indices = list(targets)
         if not indices:
@@ -182,7 +188,7 @@ class SharedMemoryExecutor:
             pool = self._pool()
             futures = [
                 pool.submit(run_chunk, layout, list(chunk), h, use_alive,
-                            self._alive_stamp)
+                            self._alive_stamp, engine_kind)
                 for chunk in chunks
             ]
             for future in futures:

@@ -113,7 +113,7 @@ class SharedCSRView:
     """
 
     __slots__ = ("shm", "indptr", "adjacency", "alive_region",
-                 "num_vertices", "generation", "name")
+                 "num_vertices", "generation", "name", "_numpy_views")
 
     def __init__(self, layout: SharedCSRLayout) -> None:
         name, n, m2, generation = layout
@@ -135,14 +135,37 @@ class SharedCSRView:
         self.adjacency = buf[indptr_bytes:adjacency_end].cast("q")
         alive_offset = indptr_bytes + adjacency_bytes
         self.alive_region = buf[alive_offset:alive_offset + n]
+        self._numpy_views = None
+
+    def numpy_views(self):
+        """``(indptr, adjacency, alive)`` as zero-copy NumPy views.
+
+        ``np.frombuffer`` over the same shared-memory regions the
+        memoryview casts expose — no copy, no extra IPC; the NumPy worker
+        kernel (:meth:`repro.traversal.numpy_bfs.NumpyBFS.bulk`) traverses
+        the shared block directly.  Cached per view; requires NumPy (the
+        caller dispatches ``engine_kind="numpy"`` only when the parent
+        resolved a NumPy engine, so the import is expected to succeed).
+        """
+        if self._numpy_views is None:
+            import numpy as np
+
+            self._numpy_views = (
+                np.frombuffer(self.indptr, dtype=np.int64),
+                np.frombuffer(self.adjacency, dtype=np.int64),
+                np.frombuffer(self.alive_region, dtype=np.uint8),
+            )
+        return self._numpy_views
 
     def close(self) -> None:
         """Release the views, then detach from the block (idempotent)."""
         shm, self.shm = self.shm, None
         if shm is None:
             return
-        # The memoryview casts pin the mapping; release them first or
-        # SharedMemory.close() raises BufferError.
+        # Drop the ndarray wrappers first (they pin the memoryviews), then
+        # release the casts; SharedMemory.close() raises BufferError while
+        # either is alive.
+        self._numpy_views = None
         self.indptr.release()
         self.adjacency.release()
         self.alive_region.release()

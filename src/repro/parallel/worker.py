@@ -8,9 +8,20 @@ mask into the BFS scratch — happen once per export generation / alive stamp
 rather than once per task.
 
 The task descriptor is deliberately tiny: ``(layout, chunk, h, use_alive,
-alive_stamp)`` where ``layout`` is the 4-tuple attach descriptor
-(:data:`~repro.parallel.shm.SharedCSRLayout`) and ``chunk`` is a list of
-vertex indices.  No graph data ever crosses the pipe.
+alive_stamp, engine_kind)`` where ``layout`` is the 4-tuple attach
+descriptor (:data:`~repro.parallel.shm.SharedCSRLayout`) and ``chunk`` is a
+list of vertex indices.  No graph data ever crosses the pipe.
+
+``engine_kind`` selects the traversal kernel the worker runs over the
+shared arrays:
+
+* ``"csr"`` — the interpreted :class:`~repro.traversal.array_bfs.ArrayBFS`
+  over ``memoryview('q')`` casts (the historical path);
+* ``"numpy"`` — the vectorized block kernel
+  (:meth:`~repro.traversal.numpy_bfs.NumpyBFS.bulk`) over zero-copy
+  ``np.frombuffer`` views of the very same block.  If NumPy turns out to be
+  unimportable in the worker (a mixed deployment), the worker silently
+  falls back to the interpreted kernel — results are identical either way.
 """
 
 from __future__ import annotations
@@ -22,10 +33,18 @@ from repro.instrumentation import Counters
 from repro.parallel.shm import SharedCSRLayout, SharedCSRView
 from repro.traversal.array_bfs import AliveMask, ArrayBFS
 
-#: Per-process cache: the attached view, its BFS scratch, and the alive mask
-#: installed for the current ``alive_stamp``.
+#: Per-process cache: the attached view, its BFS scratch (keyed also by the
+#: engine kind that built it), and the alive mask installed for the current
+#: ``alive_stamp``.
 _STATE: Dict[str, Any] = {
     "name": None,
+    # "requested" is the engine_kind of the task that built this attachment
+    # (the cache key); "kind" is what _attach actually resolved it to — they
+    # differ only when a NumPy-less worker downgraded a "numpy" request, and
+    # keying the cache on the *request* keeps that downgrade from forcing a
+    # detach/attach cycle on every subsequent task.
+    "requested": None,
+    "kind": None,
     "view": None,
     "bfs": None,
     "alive_stamp": None,
@@ -34,11 +53,17 @@ _STATE: Dict[str, Any] = {
 
 
 def _detach() -> None:
-    """Drop the cached attachment (called when the export generation moves)."""
+    """Drop the cached attachment (called when the export generation moves).
+
+    The scratch is dropped *before* the view is closed: the NumPy scratch
+    holds ``np.frombuffer`` views that pin the shared block's memoryviews,
+    and releasing a pinned memoryview raises ``BufferError``.
+    """
     view = _STATE["view"]
+    _STATE.update(name=None, requested=None, kind=None, view=None, bfs=None,
+                  alive_stamp=None, mask=None)
     if view is not None:
         view.close()
-    _STATE.update(name=None, view=None, bfs=None, alive_stamp=None, mask=None)
 
 
 # Release the cached memoryview casts before interpreter teardown: a worker
@@ -47,14 +72,29 @@ def _detach() -> None:
 atexit.register(_detach)
 
 
-def _attach(layout: SharedCSRLayout) -> None:
+def _attach(layout: SharedCSRLayout, engine_kind: str) -> None:
     _detach()
     view = SharedCSRView(layout)
-    _STATE.update(name=layout[0], view=view, bfs=ArrayBFS(view))
+    kind = engine_kind
+    bfs: Any
+    if kind == "numpy":
+        try:
+            from repro.traversal.numpy_bfs import NumpyBFS
+
+            indptr, adjacency, _ = view.numpy_views()
+            bfs = NumpyBFS.from_arrays(indptr, adjacency)
+        except ImportError:
+            kind = "csr"
+            bfs = ArrayBFS(view)
+    else:
+        bfs = ArrayBFS(view)
+    _STATE.update(name=layout[0], requested=engine_kind, kind=kind,
+                  view=view, bfs=bfs)
 
 
 def run_chunk(layout: SharedCSRLayout, chunk: List[int], h: int,
-              use_alive: bool, alive_stamp: int
+              use_alive: bool, alive_stamp: int,
+              engine_kind: str = "csr"
               ) -> Tuple[List[Tuple[int, int]], Counters]:
     """h-degree of every index in ``chunk`` within the shared snapshot.
 
@@ -62,8 +102,20 @@ def run_chunk(layout: SharedCSRLayout, chunk: List[int], h: int,
     and ``counters`` is this task's private instrumentation, merged by the
     parent so the reported totals are identical to a serial run.
     """
-    if _STATE["name"] != layout[0]:
-        _attach(layout)
+    if _STATE["name"] != layout[0] or _STATE["requested"] != engine_kind:
+        _attach(layout, engine_kind)
+    local = Counters()
+
+    if _STATE["kind"] == "numpy":
+        # Vectorized block kernel straight over the shared arrays.  The
+        # alive region is read per call (a vectorized frontier filter), so
+        # no per-stamp mask reinstall is needed on this path.
+        view: SharedCSRView = _STATE["view"]
+        alive_view = view.numpy_views()[2] if use_alive else None
+        degrees = _STATE["bfs"].bulk(chunk, h, alive_view, local)
+        local.count_hdegrees(len(chunk))
+        return list(zip(chunk, degrees.tolist())), local
+
     mask: Optional[AliveMask] = None
     if use_alive:
         if _STATE["alive_stamp"] != alive_stamp:
@@ -78,7 +130,6 @@ def run_chunk(layout: SharedCSRLayout, chunk: List[int], h: int,
 
     bfs: ArrayBFS = _STATE["bfs"]
     run = bfs.run
-    local = Counters()
     pairs: List[Tuple[int, int]] = []
     append = pairs.append
     for index in chunk:

@@ -57,9 +57,14 @@ class ExecutionContext:
     graph:
         The graph every phase of the computation runs against.
     backend:
-        Backend name (``"dict"`` / ``"csr"`` / ``"auto"``) or a pre-built
-        engine.  Name-resolved engines are *owned*: :meth:`close` tears them
-        down.  A supplied engine is borrowed and never closed.
+        Backend name (``"dict"`` / ``"csr"`` / ``"numpy"`` / ``"auto"``) or
+        a pre-built engine.  Name-resolved engines are *owned*:
+        :meth:`close` tears them down.  A supplied engine is borrowed and
+        never closed.  ``"auto"`` prefers the vectorized NumPy engine when
+        NumPy is importable and the graph clears the
+        ``KH_CORE_NUMPY_THRESHOLD`` size gate, stepping down to the
+        interpreted CSR engine (and ultimately the dict engine)
+        transparently.
     executor:
         Scheduler for the bulk h-degree passes (``"serial"`` / ``"thread"``
         / ``"process"``).
@@ -75,6 +80,11 @@ class ExecutionContext:
     csr_threshold:
         Minimum vertex count for ``backend="auto"`` to pick CSR (defaults to
         the ``KH_CORE_CSR_THRESHOLD`` environment variable).
+    relabel:
+        Optional cache-locality vertex permutation applied when the context
+        builds a CSR-family engine from a name: ``"degree"`` (hubs first)
+        or ``"bfs"`` (neighbors clustered).  Label-space results are
+        unaffected; the dict engine ignores it.
 
     Example
     -------
@@ -95,6 +105,7 @@ class ExecutionContext:
                  counters: Counters = NULL_COUNTERS,
                  peel: str = "auto",
                  csr_threshold: Optional[int] = None,
+                 relabel: Optional[str] = None,
                  num_threads: Optional[int] = None) -> None:
         from repro.core.backends import resolve_engine
         from repro.core.parallel import _validate_executor
@@ -109,7 +120,8 @@ class ExecutionContext:
         self.num_workers = resolve_worker_count(num_workers, num_threads)
         self.counters = counters
         self.peel = peel
-        self.engine = resolve_engine(graph, backend, csr_threshold)
+        self.engine = resolve_engine(graph, backend, csr_threshold,
+                                     relabel=relabel)
         #: True when the context resolved the engine from a name and is
         #: therefore responsible for tearing it down; False for
         #: caller-supplied engines, which :meth:`close` never touches.

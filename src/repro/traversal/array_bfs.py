@@ -14,7 +14,7 @@ the per-call cost down:
 * **Alive set folded into the visit marks.**  The peeling algorithms restrict
   traversals to the surviving vertices (an :class:`AliveMask` byte array).
   When a mask is *installed* into the scratch, dead vertices get the
-  ``DEAD = inf`` sentinel in ``seen``, so the inner loop needs one combined
+  integer ``DEAD`` sentinel in ``seen``, so the inner loop needs one combined
   test — ``seen[u] < generation`` — instead of a visited check plus an alive
   lookup.  ``AliveMask.discard`` keeps the installed sentinels in sync.
 * **Level-synchronous frontiers.**  Distances are not written per vertex;
@@ -29,7 +29,7 @@ thread-safe (each worker thread owns its own — see
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, MutableSequence, Optional, Tuple
 
 from repro.errors import VertexNotFoundError
 from repro.graph.csr import CSRGraph
@@ -38,8 +38,14 @@ from repro.instrumentation import Counters, NULL_COUNTERS
 
 #: Sentinel stored in ``seen`` for dead vertices: compares greater than every
 #: generation number, so ``seen[u] < generation`` rejects dead vertices with
-#: the same comparison that rejects already-visited ones.
-DEAD = float("inf")
+#: the same comparison that rejects already-visited ones.  An *integer*
+#: sentinel (``int64`` max) keeps ``seen`` homogeneous-int in both the list
+#: scratch here and the ``int64`` ndarray scratch of the NumPy engine
+#: (:mod:`repro.traversal.numpy_bfs`), which share :class:`AliveMask` and its
+#: sentinel-upkeep protocol.  Generations count traversals, so they can never
+#: realistically approach ``2**63 - 1``; :meth:`ArrayBFS.run` still guards
+#: the rollover and resets the scratch if it ever happens.
+DEAD = 2**63 - 1
 
 
 class AliveMask:
@@ -57,7 +63,10 @@ class AliveMask:
     def __init__(self, mask: bytearray, count: int) -> None:
         self.mask = mask
         self._count = count
-        self._seen: Optional[List[float]] = None
+        # The installed scratch's visit marks: a plain list of ints for
+        # ArrayBFS, an int64 ndarray for the NumPy scratch — both support
+        # the only operation upkeep needs, ``seen[index] = DEAD``.
+        self._seen: Optional[MutableSequence[int]] = None
 
     @classmethod
     def full(cls, n: int) -> "AliveMask":
@@ -110,7 +119,7 @@ class ArrayBFS:
         self.csr = csr
         self.order: List[int] = []
         self.level_ends: List[int] = []
-        self._seen: List[float] = [0] * csr.num_vertices
+        self._seen: List[int] = [0] * csr.num_vertices
         self._generation = 0
         self._active: Optional[AliveMask] = None
 
@@ -168,6 +177,14 @@ class ArrayBFS:
         """
         if alive is not self._active:
             self._install(alive, hook)
+        if self._generation + 1 >= DEAD:
+            # Generation rollover (unreachable in practice — it would take
+            # 2**63 - 1 traversals — but cheap to guard): a wrapped counter
+            # would make every stale stamp look "visited" and, worse, collide
+            # with the DEAD sentinel.  Reinstalling resets all stamps to
+            # 0/DEAD, so restarting from generation 1 is sound.
+            self._install(self._active, hook)
+            self._generation = 0
         seen = self._seen
         indptr = self.csr.indptr
         adjacency = self.csr.adjacency

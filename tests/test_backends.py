@@ -179,6 +179,58 @@ class TestAliveMask:
         assert engine.h_degree(0, 1, alive) == 3
 
 
+class TestDeadSentinel:
+    """The DEAD visit mark is an integer, and its protocol survives edge cases.
+
+    PR 5 replaced the historical ``float("inf")`` sentinel with ``2**63 - 1``
+    so the ``seen`` scratch is homogeneous-int in both the list scratch
+    (:class:`ArrayBFS`) and the int64 ndarray scratch of the NumPy engine —
+    which share :class:`AliveMask` objects and their sentinel upkeep.
+    """
+
+    def test_sentinel_is_int64_max(self):
+        from repro.traversal.array_bfs import DEAD
+
+        assert isinstance(DEAD, int)
+        assert DEAD == 2**63 - 1
+
+    def test_seen_scratch_stays_homogeneous_int(self):
+        from repro.traversal.array_bfs import ArrayBFS
+
+        g = path_graph(6)
+        scratch = ArrayBFS(CSRGraph.from_graph(g))
+        alive = AliveMask.of(6, [0, 1, 2, 3])
+        scratch.run(0, 2, alive)
+        alive.discard(3)
+        assert all(isinstance(mark, int) for mark in scratch._seen)
+
+    def test_generation_rollover_resets_scratch(self):
+        from repro.traversal.array_bfs import DEAD, ArrayBFS
+
+        g = cycle_graph(8)
+        scratch = ArrayBFS(CSRGraph.from_graph(g))
+        expected = scratch.run(0, 2)
+        scratch._generation = DEAD - 1
+        # Without the guard this stamp would equal the DEAD sentinel and
+        # every vertex would look dead; with it the scratch reinstalls.
+        assert scratch.run(0, 2) == expected
+        assert scratch._generation == 1
+        assert scratch.run(1, 2) == expected
+
+    def test_generation_rollover_keeps_alive_mask_installed(self):
+        from repro.traversal.array_bfs import DEAD, ArrayBFS
+
+        g = complete_graph(6)
+        scratch = ArrayBFS(CSRGraph.from_graph(g))
+        alive = AliveMask.of(6, range(5))
+        assert scratch.run(0, 1, alive) == 4
+        scratch._generation = DEAD - 1
+        assert scratch.run(0, 1, alive) == 4
+        # Discards performed after the rollover reinstall still sync.
+        alive.discard(4)
+        assert scratch.run(0, 1, alive) == 3
+
+
 class TestEngineResolution:
     def test_auto_picks_csr_for_integer_graphs(self):
         assert isinstance(resolve_engine(path_graph(4), "auto"), CSREngine)
@@ -340,13 +392,15 @@ class TestCSRAutoThreshold:
         monkeypatch.setenv("KH_CORE_CSR_THRESHOLD", "100")
         assert isinstance(resolve_engine(path_graph(4), "csr"), CSREngine)
 
-    def test_invalid_env_var_rejected(self, monkeypatch):
+    def test_invalid_env_var_warns_and_falls_back(self, monkeypatch):
+        # Invalid deployment values degrade to the default policy instead of
+        # crashing every decomposition entry point (PR 5 hardening).
         monkeypatch.setenv("KH_CORE_CSR_THRESHOLD", "many")
-        with pytest.raises(ParameterError):
-            csr_suitable(path_graph(4))
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert csr_suitable(path_graph(4))
         monkeypatch.setenv("KH_CORE_CSR_THRESHOLD", "-3")
-        with pytest.raises(ParameterError):
-            csr_suitable(path_graph(4))
+        with pytest.warns(RuntimeWarning, match="must be >= 0"):
+            assert csr_suitable(path_graph(4))
 
     def test_negative_keyword_rejected(self):
         with pytest.raises(ParameterError):
@@ -362,6 +416,59 @@ class TestCSRAutoThreshold:
         assert resolved_backend_name(g, "auto") == "dict"
         with pytest.raises(ParameterError):
             resolved_backend_name(g, "gpu")
+
+
+class TestNumpyAutoThreshold:
+    """KH_CORE_NUMPY_THRESHOLD: the auto ladder's numpy step-up gate."""
+
+    def test_default_and_keyword(self):
+        from repro.graph.csr import (
+            DEFAULT_NUMPY_AUTO_THRESHOLD,
+            resolve_numpy_threshold,
+        )
+
+        assert resolve_numpy_threshold() == DEFAULT_NUMPY_AUTO_THRESHOLD
+        assert resolve_numpy_threshold(7) == 7
+        with pytest.raises(ParameterError):
+            resolve_numpy_threshold(-1)
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        from repro.graph.csr import resolve_numpy_threshold
+
+        monkeypatch.setenv("KH_CORE_NUMPY_THRESHOLD", "9000")
+        assert resolve_numpy_threshold() == 9000
+        # The keyword still wins over the environment.
+        assert resolve_numpy_threshold(3) == 3
+
+    def test_invalid_env_var_warns_and_falls_back(self, monkeypatch):
+        from repro.graph.csr import (
+            DEFAULT_NUMPY_AUTO_THRESHOLD,
+            resolve_numpy_threshold,
+        )
+
+        monkeypatch.setenv("KH_CORE_NUMPY_THRESHOLD", "huge")
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert (resolve_numpy_threshold()
+                    == DEFAULT_NUMPY_AUTO_THRESHOLD)
+        monkeypatch.setenv("KH_CORE_NUMPY_THRESHOLD", "-2")
+        with pytest.warns(RuntimeWarning, match="must be >= 0"):
+            assert (resolve_numpy_threshold()
+                    == DEFAULT_NUMPY_AUTO_THRESHOLD)
+
+    def test_invalid_env_var_does_not_break_auto_resolution(self,
+                                                            monkeypatch):
+        """A typo in the deployment env degrades to the default policy."""
+        from repro.core import backends
+
+        # Force the ladder to consult the numpy threshold even when NumPy
+        # is not installed (the fallback default keeps a 4-vertex graph on
+        # CSR either way, so no NumpyEngine is ever built).
+        monkeypatch.setattr(backends, "numpy_available", lambda: True)
+        monkeypatch.setenv("KH_CORE_NUMPY_THRESHOLD", "not-a-number")
+        g = path_graph(4)
+        with pytest.warns(RuntimeWarning):
+            engine = resolve_engine(g, "auto")
+        assert isinstance(engine, CSREngine)
 
 
 class TestCSRDeltaRebuild:

@@ -207,3 +207,61 @@ class TestStreamSubcommand:
                           "--fallback-ratio", "0.0", "--verbose"])
         assert exit_code == 0
         assert "mode=full" in capsys.readouterr().err
+
+
+class TestNumpyBackendFlags:
+    """--backend numpy and --relabel (PR 5)."""
+
+    def test_relabel_choices(self):
+        args = build_parser().parse_args(["g.txt", "--relabel", "degree"])
+        assert args.relabel == "degree"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["g.txt", "--relabel", "random"])
+
+    def test_backend_numpy_accepted_by_parser(self):
+        args = build_parser().parse_args(["g.txt", "--backend", "numpy"])
+        assert args.backend == "numpy"
+
+    def test_relabel_does_not_change_output(self, edge_list_file, capsys):
+        assert main([str(edge_list_file), "--h", "2"]) == 0
+        plain = capsys.readouterr().out
+        assert main([str(edge_list_file), "--h", "2",
+                     "--relabel", "bfs"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_numpy_backend_runs_or_fails_cleanly(self, edge_list_file,
+                                                 capsys):
+        from repro.core.backends import numpy_available
+
+        exit_code = main([str(edge_list_file), "--h", "2", "--backend",
+                          "numpy", "--verbose"])
+        out = capsys.readouterr()
+        if numpy_available():
+            assert exit_code == 0
+            assert "# backend: numpy (requested: numpy)" in out.err
+        else:
+            # A clear one-line error, not a traceback — naming either the
+            # missing optional dependency or the kill switch, whichever is
+            # the actual cause.
+            assert exit_code == 2
+            assert ("optional NumPy" in out.err
+                    or "KH_CORE_DISABLE_NUMPY" in out.err)
+
+    def test_auto_prefers_numpy_over_threshold(self, edge_list_file,
+                                               capsys, monkeypatch):
+        from repro.core.backends import numpy_available
+
+        if not numpy_available():
+            pytest.skip("NumPy not installed")
+        monkeypatch.setenv("KH_CORE_NUMPY_THRESHOLD", "0")
+        assert main([str(edge_list_file), "--h", "2", "--verbose"]) == 0
+        assert "# backend: numpy (requested: auto)" in capsys.readouterr().err
+
+    def test_stream_accepts_relabel(self, tmp_path, capsys):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+ 0 1\n+ 1 2\n+ 2 0\n")
+        from repro.cli import stream_main
+
+        assert stream_main([str(updates), "--h", "2",
+                            "--relabel", "degree", "--summary"]) == 0
+        assert "core" in capsys.readouterr().out

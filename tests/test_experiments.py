@@ -102,13 +102,20 @@ class TestEfficiencyExperiments:
         assert all(row["mean time (s)"] >= 0 for row in rows)
 
     def test_figure5b_executor_rows(self):
+        from repro.core.backends import numpy_available
+
         config = ExperimentConfig(scale="tiny", h_values=(2,))
         config.extra["executors"] = ("serial", "process")
         config.extra["worker_counts"] = (2,)
         config.extra["scaling_sample_size"] = 60
         config.extra["repeats"] = 1
         rows = figure5_scalability.run_executor_scaling(config)
-        assert [row["executor"] for row in rows] == ["serial", "process"]
+        engines = ["csr", "numpy"] if numpy_available() else ["csr"]
+        assert [(row["engine"], row["executor"]) for row in rows] == [
+            (engine, executor)
+            for engine in engines
+            for executor in ("serial", "process")
+        ]
         assert rows[0]["workers"] == 1 and rows[0]["speedup"] == 1.0
         assert all(row["time (s)"] >= 0 for row in rows)
 

@@ -278,3 +278,72 @@ class TestDerivedGraphs:
 
     def test_equality_with_non_graph(self):
         assert Graph() != 42
+
+
+class TestRelabelOrder:
+    """Cache-locality relabeling strategies for CSR builds (PR 5)."""
+
+    def _star_with_tail(self):
+        # hub 0 with leaves 1..4, plus a path 5-6 appended later.
+        g = Graph([(0, 1), (0, 2), (0, 3), (0, 4), (5, 6)])
+        return g
+
+    def test_none_is_insertion_order(self):
+        from repro.graph.csr import relabel_order
+
+        g = self._star_with_tail()
+        assert relabel_order(g, None) == list(g.vertices())
+        assert relabel_order(g, "none") == list(g.vertices())
+
+    def test_degree_descending_with_insertion_ties(self):
+        from repro.graph.csr import relabel_order
+
+        g = self._star_with_tail()
+        order = relabel_order(g, "degree")
+        assert order[0] == 0  # the hub
+        # All degree-1 vertices follow in insertion order.
+        assert order[1:] == [1, 2, 3, 4, 5, 6]
+
+    def test_bfs_clusters_neighbors_per_component(self):
+        from repro.graph.csr import relabel_order
+
+        g = Graph([(0, 1), (1, 2), (2, 3), (3, 0), (10, 11)])
+        order = relabel_order(g, "bfs")
+        assert set(order) == set(g.vertices())
+        # Within the cycle, each vertex appears adjacent to a neighbor.
+        positions = {v: i for i, v in enumerate(order)}
+        assert abs(positions[0] - positions[1]) <= 2
+        # The second component comes as one contiguous run.
+        tail = order[-2:]
+        assert set(tail) == {10, 11}
+
+    def test_deterministic_for_non_comparable_labels(self):
+        from repro.graph.csr import relabel_order
+
+        # Mixed label types: ties must never compare labels directly.
+        g = Graph([("a", 1), (1, (2, 3)), (("x",), "a")])
+        for strategy in ("degree", "bfs"):
+            first = relabel_order(g, strategy)
+            second = relabel_order(g, strategy)
+            assert first == second
+            assert set(first) == set(g.vertices())
+
+    def test_unknown_strategy_rejected(self):
+        from repro.errors import ParameterError
+        from repro.graph.csr import relabel_order
+
+        with pytest.raises(ParameterError):
+            relabel_order(Graph([(0, 1)]), "random")
+
+    def test_from_graph_relabel_preserves_topology(self):
+        from repro.graph import CSRGraph
+
+        g = self._star_with_tail()
+        plain = CSRGraph.from_graph(g)
+        for strategy in ("degree", "bfs"):
+            permuted = CSRGraph.from_graph(g, relabel=strategy)
+            assert permuted.num_vertices == plain.num_vertices
+            assert permuted.num_edges == plain.num_edges
+            for v in g.vertices():
+                assert (permuted.neighbors_of_label(v)
+                        == plain.neighbors_of_label(v))
