@@ -9,6 +9,7 @@ Usage::
     python -m repro --demo --h 2                      # run on a built-in demo graph
     python -m repro stream updates.txt --h 2          # replay an edge stream
     python -m repro stream updates.txt --graph input.edges --batch-size 32
+    python -m repro serve input.edges --h 2 --port 8742   # online queries
 
 The input format is a plain edge list (one ``u v`` pair per line, ``#``/``%``
 comments allowed — the SNAP convention).  The output is one ``vertex core``
@@ -18,11 +19,18 @@ The ``stream`` subcommand replays an edge-update stream (one ``op u v`` line
 per update, ``op`` being ``+`` or ``-``) through the dynamic maintenance
 engine (:class:`repro.dynamic.DynamicKHCore`), starting from an optional
 base graph, and prints the final core indices plus maintenance statistics.
+
+The ``serve`` subcommand (``python -m repro serve input.edges --h 2
+--port 8742``) keeps a warm dynamic engine resident and answers
+core-number / core-subgraph / spectrum / top-community queries over
+HTTP/JSON while ``POST /update`` batches stream in — see
+:mod:`repro.serve`.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 from typing import Optional, Sequence
@@ -41,7 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Distance-generalized ((k,h)-core) decomposition of an edge list.",
-        epilog="Use 'python -m repro stream --help' for the streaming replay mode.",
+        epilog="Use 'python -m repro stream --help' for the streaming "
+               "replay mode, 'python -m repro serve --help' for the "
+               "HTTP/JSON query service.",
     )
     parser.add_argument("input", nargs="?", help="edge-list file (u v per line)")
     parser.add_argument("--demo", action="store_true",
@@ -103,6 +113,44 @@ def build_stream_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve (k,h)-core queries over HTTP/JSON from a "
+                    "resident dynamic maintenance engine.",
+    )
+    parser.add_argument("input", nargs="?",
+                        help="edge-list file with the graph to load")
+    parser.add_argument("--demo", action="store_true",
+                        help="serve a built-in demo graph instead of an "
+                             "input file")
+    parser.add_argument("--h", type=int, default=2, dest="h",
+                        help="distance threshold h (default: 2)")
+    _add_backend_arguments(parser)
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8742,
+                        help="TCP port; 0 binds an ephemeral port "
+                             "(default: 8742)")
+    parser.add_argument("--fallback-ratio", type=float, default=None,
+                        help="dirty-region fraction of |V| above which an "
+                             "update batch falls back to full recomputation "
+                             "(default: engine default)")
+    parser.add_argument("--max-batch", type=int, default=None,
+                        help="maximum updates accepted per POST /update "
+                             "batch (default: 1024)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="workers for full-recompute bulk passes")
+    parser.add_argument("--executor", default="thread",
+                        choices=("serial", "thread", "process"),
+                        help="scheduler for full-recompute bulk passes")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print the resolved backend and engine "
+                             "configuration")
+    return parser
+
+
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="auto",
                         choices=("auto", "dict", "csr", "numpy"),
@@ -153,15 +201,17 @@ def _emit_core_lines(core_index, output: Optional[str]) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` (and the ``kh-core`` script).
 
-    The ``stream`` subcommand is dispatched on the first token rather than
-    through argparse subparsers, because the default command's optional
-    positional input would otherwise be ambiguous.  Consequence: an
-    edge-list file literally named ``stream`` must be passed as
-    ``./stream``.
+    The ``stream`` and ``serve`` subcommands are dispatched on the first
+    token rather than through argparse subparsers, because the default
+    command's optional positional input would otherwise be ambiguous.
+    Consequence: an edge-list file literally named ``stream`` or ``serve``
+    must be passed as ``./stream`` / ``./serve``.
     """
     argv = list(argv) if argv is not None else sys.argv[1:]
     if argv and argv[0] == "stream":
         return stream_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -255,6 +305,55 @@ def stream_main(argv: Sequence[str]) -> int:
             print(f"core {k}: {sizes[k]} vertices")
         return 0
     return _emit_core_lines(engine.core_numbers(), args.output)
+
+
+def serve_main(argv: Sequence[str]) -> int:
+    """Entry point for ``python -m repro serve``."""
+    # Deferred import: the serve package pulls in asyncio plumbing the
+    # batch commands never need.
+    from repro.serve import CoreService, run_app
+
+    parser = build_serve_parser()
+    args = parser.parse_args(list(argv))
+    try:
+        graph = _load_graph(args)
+        backend = resolved_backend_name(graph, args.backend,
+                                        csr_threshold=args.csr_threshold)
+        service_kwargs = {}
+        if args.max_batch is not None:
+            service_kwargs["max_batch"] = args.max_batch
+        service = CoreService(graph, h=args.h, backend=backend,
+                              relabel=args.relabel,
+                              fallback_ratio=args.fallback_ratio,
+                              executor=args.executor,
+                              num_workers=args.workers,
+                              name=args.input or "demo",
+                              **service_kwargs)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.verbose:
+        print(f"# backend: {backend} (requested: {args.backend})",
+              file=sys.stderr)
+        print(f"# graph: {graph.num_vertices} vertices, "
+              f"{graph.num_edges} edges, h = {args.h}", file=sys.stderr)
+
+    def announce(server) -> None:
+        print(f"# serving on http://{server.host}:{server.port}",
+              file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(run_app(service, host=args.host, port=args.port,
+                            ready=announce))
+    except KeyboardInterrupt:
+        print("# shutting down", file=sys.stderr)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    return 0
 
 
 if __name__ == "__main__":

@@ -50,6 +50,7 @@ from repro.dynamic.stats import (
     UpdateSummary,
 )
 from repro.dynamic.stream import DELETE, INSERT, EdgeUpdate, normalize_op
+from repro.graph.csr import CSRGraph
 from repro.errors import (
     EdgeNotFoundError,
     GraphError,
@@ -174,9 +175,36 @@ class DynamicKHCore:
     # queries
     # ------------------------------------------------------------------ #
     def core_numbers(self) -> Dict[Vertex, int]:
-        """Current ``vertex -> core index`` mapping (a defensive copy)."""
+        """Current ``vertex -> core index`` mapping (a defensive copy).
+
+        The returned dict is a snapshot: subsequent :meth:`apply` /
+        :meth:`apply_batch` calls (which update the engine's internal map in
+        place during incremental re-peels) never mutate it.  Consumers that
+        cache decompositions across updates — the query service above all —
+        depend on this guarantee, and a regression test pins it.
+        """
         self._resync_if_mutated_externally()
         return dict(self._core)
+
+    def csr_snapshot(self) -> "CSRGraph":
+        """Immutable CSR snapshot of the current graph state.
+
+        When the engine runs a CSR-family backend whose snapshot is current
+        (the steady state right after :meth:`apply_batch`), this is a
+        zero-copy reference grab: :class:`~repro.graph.csr.CSRGraph`
+        instances are never mutated — ``refresh`` swaps in a new object —
+        and the ``source_version`` stamp proves freshness.  The dict
+        backend (or a stale snapshot) pays one full build.  This is the
+        structure-publication primitive of :mod:`repro.serve`: the snapshot
+        stays internally consistent no matter what later updates do.
+        """
+        self._resync_if_mutated_externally()
+        context = self._context
+        if context is not None and isinstance(context.engine, CSREngine):
+            csr = context.engine.csr
+            if csr.source_version == self.graph.version:
+                return csr
+        return CSRGraph.from_graph(self.graph, relabel=self.relabel)
 
     def core_number(self, v: Vertex) -> int:
         """Current core index of one vertex (raises KeyError if absent)."""
@@ -184,7 +212,15 @@ class DynamicKHCore:
         return self._core[v]
 
     def decomposition(self) -> CoreDecomposition:
-        """Wrap the current indices in a :class:`CoreDecomposition` view."""
+        """Wrap the current indices in a :class:`CoreDecomposition` view.
+
+        The core index is a defensive copy (like :meth:`core_numbers`), but
+        the wrapped ``graph`` is the engine's **live** graph: structure
+        queries (``core_subgraph`` etc.) made after further updates mix old
+        cores with new structure.  Callers that need a fully frozen epoch
+        should use :meth:`csr_snapshot` alongside :meth:`core_numbers`, as
+        the query service does.
+        """
         self._resync_if_mutated_externally()
         return CoreDecomposition(self.graph, self.h, dict(self._core),
                                  algorithm="dynamic")

@@ -242,6 +242,23 @@ class CSRGraph:
                 if v < u:
                     yield (v, u)
 
+    def induced_edges(self, indices: Iterable[int]) -> List[Tuple[int, int]]:
+        """Edges of the subgraph induced by ``indices``, each once as ``(i, j)``
+        with ``i < j``, in deterministic (sorted) order.
+
+        Reads only the frozen flat arrays, so the result is guaranteed to
+        describe this snapshot's epoch — the primitive the query service's
+        subgraph-extraction endpoint is built on.
+        """
+        members = set(indices)
+        indptr, adjacency = self.indptr, self.adjacency
+        edges: List[Tuple[int, int]] = []
+        for i in sorted(members):
+            for j in adjacency[indptr[i]:indptr[i + 1]]:
+                if j > i and j in members:
+                    edges.append((i, j))
+        return edges
+
     def __repr__(self) -> str:
         return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
 

@@ -1,0 +1,37 @@
+"""Async (k,h)-core query service over a resident dynamic engine.
+
+The compute stack below this package is batch-oriented: build a graph, run a
+decomposition, read the result.  :mod:`repro.serve` turns it into an online
+system — one warm :class:`~repro.dynamic.DynamicKHCore` engine per loaded
+graph, an asyncio HTTP/JSON front end, and an epoch-publication discipline
+that lets concurrent readers observe consistent decompositions while edge
+updates stream in:
+
+* :class:`~repro.serve.snapshot.CoreSnapshot` — an immutable, checksummed
+  epoch of the decomposition (core map + CSR structure snapshot).
+* :class:`~repro.serve.service.CoreService` — owns the dynamic engine and a
+  single writer thread; every committed update batch publishes a fresh
+  snapshot with one atomic reference swap, so reads never block behind a
+  re-peel and never see a torn core map.
+* :mod:`repro.serve.app` — the asyncio HTTP server (``kh-core serve``).
+* :mod:`repro.serve.loadgen` — a concurrent-client load generator with an
+  LDBC-style request mix, used by the latency benchmark and the CI smoke.
+"""
+
+from repro.serve.snapshot import CoreSnapshot, core_checksum
+from repro.serve.service import (
+    DEFAULT_MAX_BATCH,
+    CoreService,
+    OversizedBatchError,
+)
+from repro.serve.app import CoreServer, run_app
+
+__all__ = [
+    "CoreSnapshot",
+    "core_checksum",
+    "CoreService",
+    "CoreServer",
+    "OversizedBatchError",
+    "DEFAULT_MAX_BATCH",
+    "run_app",
+]

@@ -1,0 +1,425 @@
+"""The asyncio HTTP/JSON front end of the (k,h)-core query service.
+
+A deliberately small, dependency-free HTTP/1.1 server over
+``asyncio.start_server``: request parsing, routing, JSON encoding, error
+mapping and keep-alive — nothing else.  Fault containment is a design goal:
+malformed requests, unknown vertices, oversized bodies and clients that
+vanish mid-request are all absorbed per-connection; the engine and every
+other connection keep serving.
+
+Endpoints (all responses carry ``generation`` / ``graph_version`` of the
+epoch they were answered from):
+
+=====================  ====================================================
+``GET /healthz``        liveness + loaded-graph summary
+``GET /stats``          request tallies + maintenance statistics
+``GET /core_number``    point lookup (``v=``, optional ``k=`` / ``h=``)
+``GET /cores``          full core map + epoch checksum (optional ``h=``)
+``GET /core``           (k,h)-core membership (``k=``, optional ``h=``)
+``GET /core_subgraph``  (k,h)-core vertices + edges (``k=``, optional ``h=``)
+``GET /spectrum``       per-vertex core spectrum (``v=``, ``hs=1,2,3``)
+``GET /top_communities``  largest core communities (``k=``, ``limit=``)
+``POST /update``        apply ``{"updates": [["+", u, v], ...]}``
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    EdgeNotFoundError,
+    ReproError,
+    VertexNotFoundError,
+)
+from repro.serve.service import (
+    CoreService,
+    OversizedBatchError,
+    _wire_vertex,
+)
+
+#: Default cap on request body size (bytes); larger uploads get a 413.
+DEFAULT_MAX_BODY = 1_000_000
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HTTPError(Exception):
+    """Internal: carry an HTTP status + message out of a handler."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _message(exc: Exception) -> str:
+    # str(KeyError) wraps the message in quotes; the subclasses raised here
+    # always carry a human-readable first argument.
+    if isinstance(exc, KeyError) and exc.args:
+        return str(exc.args[0])
+    return str(exc) or exc.__class__.__name__
+
+
+def _error_response(exc: Exception) -> Tuple[int, Dict[str, object]]:
+    """Map an exception to a clean JSON error payload (never a traceback)."""
+    if isinstance(exc, _HTTPError):
+        status: int = exc.status
+        message = exc.message
+    elif isinstance(exc, OversizedBatchError):
+        status, message = 413, _message(exc)
+    elif isinstance(exc, VertexNotFoundError):
+        status, message = 404, _message(exc)
+    elif isinstance(exc, EdgeNotFoundError):
+        status, message = 409, _message(exc)
+    elif isinstance(exc, (ReproError, ValueError, KeyError, TypeError)):
+        status, message = 400, _message(exc)
+    else:
+        status, message = 500, f"internal error: {exc.__class__.__name__}"
+    return status, {"error": message, "status": status}
+
+
+def _parse_param_value(raw: str) -> object:
+    """Decode one query-string value: JSON first, raw string as fallback.
+
+    ``v=3`` parses to the int 3, ``v=[0,1]`` to a list (mapped to a tuple
+    label), ``v=alice`` stays a string.
+    """
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
+def _require(params: Dict[str, object], name: str) -> object:
+    if name not in params:
+        raise _HTTPError(400, f"missing required query parameter {name!r}")
+    return params[name]
+
+
+def _int_param(
+    params: Dict[str, object], name: str, default: Optional[int] = None
+) -> Optional[int]:
+    if name not in params:
+        return default
+    value = params[name]
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise _HTTPError(400, f"query parameter {name!r} must be an integer")
+    return value
+
+
+def _h_values_param(params: Dict[str, object]) -> Tuple[int, ...]:
+    raw = params.get("hs", "1,2,3")
+    if isinstance(raw, int):
+        return (raw,)
+    if not isinstance(raw, str):
+        raise _HTTPError(400, "query parameter 'hs' must be like hs=1,2,3")
+    try:
+        values = tuple(int(part) for part in raw.split(",") if part)
+    except ValueError:
+        raise _HTTPError(400, "query parameter 'hs' must be like hs=1,2,3")
+    if not values:
+        raise _HTTPError(400, "query parameter 'hs' must name at least one h")
+    return values
+
+
+class CoreServer:
+    """Bind a :class:`CoreService` to a TCP port and serve HTTP/JSON.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`.  The server is fully in-process (tests and benchmarks
+    start it inside their own event loop) and a context manager is not
+    needed: :meth:`start` / :meth:`aclose` bracket the lifetime.
+    """
+
+    def __init__(
+        self,
+        service: CoreService,
+        host: str = "127.0.0.1",
+        port: int = 8742,
+        max_body: int = DEFAULT_MAX_BODY,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_body = max_body
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "CoreServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                method, path, params, body, keep_alive = request
+                status, payload = await self._dispatch(method, path, params, body)
+                self._write_response(writer, status, payload, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            # The client vanished mid-request or mid-response; nothing was
+            # committed on its behalf and nobody else is affected.
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this connection mid-request; fall
+            # through to the transport close below.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[Tuple[str, str, Dict[str, object], bytes, bool]]:
+        """Parse one request; None on clean EOF/disconnect.
+
+        Protocol-level garbage answers a 400 and closes; an oversized body
+        answers a 413 and closes (the body is not drained).
+        """
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            self._write_response(
+                writer,
+                400,
+                {"error": "malformed request line", "status": 400},
+                False,
+            )
+            await writer.drain()
+            return None
+        method, target = parts[0].upper(), parts[1]
+
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1", "replace").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._write_response(
+                writer,
+                400,
+                {"error": "invalid Content-Length", "status": 400},
+                False,
+            )
+            await writer.drain()
+            return None
+        if length > self.max_body:
+            self._write_response(
+                writer,
+                413,
+                {
+                    "error": f"request body of {length} bytes exceeds the "
+                    f"{self.max_body}-byte cap",
+                    "status": 413,
+                },
+                False,
+            )
+            await writer.drain()
+            return None
+        body = await reader.readexactly(length) if length else b""
+
+        split = urlsplit(target)
+        params: Dict[str, object] = {
+            name: _parse_param_value(values[0])
+            for name, values in parse_qs(split.query).items()
+        }
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        return method, split.path, params, body, keep_alive
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(
+        self, method: str, path: str, params: Dict[str, object], body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        routes: Dict[
+            Tuple[str, str],
+            Callable[
+                [Dict[str, object], bytes],
+                Awaitable[Tuple[int, Dict[str, object]]],
+            ],
+        ] = {
+            ("GET", "/healthz"): self._get_healthz,
+            ("GET", "/stats"): self._get_stats,
+            ("GET", "/core_number"): self._get_core_number,
+            ("GET", "/cores"): self._get_cores,
+            ("GET", "/core"): self._get_core,
+            ("GET", "/core_subgraph"): self._get_core_subgraph,
+            ("GET", "/spectrum"): self._get_spectrum,
+            ("GET", "/top_communities"): self._get_top_communities,
+            ("POST", "/update"): self._post_update,
+        }
+        handler = routes.get((method, path))
+        if handler is None:
+            if any(route_path == path for _, route_path in routes):
+                return 405, {
+                    "error": f"{method} is not supported on {path}",
+                    "status": 405,
+                }
+            return 404, {"error": f"unknown path {path}", "status": 404}
+        self.service.count_request(path.lstrip("/"))
+        try:
+            return await handler(params, body)
+        except Exception as exc:  # noqa: BLE001 — mapped to clean JSON
+            return _error_response(exc)
+
+    # ------------------------------------------------------------------ #
+    # handlers
+    # ------------------------------------------------------------------ #
+    async def _get_healthz(self, params, body):
+        return 200, self.service.query_health()
+
+    async def _get_stats(self, params, body):
+        return 200, self.service.query_stats()
+
+    async def _get_core_number(self, params, body):
+        v = _wire_vertex(_require(params, "v"))
+        k = _int_param(params, "k")
+        h = _int_param(params, "h")
+        if h is not None and h != self.service.snapshot.h:
+            # First hit at a secondary threshold decomposes from scratch on
+            # the frozen snapshot; keep that off the event loop.
+            return 200, await self.service.run_heavy(
+                self.service.query_core_number, v, k=k, h=h
+            )
+        return 200, self.service.query_core_number(v, k=k, h=h)
+
+    async def _get_cores(self, params, body):
+        h = _int_param(params, "h")
+        if h is not None and h != self.service.snapshot.h:
+            # Secondary-threshold maps are a heavy (from-scratch) path.
+            return 200, await self.service.run_heavy(self.service.query_cores, h)
+        return 200, self.service.query_cores(h)
+
+    async def _get_core(self, params, body):
+        k = _int_param(params, "k")
+        if k is None:
+            raise _HTTPError(400, "missing required query parameter 'k'")
+        h = _int_param(params, "h")
+        return 200, self.service.query_core_members(k, h=h)
+
+    async def _get_core_subgraph(self, params, body):
+        k = _int_param(params, "k")
+        if k is None:
+            raise _HTTPError(400, "missing required query parameter 'k'")
+        h = _int_param(params, "h")
+        return 200, await self.service.run_heavy(
+            self.service.query_core_subgraph, k, h=h
+        )
+
+    async def _get_spectrum(self, params, body):
+        v = _wire_vertex(_require(params, "v"))
+        h_values = _h_values_param(params)
+        return 200, await self.service.run_heavy(
+            self.service.query_spectrum, v, h_values
+        )
+
+    async def _get_top_communities(self, params, body):
+        k = _int_param(params, "k")
+        limit = _int_param(params, "limit", 5)
+        return 200, await self.service.run_heavy(
+            self.service.query_top_communities, k=k, limit=limit
+        )
+
+    async def _post_update(self, params, body):
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            raise _HTTPError(400, "the update body is not valid JSON")
+        updates = self.service.parse_updates(payload)
+        return 200, await self.service.apply_updates(updates)
+
+
+async def run_app(
+    service: CoreService,
+    host: str = "127.0.0.1",
+    port: int = 8742,
+    ready: Optional[Callable[[CoreServer], None]] = None,
+) -> None:
+    """Start a server and serve until cancelled (the CLI entry point).
+
+    ``ready`` is called with the started server (after the port is bound) —
+    the CLI prints the URL there, tests grab the ephemeral port.
+    """
+    server = CoreServer(service, host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()

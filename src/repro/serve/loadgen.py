@@ -1,0 +1,384 @@
+"""Concurrent-client load generator for the (k,h)-core query service.
+
+Drives a running server with an LDBC-style request mix — the workload shape
+the SIGMOD 2014 programming-contest analysis characterizes for social-graph
+serving: a large majority of short point lookups, a mid-size share of
+community/neighborhood queries, rare heavy analytics, and a trickle of
+writes.  Default weights:
+
+==================  ======  ==========================================
+point lookups        70 %    ``GET /core_number`` (random vertex)
+community queries    20 %    ``GET /core`` / ``GET /top_communities``
+heavy analytics       2 %    ``GET /spectrum`` / full ``GET /cores``
+updates               8 %    ``POST /update`` (insert, later delete)
+==================  ======  ==========================================
+
+Every request's wall-clock latency is recorded per class; the summary
+reports p50/p99/mean/max and throughput, which is what
+``benchmarks/test_serve_latency.py`` turns into the ``BENCH_PR6.json``
+artifact.  Also runnable standalone against any server::
+
+    python -m repro.serve.loadgen --port 8742 --clients 4 --requests 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass
+from urllib.parse import quote
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class LoadgenError(Exception):
+    """The load generator could not complete its run."""
+
+
+class AsyncHTTPClient:
+    """A minimal keep-alive HTTP/1.1 JSON client over one TCP connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "AsyncHTTPClient":
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def request(
+        self, method: str, path: str, body: Optional[object] = None
+    ) -> Tuple[int, Dict[str, object]]:
+        """Send one request and decode the JSON response."""
+        if self._writer is None or self._reader is None:
+            await self.connect()
+        assert self._writer is not None and self._reader is not None
+        payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: keep-alive\r\n"
+            f"\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + payload)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise LoadgenError("server closed the connection")
+        try:
+            status = int(status_line.split()[1])
+        except (IndexError, ValueError):
+            raise LoadgenError(f"malformed status line {status_line!r}")
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await self._reader.readexactly(length) if length else b"{}"
+        return status, json.loads(raw.decode("utf-8"))
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """Workload weights (need not sum to 1; sampled proportionally)."""
+
+    point: float = 0.70
+    community: float = 0.20
+    analytics: float = 0.02
+    update: float = 0.08
+
+    def classes(self) -> List[Tuple[str, float]]:
+        return [
+            ("point", self.point),
+            ("community", self.community),
+            ("analytics", self.analytics),
+            ("update", self.update),
+        ]
+
+
+#: The LDBC-style default mix (see the module docstring).
+DEFAULT_MIX = RequestMix()
+
+#: A read-only variant for latency runs that must not mutate the graph.
+READ_ONLY_MIX = RequestMix(point=0.75, community=0.22, analytics=0.03, update=0.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation; 0.0 if empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def _pick_class(rng: random.Random, mix: RequestMix) -> str:
+    classes = [(name, weight) for name, weight in mix.classes() if weight > 0]
+    total = sum(weight for _, weight in classes)
+    roll = rng.random() * total
+    for name, weight in classes:
+        roll -= weight
+        if roll <= 0:
+            return name
+    return classes[-1][0]
+
+
+class _Recorder:
+    """Shared per-run sink: latencies per class, errors, generations seen."""
+
+    def __init__(self) -> None:
+        self.latencies: Dict[str, List[float]] = {}
+        self.errors: List[str] = []
+        self.generations: List[int] = []
+
+    def record(self, kind: str, seconds: float, payload: Dict[str, object]) -> None:
+        self.latencies.setdefault(kind, []).append(seconds)
+        generation = payload.get("generation")
+        if isinstance(generation, int):
+            self.generations.append(generation)
+
+
+async def _client_worker(
+    host: str,
+    port: int,
+    requests: int,
+    mix: RequestMix,
+    rng: random.Random,
+    vertices: List[object],
+    degeneracy: int,
+    recorder: _Recorder,
+) -> None:
+    client = await AsyncHTTPClient(host, port).connect()
+    inserted: List[Tuple[object, object]] = []
+    try:
+        for _ in range(requests):
+            kind = _pick_class(rng, mix)
+            method, path, body = "GET", "/healthz", None
+            if kind == "point":
+                v = rng.choice(vertices)
+                path = f"/core_number?v={quote(json.dumps(v))}"
+            elif kind == "community":
+                if rng.random() < 0.5:
+                    k = rng.randint(0, max(degeneracy, 0))
+                    path = f"/core?k={k}"
+                else:
+                    path = "/top_communities?limit=3"
+            elif kind == "analytics":
+                if rng.random() < 0.5:
+                    v = rng.choice(vertices)
+                    path = f"/spectrum?v={quote(json.dumps(v))}&hs=1,2"
+                else:
+                    path = "/cores"
+            else:  # update
+                method, path = "POST", "/update"
+                if inserted and rng.random() < 0.4:
+                    u, v = inserted.pop()
+                    body = {"updates": [["-", u, v]]}
+                else:
+                    u, v = rng.sample(vertices, 2)
+                    body = {"updates": [["+", u, v]]}
+                    inserted.append((u, v))
+            started = time.perf_counter()
+            status, payload = await client.request(method, path, body)
+            elapsed = time.perf_counter() - started
+            if status == 200:
+                recorder.record(kind, elapsed, payload)
+            elif kind == "update" and status == 409:
+                # The edge this client re-deletes may have been removed by
+                # a concurrent writer; a clean conflict is correct behavior.
+                recorder.record(kind, elapsed, payload)
+            else:
+                recorder.errors.append(
+                    f"{method} {path} -> {status}: {payload.get('error')}"
+                )
+    finally:
+        await client.close()
+
+
+def _summary(recorder: _Recorder, clients: int, elapsed: float) -> Dict[str, object]:
+    all_latencies = [
+        value for values in recorder.latencies.values() for value in values
+    ]
+
+    def stats(values: Sequence[float]) -> Dict[str, float]:
+        return {
+            "count": len(values),
+            "p50_ms": percentile(values, 50) * 1000.0,
+            "p99_ms": percentile(values, 99) * 1000.0,
+            "mean_ms": (sum(values) / len(values) * 1000.0) if values else 0.0,
+            "max_ms": (max(values) * 1000.0) if values else 0.0,
+        }
+
+    return {
+        "clients": clients,
+        "requests": len(all_latencies),
+        "elapsed_s": elapsed,
+        "throughput_rps": len(all_latencies) / elapsed if elapsed else 0.0,
+        "errors": len(recorder.errors),
+        "error_samples": recorder.errors[:5],
+        "latency": {
+            "overall": stats(all_latencies),
+            **{
+                kind: stats(values)
+                for kind, values in sorted(recorder.latencies.items())
+            },
+        },
+        "generations": {
+            "min": min(recorder.generations, default=0),
+            "max": max(recorder.generations, default=0),
+        },
+    }
+
+
+async def run_load_async(
+    host: str,
+    port: int,
+    clients: int = 4,
+    requests_per_client: int = 100,
+    mix: RequestMix = DEFAULT_MIX,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Run the LDBC-style mix with ``clients`` concurrent connections.
+
+    Discovers the vertex universe from one ``GET /cores`` probe, fans out
+    the client coroutines, and returns the latency/throughput summary.
+    """
+    probe = await AsyncHTTPClient(host, port).connect()
+    try:
+        status, payload = await probe.request("GET", "/cores")
+        if status != 200:
+            raise LoadgenError(f"probe GET /cores failed with {status}")
+        cores = payload.get("cores")
+        if not isinstance(cores, list) or not cores:
+            raise LoadgenError("the server is serving an empty graph")
+        vertices = [entry[0] for entry in cores]
+        degeneracy = max(entry[1] for entry in cores)
+    finally:
+        await probe.close()
+
+    recorder = _Recorder()
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client_worker(
+                host,
+                port,
+                requests_per_client,
+                mix,
+                random.Random(seed * 8191 + index),
+                vertices,
+                degeneracy,
+                recorder,
+            )
+            for index in range(clients)
+        )
+    )
+    elapsed = time.perf_counter() - started
+    return _summary(recorder, clients, elapsed)
+
+
+def run_load(
+    host: str,
+    port: int,
+    clients: int = 4,
+    requests_per_client: int = 100,
+    mix: RequestMix = DEFAULT_MIX,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Synchronous wrapper around :func:`run_load_async` (own event loop)."""
+    return asyncio.run(
+        run_load_async(
+            host,
+            port,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            mix=mix,
+            seed=seed,
+        )
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.serve.loadgen``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="LDBC-style load generator for the kh-core query "
+        "service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=100,
+        help="requests per client (default: 100)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--read-only", action="store_true", help="drop updates from the mix"
+    )
+    parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        help="exit non-zero if the overall p99 exceeds this bound (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    mix = READ_ONLY_MIX if args.read_only else DEFAULT_MIX
+    try:
+        summary = run_load(
+            args.host,
+            args.port,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            mix=mix,
+            seed=args.seed,
+        )
+    except (LoadgenError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+    if summary["errors"]:
+        print(f"error: {summary['errors']} failed requests", file=sys.stderr)
+        return 1
+    if args.max_p99_ms is not None:
+        p99 = summary["latency"]["overall"]["p99_ms"]  # type: ignore[index]
+        if p99 > args.max_p99_ms:
+            print(
+                f"error: overall p99 {p99:.1f}ms exceeds the "
+                f"{args.max_p99_ms:.1f}ms bound",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

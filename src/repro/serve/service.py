@@ -1,0 +1,377 @@
+"""`CoreService`: a resident dynamic engine behind an epoch-publication wall.
+
+The service owns one warm :class:`~repro.dynamic.DynamicKHCore` engine and
+enforces the concurrency discipline the HTTP layer relies on:
+
+* **Single writer.**  All update batches are applied on one dedicated
+  writer thread, serialized by an asyncio lock.  The dynamic engine is
+  never touched from anywhere else after construction.
+* **Copy-on-publish.**  After every committed batch the writer publishes a
+  fresh :class:`~repro.serve.snapshot.CoreSnapshot` (defensive copy of the
+  core map + the engine's immutable CSR structure snapshot) with a single
+  attribute assignment — atomic under the GIL, so readers swap epochs
+  wholesale and can never observe a half-applied batch.
+* **Non-blocking reads.**  Readers only ever dereference
+  :attr:`snapshot`; a long re-peel in the writer thread delays the *next*
+  epoch, never an in-flight read, which keeps serving the previous one.
+
+The query methods return JSON-ready dicts, each stamped with the epoch
+(``generation`` / ``graph_version``) it was answered from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.dynamic.engine import DynamicKHCore
+from repro.dynamic.stream import EdgeUpdate, normalize_op
+from repro.errors import ParameterError
+from repro.graph.graph import Graph
+from repro.serve.snapshot import CoreSnapshot
+
+Vertex = Hashable
+
+#: Default cap on the number of updates accepted in one ``POST /update``
+#: batch; larger batches are rejected with :class:`OversizedBatchError`
+#: (HTTP 413) before touching the engine.
+DEFAULT_MAX_BATCH = 1024
+
+
+class OversizedBatchError(ParameterError):
+    """An update batch exceeded the service's configured size cap."""
+
+    def __init__(self, size: int, max_batch: int) -> None:
+        super().__init__(
+            f"update batch of {size} exceeds the service cap of "
+            f"{max_batch} updates"
+        )
+        self.size = size
+        self.max_batch = max_batch
+
+
+def _wire_vertex(value: object) -> Vertex:
+    """Map a JSON-decoded vertex back to its graph label.
+
+    JSON has no tuples, so tuple labels (and only tuples) arrive as lists;
+    everything else (ints, strings) round-trips unchanged.
+    """
+    if isinstance(value, list):
+        return tuple(_wire_vertex(item) for item in value)
+    return value
+
+
+class CoreService:
+    """One loaded graph, one resident engine, one published epoch at a time.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph (owned by the service's engine from here on).
+    h:
+        Distance threshold the resident engine maintains.
+    backend / relabel / algorithm / fallback_ratio / executor / num_workers:
+        Forwarded to :class:`~repro.dynamic.DynamicKHCore`.
+    max_batch:
+        Upper bound on updates per batch (see :data:`DEFAULT_MAX_BATCH`).
+    name:
+        Display name of the loaded graph (for ``/healthz`` and logs).
+    """
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        h: int = 2,
+        backend: str = "auto",
+        relabel: Optional[str] = None,
+        algorithm: str = "auto",
+        fallback_ratio: Optional[float] = None,
+        executor: str = "thread",
+        num_workers: Optional[int] = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        name: str = "graph",
+    ) -> None:
+        if max_batch < 1:
+            raise ParameterError("max_batch must be >= 1")
+        engine_kwargs: Dict[str, object] = {}
+        if fallback_ratio is not None:
+            engine_kwargs["fallback_ratio"] = fallback_ratio
+        self.engine = DynamicKHCore(
+            graph,
+            h=h,
+            backend=backend,
+            relabel=relabel,
+            algorithm=algorithm,
+            executor=executor,
+            num_workers=num_workers,
+            **engine_kwargs,
+        )
+        self.name = name
+        self.max_batch = max_batch
+        self.request_counts: Dict[str, int] = {}
+        self._generation = 0
+        self._write_lock: Optional[asyncio.Lock] = None
+        #: The writer thread: every engine mutation after construction runs
+        #: here, so the (thread-unsafe) engine has exactly one mutator.
+        self._writer = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="kh-serve-writer"
+        )
+        #: Readers only used for heavy analytics queries, which operate on
+        #: immutable snapshots and are therefore lock-free.
+        self._readers = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="kh-serve-reader"
+        )
+        self._publish_mutex = threading.Lock()
+        self._snapshot = self._publish()
+        self.closed = False
+
+    # ------------------------------------------------------------------ #
+    # epoch publication
+    # ------------------------------------------------------------------ #
+    @property
+    def snapshot(self) -> CoreSnapshot:
+        """The currently published epoch (an immutable object).
+
+        Grab it **once** per request and answer everything from that
+        reference; re-reading the property mid-request could cross an epoch
+        boundary.
+        """
+        return self._snapshot
+
+    def _publish(self) -> CoreSnapshot:
+        """Build and atomically install a fresh epoch from the engine state.
+
+        Runs on the writer thread (or at construction).  The core map is a
+        defensive copy (:meth:`DynamicKHCore.core_numbers` guarantees it)
+        and the structure is the engine's immutable CSR snapshot, so the
+        published object shares no mutable state with the engine.
+        """
+        with self._publish_mutex:
+            self._generation += 1
+            snapshot = CoreSnapshot(
+                self._generation,
+                self.engine.graph.version,
+                self.engine.h,
+                self.engine.core_numbers(),
+                self.engine.csr_snapshot(),
+            )
+            self._snapshot = snapshot
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # updates (single writer)
+    # ------------------------------------------------------------------ #
+    def parse_updates(self, payload: object) -> List[Tuple[str, Vertex, Vertex]]:
+        """Validate a decoded ``POST /update`` body into ``(op, u, v)`` triples.
+
+        Accepts ``{"updates": [[op, u, v], ...]}`` or a bare list of
+        triples; op spellings are the ones
+        :func:`repro.dynamic.stream.normalize_op` accepts.  Raises
+        :class:`~repro.errors.ParameterError` on malformed payloads and
+        :class:`OversizedBatchError` past the batch cap — both *before* the
+        engine sees anything.
+        """
+        if isinstance(payload, dict):
+            payload = payload.get("updates")
+        if not isinstance(payload, list):
+            raise ParameterError(
+                "the update body must be {'updates': [[op, u, v], ...]}"
+            )
+        if len(payload) > self.max_batch:
+            raise OversizedBatchError(len(payload), self.max_batch)
+        updates: List[Tuple[str, Vertex, Vertex]] = []
+        for entry in payload:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise ParameterError(f"each update must be [op, u, v]; got {entry!r}")
+            op, u, v = entry
+            updates.append((normalize_op(op), _wire_vertex(u), _wire_vertex(v)))
+        return updates
+
+    def apply_updates_sync(
+        self, updates: Sequence[Tuple[str, Vertex, Vertex]]
+    ) -> Dict[str, object]:
+        """Apply one batch and publish the next epoch (writer thread only)."""
+        summary = self.engine.apply_batch(
+            [EdgeUpdate(op, u, v) for op, u, v in updates]
+        )
+        snapshot = self._publish()
+        return {
+            "mode": summary.mode,
+            "applied": summary.applied,
+            "skipped": summary.skipped,
+            "cores_changed": summary.cores_changed,
+            "generation": snapshot.generation,
+            "graph_version": snapshot.graph_version,
+        }
+
+    async def apply_updates(
+        self, updates: Sequence[Tuple[str, Vertex, Vertex]]
+    ) -> Dict[str, object]:
+        """Serialize a batch onto the writer thread; resolves when published."""
+        if self._write_lock is None:
+            self._write_lock = asyncio.Lock()
+        loop = asyncio.get_running_loop()
+        async with self._write_lock:
+            return await loop.run_in_executor(
+                self._writer, self.apply_updates_sync, updates
+            )
+
+    # ------------------------------------------------------------------ #
+    # queries (each reads exactly one snapshot)
+    # ------------------------------------------------------------------ #
+    def _stamp(
+        self, snapshot: CoreSnapshot, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        payload["generation"] = snapshot.generation
+        payload["graph_version"] = snapshot.graph_version
+        return payload
+
+    def query_health(self) -> Dict[str, object]:
+        snapshot = self.snapshot
+        return self._stamp(
+            snapshot,
+            {
+                "status": "ok",
+                "graph": self.name,
+                "h": snapshot.h,
+                "vertices": snapshot.num_vertices,
+                "edges": snapshot.num_edges,
+                "degeneracy": snapshot.degeneracy,
+            },
+        )
+
+    def query_stats(self) -> Dict[str, object]:
+        snapshot = self.snapshot
+        stats = self.engine.stats
+        return self._stamp(
+            snapshot,
+            {
+                "graph": self.name,
+                "h": snapshot.h,
+                "backend": self.engine.backend,
+                "requests": dict(self.request_counts),
+                "maintenance": {
+                    "updates_applied": stats.updates_applied,
+                    "batches": stats.batches,
+                    "incremental_repeels": stats.incremental_repeels,
+                    "full_recomputes": stats.full_recomputes,
+                    "cores_changed": stats.cores_changed,
+                    "peak_universe_size": stats.peak_universe_size,
+                },
+            },
+        )
+
+    def query_core_number(
+        self, v: Vertex, k: Optional[int] = None, h: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Point lookup: the core index of ``v`` (optionally membership in k)."""
+        snapshot = self.snapshot
+        core = snapshot.cores_for(h).get(v)
+        if core is None:
+            core = snapshot.core_number(v)  # raises VertexNotFoundError
+        payload: Dict[str, object] = {
+            "v": v,
+            "h": snapshot.h if h is None else h,
+            "core": core,
+        }
+        if k is not None:
+            payload["k"] = k
+            payload["in_core"] = core >= k
+        return self._stamp(snapshot, payload)
+
+    def query_cores(self, h: Optional[int] = None) -> Dict[str, object]:
+        """The full core map of one epoch, with its published checksum."""
+        snapshot = self.snapshot
+        payload: Dict[str, object] = {
+            "h": snapshot.h if h is None else h,
+            "cores": [[v, c] for v, c in snapshot.core_items(h)],
+        }
+        if h is None or h == snapshot.h:
+            payload["checksum"] = snapshot.checksum
+        return self._stamp(snapshot, payload)
+
+    def query_core_members(self, k: int, h: Optional[int] = None) -> Dict[str, object]:
+        snapshot = self.snapshot
+        members = snapshot.core_members(k, h)
+        return self._stamp(
+            snapshot,
+            {
+                "k": k,
+                "h": snapshot.h if h is None else h,
+                "size": len(members),
+                "vertices": members,
+            },
+        )
+
+    def query_core_subgraph(self, k: int, h: Optional[int] = None) -> Dict[str, object]:
+        snapshot = self.snapshot
+        vertices, edges = snapshot.core_subgraph(k, h)
+        return self._stamp(
+            snapshot,
+            {
+                "k": k,
+                "h": snapshot.h if h is None else h,
+                "vertices": vertices,
+                "edges": [[u, v] for u, v in edges],
+            },
+        )
+
+    def query_spectrum(self, v: Vertex, h_values: Sequence[int]) -> Dict[str, object]:
+        snapshot = self.snapshot
+        return self._stamp(
+            snapshot,
+            {
+                "v": v,
+                "spectrum": [[h, c] for h, c in snapshot.spectrum(v, h_values)],
+            },
+        )
+
+    def query_top_communities(
+        self, k: Optional[int] = None, limit: int = 5
+    ) -> Dict[str, object]:
+        snapshot = self.snapshot
+        communities = snapshot.top_communities(k=k, limit=limit)
+        return self._stamp(snapshot, {"communities": communities})
+
+    async def run_heavy(self, fn, *args, **kwargs):
+        """Run a heavy snapshot-only query off the event loop.
+
+        Heavy analytics (spectra, community scoring, secondary thresholds)
+        are pure functions of immutable snapshots, so they can run on the
+        reader pool without locks — keeping point lookups on the loop
+        latency-flat while an analytics query grinds.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._readers, lambda: fn(*args, **kwargs))
+
+    def count_request(self, kind: str) -> None:
+        """Tally one served request (event-loop thread only)."""
+        self.request_counts[kind] = self.request_counts.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the writer/reader pools and the engine; idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self._writer.shutdown(wait=True)
+        self._readers.shutdown(wait=True)
+        self.engine.close()
+
+    def __enter__(self) -> "CoreService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        snapshot = self.snapshot
+        return (
+            f"CoreService(graph={self.name!r}, h={snapshot.h}, "
+            f"generation={snapshot.generation}, "
+            f"|V|={snapshot.num_vertices}, |E|={snapshot.num_edges})"
+        )

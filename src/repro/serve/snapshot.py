@@ -1,0 +1,268 @@
+"""Immutable, checksummed epochs of a maintained (k,h)-core decomposition.
+
+A :class:`CoreSnapshot` is what the query service publishes after every
+committed update batch: the core map *and* the graph structure frozen at one
+generation, so every query a reader runs against one snapshot is answered
+from a single consistent epoch — never a blend of pre- and post-update
+state.
+
+Publication is cheap because it rides the existing CSR machinery:
+:class:`~repro.graph.csr.CSRGraph` instances are immutable and
+``CSREngine.refresh`` swaps in a *new* snapshot object (stamped with the
+source graph's version counter) rather than mutating the old one.  When the
+dynamic engine runs a CSR-family backend, publishing a snapshot is two
+reference grabs plus one defensive copy of the core dict; only the dict
+backend pays a structure rebuild.
+
+Snapshots are self-verifying: :func:`core_checksum` digests the core map at
+construction time, and the concurrency tests recompute it from served
+payloads to prove no torn read ever escaped the server.
+"""
+
+from __future__ import annotations
+
+import zlib
+from types import MappingProxyType
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import (
+    InvalidDistanceThresholdError,
+    ParameterError,
+    VertexNotFoundError,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+
+Vertex = Hashable
+
+
+def core_checksum(cores: Mapping[Vertex, int]) -> int:
+    """Order-independent CRC32 digest of a ``vertex -> core`` mapping.
+
+    Computed once at publication and served alongside every full core map,
+    so a client (or a test) can prove the payload it received is the exact
+    epoch the header claims — recomputing the digest over the payload and
+    comparing catches any torn read.
+    """
+    digest = 0
+    for item in sorted((repr(v), k) for v, k in cores.items()):
+        digest = zlib.crc32(repr(item).encode("utf-8"), digest)
+    return digest
+
+
+class CoreSnapshot:
+    """One published epoch: core map + graph structure, frozen together.
+
+    Parameters
+    ----------
+    generation:
+        Monotonic epoch counter assigned by the publishing service.
+    graph_version:
+        ``Graph.version`` of the source graph at publication time.
+    h:
+        Distance threshold the resident engine maintains.
+    cores:
+        ``vertex -> core index`` at this epoch.  Copied once and exposed
+        through a read-only mapping proxy — the snapshot never mutates it
+        and neither can a caller.
+    csr:
+        Immutable CSR structure snapshot of the graph at this epoch.
+
+    All query methods read only frozen state, so they are safe to call from
+    any number of concurrent readers without locking.
+    """
+
+    __slots__ = (
+        "generation",
+        "graph_version",
+        "h",
+        "cores",
+        "csr",
+        "checksum",
+        "_graph",
+        "_cores_by_h",
+    )
+
+    def __init__(
+        self,
+        generation: int,
+        graph_version: int,
+        h: int,
+        cores: Mapping[Vertex, int],
+        csr: CSRGraph,
+    ) -> None:
+        self.generation = generation
+        self.graph_version = graph_version
+        self.h = h
+        self.cores: Mapping[Vertex, int] = MappingProxyType(dict(cores))
+        self.csr = csr
+        self.checksum = core_checksum(self.cores)
+        self._graph: Optional[Graph] = None
+        self._cores_by_h: Dict[int, Mapping[Vertex, int]] = {h: self.cores}
+
+    # ------------------------------------------------------------------ #
+    # scalar summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices at this epoch."""
+        return self.csr.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges at this epoch."""
+        return self.csr.num_edges
+
+    @property
+    def degeneracy(self) -> int:
+        """The h-degeneracy at this epoch (largest non-empty core index)."""
+        return max(self.cores.values(), default=0)
+
+    # ------------------------------------------------------------------ #
+    # point and core-membership queries
+    # ------------------------------------------------------------------ #
+    def core_number(self, v: Vertex) -> int:
+        """Core index of ``v`` at this epoch (``VertexNotFoundError`` if absent)."""
+        cores = self.cores
+        if v not in cores:
+            raise VertexNotFoundError(v)
+        return cores[v]
+
+    def core_items(self, h: Optional[int] = None) -> List[Tuple[Vertex, int]]:
+        """The full core map as ``(vertex, core)`` pairs, deterministically sorted."""
+        cores = self.cores_for(h)
+        return sorted(cores.items(), key=lambda item: repr(item[0]))
+
+    def core_members(self, k: int, h: Optional[int] = None) -> List[Vertex]:
+        """Vertices of the (k,h)-core at this epoch, sorted by ``repr``."""
+        if k < 0:
+            raise ParameterError("the core index k must be >= 0")
+        cores = self.cores_for(h)
+        return sorted((v for v, c in cores.items() if c >= k), key=repr)
+
+    def core_sizes(self, h: Optional[int] = None) -> Dict[int, int]:
+        """``{k: |C_k|}`` for k = 0 .. degeneracy at this epoch."""
+        cores = self.cores_for(h)
+        degeneracy = max(cores.values(), default=0)
+        sizes = {k: 0 for k in range(degeneracy + 1)}
+        for c in cores.values():
+            for k in range(0, c + 1):
+                sizes[k] += 1
+        return sizes
+
+    def core_subgraph(
+        self, k: int, h: Optional[int] = None
+    ) -> Tuple[List[Vertex], List[Tuple[Vertex, Vertex]]]:
+        """The (k,h)-core as ``(vertices, edges)`` in label space.
+
+        Edges are extracted from the frozen CSR arrays (each undirected edge
+        once), so the structure is guaranteed to belong to the same epoch as
+        the membership — the property a live ``Graph`` reference cannot give
+        under concurrent updates.
+        """
+        members = self.core_members(k, h)
+        csr = self.csr
+        indices = [csr.index(v) for v in members]
+        edges = [(csr.labels[i], csr.labels[j]) for i, j in csr.induced_edges(indices)]
+        return members, edges
+
+    # ------------------------------------------------------------------ #
+    # secondary thresholds and heavy analytics
+    # ------------------------------------------------------------------ #
+    def cores_for(self, h: Optional[int] = None) -> Mapping[Vertex, int]:
+        """Core map for an arbitrary threshold ``h``, computed on this epoch.
+
+        ``h is None`` (or the resident threshold) is a reference grab; other
+        thresholds run a from-scratch decomposition *on the frozen
+        structure* — a rare-analytics path, cached per snapshot so repeated
+        queries at the same secondary threshold are free.
+        """
+        if h is None:
+            return self.cores
+        if not isinstance(h, int) or isinstance(h, bool) or h < 1:
+            raise InvalidDistanceThresholdError(h)
+        cached = self._cores_by_h.get(h)
+        if cached is None:
+            from repro.core.decomposition import core_decomposition
+
+            result = core_decomposition(self.graph(), h)
+            cached = MappingProxyType(dict(result.core_index))
+            self._cores_by_h[h] = cached
+        return cached
+
+    def graph(self) -> Graph:
+        """This epoch's structure as a standalone :class:`Graph` (cached).
+
+        The reconstruction is private to the snapshot: mutating the returned
+        graph cannot affect the service's live graph.  Used by the heavy
+        analytics paths (secondary thresholds, spectra, community scoring).
+        """
+        graph = self._graph
+        if graph is None:
+            csr = self.csr
+            graph = Graph(vertices=csr.labels)
+            labels = csr.labels
+            for i, j in csr.edges():
+                graph.add_edge(labels[i], labels[j])
+            self._graph = graph
+        return graph
+
+    def spectrum(self, v: Vertex, h_values: Sequence[int]) -> List[Tuple[int, int]]:
+        """``(h, core_h(v))`` pairs across thresholds, all on this one epoch."""
+        if v not in self.cores:
+            raise VertexNotFoundError(v)
+        return [(h, self.cores_for(h)[v]) for h in sorted(set(h_values))]
+
+    def top_communities(
+        self, k: Optional[int] = None, limit: int = 5
+    ) -> List[Dict[str, object]]:
+        """The largest connected communities inside the (k,h)-core.
+
+        ``k`` defaults to the epoch's degeneracy (the innermost core).
+        Communities are the connected components of the core, ranked by
+        size (ties by smallest member ``repr``), each scored with its
+        average h-degree — the mid-weight community query of the serving
+        mix.
+        """
+        if limit <= 0:
+            raise ParameterError("limit must be positive")
+        if k is None:
+            k = self.degeneracy
+        members = self.core_members(k)
+        csr = self.csr
+        member_indices = {csr.index(v) for v in members}
+        components: List[List[Vertex]] = []
+        unvisited = set(member_indices)
+        while unvisited:
+            start = unvisited.pop()
+            component = [start]
+            stack = [start]
+            while stack:
+                i = stack.pop()
+                for j in csr.neighbors(i):
+                    if j in unvisited:
+                        unvisited.discard(j)
+                        component.append(j)
+                        stack.append(j)
+            components.append(sorted((csr.labels[i] for i in component), key=repr))
+
+        from repro.applications.densest import average_h_degree
+
+        graph = self.graph()
+        ranked = sorted(components, key=lambda c: (-len(c), repr(c[0])))
+        return [
+            {
+                "k": k,
+                "size": len(component),
+                "vertices": component,
+                "avg_h_degree": average_h_degree(graph, set(component), self.h),
+            }
+            for component in ranked[:limit]
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreSnapshot(generation={self.generation}, h={self.h}, "
+            f"|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"checksum={self.checksum:#010x})"
+        )

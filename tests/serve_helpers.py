@@ -1,0 +1,49 @@
+"""Shared plumbing for the query-service tests.
+
+pytest-asyncio is deliberately not a dependency: each test runs one whole
+server-plus-clients scenario under ``asyncio.run`` via
+:func:`run_serve_session`, which also guarantees service teardown (writer
+thread, engine pools) even when the scenario fails.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve import CoreServer, CoreService
+from repro.serve.loadgen import AsyncHTTPClient
+
+
+def wire_vertex(value):
+    """Undo JSON's tuple -> list conversion on a decoded vertex label."""
+    if isinstance(value, list):
+        return tuple(wire_vertex(item) for item in value)
+    return value
+
+
+def wire_cores(payload):
+    """Decode a ``GET /cores`` payload into a ``{vertex: core}`` dict."""
+    return {wire_vertex(v): c for v, c in payload["cores"]}
+
+
+def run_serve_session(service: CoreService, scenario):
+    """Serve ``service`` on an ephemeral port and run ``scenario(server, client)``.
+
+    ``scenario`` is an async callable receiving the started server and one
+    connected client; its return value is passed through.  Everything —
+    client, server, service — is torn down afterwards.
+    """
+
+    async def _main():
+        server = await CoreServer(service, port=0).start()
+        client = await AsyncHTTPClient("127.0.0.1", server.port).connect()
+        try:
+            return await scenario(server, client)
+        finally:
+            await client.close()
+            await server.aclose()
+
+    try:
+        return asyncio.run(_main())
+    finally:
+        service.close()

@@ -232,6 +232,19 @@ class TestQueriesAndStats:
         cores[0] = 99
         assert engine.core_number(0) != 99
 
+    def test_core_numbers_snapshot_survives_later_updates(self):
+        # Regression for the staleness hazard the query service rides on:
+        # _incremental_repeel rewrites the engine's core dict in place, so
+        # the mapping handed to a caller must be a defensive copy -- an
+        # epoch, not a live view that later apply() calls mutate.
+        engine = DynamicKHCore(cycle_graph(8), h=2)
+        before = engine.core_numbers()
+        frozen = dict(before)
+        engine.apply("+", 0, 4)
+        engine.apply("+", 2, 6)
+        assert engine.core_numbers() != frozen  # the updates changed cores
+        assert before == frozen  # ...but the caller's epoch is untouched
+
     def test_decomposition_view(self):
         engine = DynamicKHCore(cycle_graph(6), h=2)
         decomposition = engine.decomposition()

@@ -1,0 +1,520 @@
+"""Endpoint battery + fault injection for the (k,h)-core query service.
+
+Three batteries:
+
+* **Endpoint correctness** — every query type, across all generator
+  families for h in {1, 2, 3}: responses are bit-identical to a
+  from-scratch :func:`repro.core.core_decomposition` (or
+  :func:`repro.core.spectrum.core_spectrum`) on the same graph, before and
+  after streamed updates.
+* **Fault injection** — malformed JSON, unknown vertices, oversized bodies
+  and batches, clients that disconnect mid-update, protocol garbage and
+  engine fallback-to-full-recompute under load all produce clean JSON
+  errors and leave the server serving, with no fd leaks.
+* **Epoch freezing** — published snapshots are immutable: later updates
+  never mutate a snapshot a reader already holds.
+"""
+
+import asyncio
+import json
+import os
+import sys
+
+import pytest
+
+from repro.core import core_decomposition
+from repro.core.spectrum import core_spectrum
+from repro.errors import ParameterError
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.serve import CoreService, OversizedBatchError, core_checksum
+from repro.serve.loadgen import AsyncHTTPClient, percentile
+from repro.serve.snapshot import CoreSnapshot
+
+from serve_helpers import run_serve_session, wire_cores, wire_vertex
+from test_dynamic_properties import FAMILIES
+
+
+# --------------------------------------------------------------------- #
+# endpoint correctness
+# --------------------------------------------------------------------- #
+class TestEndpointBattery:
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    @pytest.mark.parametrize("family", sorted(FAMILIES), ids=sorted(FAMILIES))
+    def test_all_queries_match_from_scratch(self, family, h):
+        graph = FAMILIES[family]()
+        expected = core_decomposition(graph.copy(), h).core_index
+        service = CoreService(graph, h=h)
+
+        async def scenario(server, client):
+            # Full core map: bit-identical, with a verifiable checksum.
+            status, payload = await client.request("GET", "/cores")
+            assert status == 200
+            cores = wire_cores(payload)
+            assert cores == expected
+            assert core_checksum(cores) == payload["checksum"]
+
+            # Point lookups for a sample of vertices (incl. membership).
+            degeneracy = max(expected.values(), default=0)
+            sample = sorted(expected, key=repr)[:3]
+            for v in sample:
+                status, payload = await client.request(
+                    "GET", f"/core_number?v={json.dumps(v)}&k={degeneracy}"
+                )
+                assert status == 200
+                assert payload["core"] == expected[v]
+                assert payload["in_core"] == (expected[v] >= degeneracy)
+
+            # Core membership at the innermost level.
+            status, payload = await client.request(
+                "GET", f"/core?k={degeneracy}"
+            )
+            assert status == 200
+            members = {wire_vertex(v) for v in payload["vertices"]}
+            assert members == {v for v, c in expected.items()
+                              if c >= degeneracy}
+
+            # Subgraph extraction matches the library's core_subgraph.
+            status, payload = await client.request("GET", "/core_subgraph?k=1")
+            assert status == 200
+            got_vertices = {wire_vertex(v) for v in payload["vertices"]}
+            got_edges = {frozenset((wire_vertex(u), wire_vertex(v)))
+                         for u, v in payload["edges"]}
+            core_graph = service.engine.decomposition().core_subgraph(1)
+            assert got_vertices == set(core_graph.vertices())
+            assert got_edges == {frozenset(e) for e in core_graph.edges()}
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    @pytest.mark.parametrize("family", ["erdos_renyi", "caveman", "star"])
+    def test_updates_then_queries_stay_exact(self, family):
+        from repro.dynamic import random_update_stream
+
+        graph = FAMILIES[family]()
+        updates = random_update_stream(graph, 12, new_vertex_p=0.1, seed=5)
+        service = CoreService(graph, h=2)
+
+        async def scenario(server, client):
+            for op, u, v in updates:
+                status, payload = await client.request(
+                    "POST", "/update", {"updates": [[op, u, v]]}
+                )
+                assert status == 200
+                status, payload = await client.request("GET", "/cores")
+                assert status == 200
+                expected = core_decomposition(
+                    service.engine.graph.copy(), 2
+                ).core_index
+                assert wire_cores(payload) == expected
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    def test_secondary_thresholds_and_spectrum(self):
+        graph = gen.relaxed_caveman_graph(3, 5, 0.2, seed=2)
+        frozen = graph.copy()
+        service = CoreService(graph, h=2)
+
+        async def scenario(server, client):
+            for h in (1, 3):
+                status, payload = await client.request("GET", f"/cores?h={h}")
+                assert status == 200
+                expected = core_decomposition(frozen.copy(), h).core_index
+                assert wire_cores(payload) == expected
+
+                v = sorted(frozen.vertices(), key=repr)[0]
+                status, payload = await client.request(
+                    "GET", f"/core_number?v={json.dumps(v)}&h={h}"
+                )
+                assert status == 200
+                assert payload["core"] == expected[v]
+
+            spectrum = core_spectrum(frozen.copy(), [1, 2, 3])
+            v = sorted(frozen.vertices(), key=repr)[1]
+            status, payload = await client.request(
+                "GET", f"/spectrum?v={json.dumps(v)}&hs=1,2,3"
+            )
+            assert status == 200
+            assert [tuple(pair) for pair in payload["spectrum"]] == [
+                (h, spectrum.decompositions[h].core_index[v])
+                for h in (1, 2, 3)
+            ]
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    def test_top_communities_are_core_components(self):
+        from repro.traversal.components import connected_components
+
+        graph = gen.caveman_graph(3, 5)
+        frozen = graph.copy()
+        service = CoreService(graph, h=2)
+
+        async def scenario(server, client):
+            status, payload = await client.request(
+                "GET", "/top_communities?limit=10"
+            )
+            assert status == 200
+            decomposition = core_decomposition(frozen.copy(), 2)
+            k = decomposition.degeneracy
+            expected = sorted(
+                (sorted(component, key=repr)
+                 for component in connected_components(
+                     frozen, alive=decomposition.core(k))),
+                key=lambda c: (-len(c), repr(c[0])),
+            )
+            got = [
+                [wire_vertex(v) for v in community["vertices"]]
+                for community in payload["communities"]
+            ]
+            assert got == expected
+            assert all(c["k"] == k for c in payload["communities"])
+            assert all(c["avg_h_degree"] > 0 for c in payload["communities"])
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    def test_health_and_stats_reflect_served_traffic(self):
+        service = CoreService(gen.cycle_graph(8), h=2, name="ring")
+
+        async def scenario(server, client):
+            status, payload = await client.request("GET", "/healthz")
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["graph"] == "ring"
+            assert payload["vertices"] == 8 and payload["edges"] == 8
+
+            await client.request("GET", "/core_number?v=0")
+            await client.request("POST", "/update", {"updates": [["+", 0, 4]]})
+            status, payload = await client.request("GET", "/stats")
+            assert status == 200
+            assert payload["requests"]["core_number"] == 1
+            assert payload["requests"]["update"] == 1
+            assert payload["maintenance"]["updates_applied"] == 1
+            return True
+
+        assert run_serve_session(service, scenario)
+
+
+# --------------------------------------------------------------------- #
+# fault injection
+# --------------------------------------------------------------------- #
+class TestFaultInjection:
+    def _service(self, **kwargs):
+        return CoreService(gen.relaxed_caveman_graph(3, 4, 0.1, seed=1),
+                           h=2, **kwargs)
+
+    def test_malformed_json_and_bad_ops_are_400(self):
+        service = self._service()
+
+        async def scenario(server, client):
+            status, payload = await client.request("POST", "/update")
+            assert status == 400 and "error" in payload
+
+            # Raw non-JSON body.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            garbage = b"{not json"
+            writer.write(
+                b"POST /update HTTP/1.1\r\nContent-Length: "
+                + str(len(garbage)).encode() + b"\r\n\r\n" + garbage
+            )
+            await writer.drain()
+            line = await reader.readline()
+            assert b"400" in line
+            writer.close()
+            await writer.wait_closed()
+
+            status, payload = await client.request(
+                "POST", "/update", {"updates": [["x", 0, 1]]}
+            )
+            assert status == 400
+            status, payload = await client.request(
+                "POST", "/update", {"updates": [["+", 0]]}
+            )
+            assert status == 400
+            status, payload = await client.request(
+                "POST", "/update", {"wrong": "shape"}
+            )
+            assert status == 400
+
+            # Self-loop insertion is rejected pre-mutation.
+            status, payload = await client.request(
+                "POST", "/update", {"updates": [["+", 0, 0]]}
+            )
+            assert status == 400
+
+            # ... and the server is still serving.
+            status, payload = await client.request("GET", "/healthz")
+            assert status == 200
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    def test_unknown_vertex_paths_and_methods(self):
+        service = self._service()
+
+        async def scenario(server, client):
+            status, payload = await client.request(
+                "GET", "/core_number?v=99999"
+            )
+            assert status == 404 and "99999" in payload["error"]
+            status, payload = await client.request(
+                "GET", "/spectrum?v=99999&hs=1,2"
+            )
+            assert status == 404
+            status, payload = await client.request("GET", "/nope")
+            assert status == 404
+            status, payload = await client.request("POST", "/cores")
+            assert status == 405
+            status, payload = await client.request("GET", "/core_number")
+            assert status == 400  # missing v=
+            status, payload = await client.request("GET", "/core")
+            assert status == 400  # missing k=
+            status, payload = await client.request("GET", "/cores?h=0")
+            assert status == 400
+            status, payload = await client.request(
+                "GET", "/core_number?v=0&h=xyz"
+            )
+            assert status == 400
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    def test_deleting_a_missing_edge_is_a_clean_conflict(self):
+        service = self._service()
+
+        async def scenario(server, client):
+            before = service.snapshot.generation
+            status, payload = await client.request(
+                "POST", "/update", {"updates": [["-", 0, 99999]]}
+            )
+            assert status == 409
+            # The failed batch left no trace: same epoch, still serving.
+            status, payload = await client.request("GET", "/cores")
+            assert status == 200
+            assert payload["generation"] == before
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    def test_oversized_batch_and_body_are_413(self):
+        service = self._service(max_batch=4)
+
+        async def scenario(server, client):
+            server.max_body = 4096
+            updates = [["+", 0, i] for i in range(100, 110)]
+            status, payload = await client.request(
+                "POST", "/update", {"updates": updates}
+            )
+            assert status == 413 and "batch" in payload["error"]
+
+            # An oversized body is refused up front (connection closes).
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(
+                b"POST /update HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"
+            )
+            await writer.drain()
+            line = await reader.readline()
+            assert b"413" in line
+            writer.close()
+            await writer.wait_closed()
+
+            # Both refusals are pre-engine: epoch 1 is still published.
+            status, payload = await client.request("GET", "/healthz")
+            assert status == 200 and payload["generation"] == 1
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    def test_client_disconnect_mid_update_leaves_server_serving(self):
+        service = self._service()
+
+        async def scenario(server, client):
+            before = service.snapshot.generation
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            # Promise a body, send half of it, vanish.
+            writer.write(
+                b"POST /update HTTP/1.1\r\nContent-Length: 500\r\n\r\n"
+                b'{"updates": [["+", '
+            )
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)
+
+            status, payload = await client.request("GET", "/cores")
+            assert status == 200
+            assert payload["generation"] == before
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    def test_protocol_garbage_gets_a_400(self):
+        service = self._service()
+
+        async def scenario(server, client):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"COMPLETE NONSENSE\r\n\r\n")
+            await writer.drain()
+            line = await reader.readline()
+            assert b"400" in line
+            writer.close()
+            await writer.wait_closed()
+
+            status, _ = await client.request("GET", "/healthz")
+            assert status == 200
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    def test_fallback_to_full_recompute_under_load_stays_consistent(self):
+        # fallback_ratio=0 forces every batch down the full-recompute path
+        # (the degraded mode a hub-densifying workload would trigger).
+        service = self._service(fallback_ratio=0.0)
+
+        async def scenario(server, client):
+            for step in range(6):
+                status, payload = await client.request(
+                    "POST", "/update", {"updates": [["+", 0, 50 + step]]}
+                )
+                assert status == 200 and payload["mode"] == "full"
+                status, payload = await client.request("GET", "/cores")
+                assert status == 200
+                expected = core_decomposition(
+                    service.engine.graph.copy(), 2
+                ).core_index
+                assert wire_cores(payload) == expected
+            assert service.engine.stats.full_recomputes >= 6
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    @pytest.mark.skipif(not sys.platform.startswith("linux"),
+                        reason="fd probing reads /proc/self/fd")
+    def test_no_fd_leaks_across_connections_and_shutdown(self):
+        def open_fds():
+            return len(os.listdir("/proc/self/fd"))
+
+        service = self._service()
+        before = open_fds()
+
+        async def scenario(server, client):
+            # Churn connections: each cycle must return its socket.
+            for _ in range(20):
+                extra = await AsyncHTTPClient(
+                    "127.0.0.1", server.port
+                ).connect()
+                status, _ = await extra.request("GET", "/healthz")
+                assert status == 200
+                await extra.close()
+            # Plus an abandoned half-request.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GET /healthz HTTP/1.1\r\n")
+            writer.close()
+            await writer.wait_closed()
+            return True
+
+        assert run_serve_session(service, scenario)
+        # The event loop, server socket and every connection are gone;
+        # allow a little slack for interpreter-internal churn.
+        assert open_fds() <= before + 3
+
+
+# --------------------------------------------------------------------- #
+# epoch freezing
+# --------------------------------------------------------------------- #
+class TestEpochFreezing:
+    def test_published_snapshot_is_immutable(self):
+        service = CoreService(gen.cycle_graph(6), h=2)
+        snapshot = service.snapshot
+        with pytest.raises(TypeError):
+            snapshot.cores[0] = 99  # type: ignore[index]
+        service.close()
+
+    def test_old_epochs_survive_later_updates_unchanged(self):
+        service = CoreService(gen.cycle_graph(8), h=2)
+        old = service.snapshot
+        old_cores = dict(old.cores)
+        old_edges = old.csr.num_edges
+        service.apply_updates_sync([("+", 0, 4), ("-", 0, 1)])
+        new = service.snapshot
+        assert new.generation == old.generation + 1
+        # The old epoch is byte-for-byte what it was at publication.
+        assert dict(old.cores) == old_cores
+        assert old.csr.num_edges == old_edges
+        assert core_checksum(old.cores) == old.checksum
+        # And the new epoch matches a from-scratch run.
+        expected = core_decomposition(service.engine.graph.copy(), 2)
+        assert dict(new.cores) == expected.core_index
+        service.close()
+
+    def test_snapshot_queries_validate_parameters(self):
+        service = CoreService(gen.cycle_graph(6), h=2)
+        snapshot = service.snapshot
+        with pytest.raises(ParameterError):
+            snapshot.core_members(-1)
+        with pytest.raises(ParameterError):
+            snapshot.top_communities(limit=0)
+        service.close()
+
+    def test_oversized_batch_error_is_pre_engine(self):
+        service = CoreService(gen.cycle_graph(6), h=2, max_batch=2)
+        with pytest.raises(OversizedBatchError):
+            service.parse_updates(
+                {"updates": [["+", 0, 2], ["+", 0, 3], ["+", 1, 4]]}
+            )
+        assert service.engine.stats.batches == 0
+        service.close()
+
+
+# --------------------------------------------------------------------- #
+# unit coverage for helpers the batteries lean on
+# --------------------------------------------------------------------- #
+class TestHelpers:
+    def test_core_checksum_is_order_independent(self):
+        a = {0: 2, 1: 3, "x": 1, (0, 1): 2}
+        b = dict(reversed(list(a.items())))
+        assert core_checksum(a) == core_checksum(b)
+        assert core_checksum(a) != core_checksum({**a, 0: 3})
+
+    def test_percentile_interpolates(self):
+        assert percentile([], 99) == 0.0
+        assert percentile([5.0], 50) == 5.0
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+
+    def test_snapshot_repr_and_sizes(self):
+        service = CoreService(gen.cycle_graph(5), h=1)
+        snapshot = service.snapshot
+        assert isinstance(snapshot, CoreSnapshot)
+        assert "generation=1" in repr(snapshot)
+        assert snapshot.core_sizes() == {0: 5, 1: 5, 2: 5}
+        service.close()
+
+    def test_csr_induced_edges(self):
+        from repro.graph.csr import CSRGraph
+
+        csr = CSRGraph.from_graph(
+            Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        )
+        indices = [csr.index(v) for v in (0, 1, 2)]
+        edges = {
+            frozenset((csr.labels[i], csr.labels[j]))
+            for i, j in csr.induced_edges(indices)
+        }
+        assert edges == {frozenset((0, 1)), frozenset((1, 2)),
+                         frozenset((0, 2))}
+        assert csr.induced_edges([]) == []

@@ -1,0 +1,299 @@
+"""Concurrency correctness for the (k,h)-core query service.
+
+The property under test is **snapshot isolation**: with many concurrent
+readers interleaved with a streamed update workload, every served core map
+is a *whole epoch* — never a blend of pre- and post-update state.  Torn
+reads are detected by recomputing the order-independent checksum the
+service published with each epoch and comparing it against the payload.
+
+Also covered: reads never block behind a slow re-peel, concurrent writers
+serialize into a linear epoch history, and a hypothesis sweep proves the
+publication discipline exact across batch sizes and engine backends.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import core_decomposition
+from repro.core.backends import numpy_available
+from repro.graph import generators as gen
+from repro.serve import CoreService, core_checksum
+from repro.serve.loadgen import AsyncHTTPClient
+
+from serve_helpers import run_serve_session, wire_cores
+from test_dynamic_properties import FAMILIES
+
+
+BACKENDS = ("dict", "csr") + (("numpy",) if numpy_available() else ())
+
+
+def _stream(graph, length, seed):
+    from repro.dynamic import random_update_stream
+
+    return random_update_stream(
+        graph, length, new_vertex_p=0.05, seed=seed
+    )
+
+
+def _batched(stream, batch_size):
+    return [
+        stream[i:i + batch_size] for i in range(0, len(stream), batch_size)
+    ]
+
+
+class TestSnapshotIsolation:
+    READERS = 8
+    STREAM_LENGTH = 1000
+    BATCH_SIZE = 4
+
+    def test_eight_readers_against_a_1k_update_stream(self):
+        """Zero torn reads under 8 readers + a 1000-update stream."""
+        graph = gen.relaxed_caveman_graph(4, 6, 0.2, seed=11)
+        stream = _stream(graph, self.STREAM_LENGTH, seed=17)
+        batches = _batched(
+            [(u.op, u.u, u.v) for u in stream], self.BATCH_SIZE
+        )
+        service = CoreService(graph, h=2)
+
+        async def writer(server):
+            client = await AsyncHTTPClient("127.0.0.1", server.port).connect()
+            try:
+                for batch in batches:
+                    status, payload = await client.request(
+                        "POST",
+                        "/update",
+                        {"updates": [[op, u, v] for op, u, v in batch]},
+                    )
+                    assert status == 200, payload
+            finally:
+                await client.close()
+
+        async def reader(server, done, observations):
+            client = await AsyncHTTPClient("127.0.0.1", server.port).connect()
+            try:
+                while not done.is_set():
+                    status, payload = await client.request("GET", "/cores")
+                    assert status == 200
+                    observations.append(
+                        (
+                            payload["generation"],
+                            payload["checksum"],
+                            wire_cores(payload),
+                        )
+                    )
+                    # Yield so the writer's batches interleave densely.
+                    await asyncio.sleep(0)
+            finally:
+                await client.close()
+
+        async def scenario(server, client):
+            done = asyncio.Event()
+            per_reader = [[] for _ in range(self.READERS)]
+            readers = [
+                asyncio.ensure_future(reader(server, done, observations))
+                for observations in per_reader
+            ]
+            try:
+                await writer(server)
+            finally:
+                done.set()
+                await asyncio.gather(*readers)
+            return per_reader
+
+        per_reader = run_serve_session(service, scenario)
+
+        total = 0
+        by_generation = {}
+        for observations in per_reader:
+            assert observations, "every reader must have served requests"
+            generations = [generation for generation, _, _ in observations]
+            # Epochs are monotonic from any single reader's point of view.
+            assert generations == sorted(generations)
+            for generation, checksum, cores in observations:
+                total += 1
+                # The torn-read detector: the payload must hash to the
+                # checksum published with its own epoch.
+                assert core_checksum(cores) == checksum, (
+                    f"torn read at generation {generation}"
+                )
+                # And one generation is one core map, across all readers.
+                assert by_generation.setdefault(generation, checksum) == (
+                    checksum
+                )
+        assert total >= self.READERS  # every reader really polled
+
+        # Readers collectively crossed many epochs (the interleave was real:
+        # with 250 committed batches a serial schedule would see only 1-2).
+        assert len(by_generation) > 10
+
+        # After the stream drains, the served state is exactly a
+        # from-scratch decomposition of the final graph.
+        final = max(by_generation)
+        expected = core_decomposition(service.engine.graph.copy(), 2)
+        assert by_generation[final] == core_checksum(expected.core_index)
+        assert service.engine.stats.updates_applied == self.STREAM_LENGTH
+
+    def test_reads_complete_while_an_update_is_in_flight(self):
+        """A slow re-peel delays the next epoch, never an in-flight read."""
+        graph = gen.relaxed_caveman_graph(3, 5, 0.2, seed=3)
+        service = CoreService(graph, h=2)
+        engine = service.engine
+        entered = threading.Event()
+        release = threading.Event()
+        original = engine.apply_batch
+
+        def slow_apply_batch(updates):
+            entered.set()
+            assert release.wait(timeout=10.0), "reader never released us"
+            return original(updates)
+
+        engine.apply_batch = slow_apply_batch  # type: ignore[method-assign]
+
+        async def scenario(server, client):
+            before = service.snapshot.generation
+            writer_client = await AsyncHTTPClient(
+                "127.0.0.1", server.port
+            ).connect()
+            update = asyncio.ensure_future(
+                writer_client.request(
+                    "POST", "/update", {"updates": [["+", 0, 7]]}
+                )
+            )
+            try:
+                # Wait until the writer thread is provably mid-batch.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, entered.wait, 10.0
+                )
+                assert entered.is_set()
+
+                # Reads still flow, and serve the *previous* epoch.
+                started = time.perf_counter()
+                for _ in range(5):
+                    status, payload = await client.request("GET", "/cores")
+                    assert status == 200
+                    assert payload["generation"] == before
+                elapsed = time.perf_counter() - started
+                assert elapsed < 5.0  # nowhere near the writer's stall
+            finally:
+                release.set()
+                status, payload = await update
+                await writer_client.close()
+            assert status == 200
+            assert payload["generation"] == before + 1
+
+            status, payload = await client.request("GET", "/cores")
+            assert status == 200
+            assert payload["generation"] == before + 1
+            return True
+
+        assert run_serve_session(service, scenario)
+
+    def test_concurrent_writers_serialize_into_a_linear_history(self):
+        """N clients posting at once: every batch lands, epochs are linear."""
+        writers, batches_each = 6, 5
+        service = CoreService(gen.cycle_graph(30), h=2)
+
+        async def one_writer(server, index, results):
+            client = await AsyncHTTPClient("127.0.0.1", server.port).connect()
+            try:
+                base = 100 + index * batches_each
+                for step in range(batches_each):
+                    status, payload = await client.request(
+                        "POST",
+                        "/update",
+                        {"updates": [["+", index, base + step]]},
+                    )
+                    assert status == 200, payload
+                    results.append(payload["generation"])
+            finally:
+                await client.close()
+
+        async def scenario(server, client):
+            results = []
+            await asyncio.gather(
+                *(
+                    one_writer(server, index, results)
+                    for index in range(writers)
+                )
+            )
+            return results
+
+        generations = run_serve_session(service, scenario)
+        # One epoch per committed batch, no duplicates, no gaps: the initial
+        # snapshot is generation 1, then one bump per batch.
+        assert sorted(generations) == list(
+            range(2, 2 + writers * batches_each)
+        )
+        assert service.engine.stats.batches == writers * batches_each
+        expected = core_decomposition(service.engine.graph.copy(), 2)
+        assert dict(service.snapshot.cores) == expected.core_index
+
+
+class TestPublicationSweep:
+    """Hypothesis sweep: exactness of publish-after-batch, sans HTTP."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        family=st.sampled_from(sorted(FAMILIES)),
+        batch_size=st.sampled_from([1, 3, 7, 16]),
+        backend=st.sampled_from(BACKENDS),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_every_epoch_is_exact(self, family, batch_size, backend, seed):
+        graph = FAMILIES[family]()
+        stream = _stream(graph, 24, seed=seed)
+        service = CoreService(graph, h=2, backend=backend)
+        try:
+            snapshots = [service.snapshot]
+            for batch in _batched(
+                [(u.op, u.u, u.v) for u in stream], batch_size
+            ):
+                summary = service.apply_updates_sync(batch)
+                snapshot = service.snapshot
+                assert summary["generation"] == snapshot.generation
+                snapshots.append(snapshot)
+                # The epoch the writer just published is exact.
+                expected = core_decomposition(service.engine.graph.copy(), 2)
+                assert dict(snapshot.cores) == expected.core_index
+                assert snapshot.checksum == core_checksum(
+                    expected.core_index
+                )
+                assert snapshot.graph_version == service.engine.graph.version
+            # Epoch history is strictly monotonic and fully frozen: no
+            # snapshot was retroactively mutated by later batches.
+            for earlier, later in zip(snapshots, snapshots[1:]):
+                assert later.generation == earlier.generation + 1
+            for snapshot in snapshots:
+                assert core_checksum(snapshot.cores) == snapshot.checksum
+        finally:
+            service.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_http_roundtrip_on_each_backend(backend):
+    """One end-to-end update/read cycle per backend behind the HTTP layer."""
+    service = CoreService(
+        gen.relaxed_caveman_graph(3, 4, 0.2, seed=9), h=2, backend=backend
+    )
+
+    async def scenario(server, client):
+        status, payload = await client.request(
+            "POST", "/update", {"updates": [["+", 0, 10], ["-", 0, 1]]}
+        )
+        assert status == 200
+        status, payload = await client.request("GET", "/cores")
+        assert status == 200
+        expected = core_decomposition(service.engine.graph.copy(), 2)
+        assert wire_cores(payload) == expected.core_index
+        return True
+
+    assert run_serve_session(service, scenario)
