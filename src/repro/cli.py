@@ -10,6 +10,10 @@ Usage::
     python -m repro stream updates.txt --h 2          # replay an edge stream
     python -m repro stream updates.txt --graph input.edges --batch-size 32
     python -m repro serve input.edges --h 2 --port 8742   # online queries
+    python -m repro index build input.edges --db g.khidx  # persistent index
+    python -m repro index query g.khidx spectrum --v 3
+    python -m repro index refresh g.khidx updates.txt
+    python -m repro datasets export jazz jazz.edges       # stable fixtures
 
 The input format is a plain edge list (one ``u v`` pair per line, ``#``/``%``
 comments allowed — the SNAP convention).  The output is one ``vertex core``
@@ -25,15 +29,24 @@ The ``serve`` subcommand (``python -m repro serve input.edges --h 2
 core-number / core-subgraph / spectrum / top-community queries over
 HTTP/JSON while ``POST /update`` batches stream in — see
 :mod:`repro.serve`.
+
+The ``index`` subcommand family manages the persistent core-spectrum
+index (:mod:`repro.index`): ``index build`` precomputes cores for an
+h-range into an SQLite store, ``index query`` answers lookups straight
+from it (JSON on stdout), ``index refresh`` applies an update stream
+incrementally, and ``index stats`` reports store metadata.  The
+``datasets`` subcommands list the registry and export byte-stable
+edge-list fixtures.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import sys
 import time
-from typing import Optional, Sequence
+from typing import Hashable, Optional, Sequence
 
 from repro.core import core_decomposition_with_report
 from repro.core.backends import resolved_backend_name
@@ -140,6 +153,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-batch", type=int, default=None,
                         help="maximum updates accepted per POST /update "
                              "batch (default: 1024)")
+    parser.add_argument("--index", dest="index_path", default=None,
+                        help="attach a persistent core index (built with "
+                             "'index build' from the same graph); spectrum "
+                             "and off-h point queries are served from it "
+                             "while the graph is unmodified")
     parser.add_argument("--workers", type=int, default=None,
                         help="workers for full-recompute bulk passes")
     parser.add_argument("--executor", default="thread",
@@ -201,17 +219,21 @@ def _emit_core_lines(core_index, output: Optional[str]) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` (and the ``kh-core`` script).
 
-    The ``stream`` and ``serve`` subcommands are dispatched on the first
-    token rather than through argparse subparsers, because the default
-    command's optional positional input would otherwise be ambiguous.
-    Consequence: an edge-list file literally named ``stream`` or ``serve``
-    must be passed as ``./stream`` / ``./serve``.
+    The ``stream``, ``serve``, ``index`` and ``datasets`` subcommands are
+    dispatched on the first token rather than through argparse subparsers,
+    because the default command's optional positional input would otherwise
+    be ambiguous.  Consequence: an edge-list file literally named after a
+    subcommand must be passed with a path prefix (``./stream``).
     """
     argv = list(argv) if argv is not None else sys.argv[1:]
     if argv and argv[0] == "stream":
         return stream_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "index":
+        return index_main(argv[1:])
+    if argv and argv[0] == "datasets":
+        return datasets_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -322,6 +344,8 @@ def serve_main(argv: Sequence[str]) -> int:
         service_kwargs = {}
         if args.max_batch is not None:
             service_kwargs["max_batch"] = args.max_batch
+        if args.index_path is not None:
+            service_kwargs["index_path"] = args.index_path
         service = CoreService(graph, h=args.h, backend=backend,
                               relabel=args.relabel,
                               fallback_ratio=args.fallback_ratio,
@@ -354,6 +378,250 @@ def serve_main(argv: Sequence[str]) -> int:
     finally:
         service.close()
     return 0
+
+
+def build_index_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``index`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro index",
+        description="Manage a persistent (k,h)-core spectrum index: "
+                    "precompute cores for an h-range into an SQLite store, "
+                    "query it without recomputation, and keep it fresh "
+                    "under edge updates.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser(
+        "build", help="precompute the core spectrum of a graph into a store")
+    build.add_argument("input", nargs="?",
+                       help="edge-list file with the graph to index")
+    build.add_argument("--demo", action="store_true",
+                       help="index a built-in demo graph instead of a file")
+    build.add_argument("--db", dest="db", default=None,
+                       help="index file to create "
+                            "(default: <input>.khidx)")
+    build.add_argument("--h-values", default="1,2,3",
+                       help="comma-separated distance thresholds to "
+                            "persist (default: 1,2,3)")
+    build.add_argument("--force", action="store_true",
+                       help="overwrite an existing index file")
+    build.add_argument("--source", default=None,
+                       help="free-form provenance string stored in the "
+                            "index metadata (default: the input path)")
+
+    query = commands.add_parser(
+        "query", help="answer a core query from the index (JSON on stdout)")
+    query.add_argument("db", help="index file built with 'index build'")
+    query.add_argument("what",
+                       choices=("core-number", "spectrum", "threshold",
+                                "core", "shell", "sizes", "order", "diff"),
+                       help="query kind: core-number (--v --h), "
+                            "spectrum (--v), threshold (--v --k), "
+                            "core/shell (--k --h), sizes/order (--h), "
+                            "diff (--from --to [--h])")
+    query.add_argument("--v", dest="vertex", default=None,
+                       help="vertex label (parsed as int when possible)")
+    query.add_argument("--k", dest="k", type=int, default=None,
+                       help="core index k")
+    query.add_argument("--h", dest="h", type=int, default=None,
+                       help="distance threshold h")
+    query.add_argument("--from", dest="epoch_a", type=int, default=None,
+                       help="diff window start epoch (exclusive)")
+    query.add_argument("--to", dest="epoch_b", type=int, default=None,
+                       help="diff window end epoch (inclusive; default: "
+                            "the current epoch)")
+
+    refresh = commands.add_parser(
+        "refresh", help="apply an edge-update stream to the index "
+                        "incrementally")
+    refresh.add_argument("db", help="index file built with 'index build'")
+    refresh.add_argument("updates",
+                         help="update-stream file ('+ u v' / '- u v' per "
+                              "line)")
+    refresh.add_argument("--batch-size", type=int, default=64,
+                         help="refresh in batches of this many updates "
+                              "(default: 64)")
+    refresh.add_argument("--staleness-ratio", type=float, default=None,
+                         help="dirty-row fraction of the store above which "
+                              "a batch triggers a full rebuild "
+                              "(default: 0.5)")
+    refresh.add_argument("--backend", default="auto",
+                         choices=("auto", "dict", "csr", "numpy"),
+                         help="graph backend for the maintenance engines")
+    refresh.add_argument("--fallback-ratio", type=float, default=None,
+                         help="per-engine dirty-region fraction above which "
+                              "a batch falls back to full recomputation")
+    refresh.add_argument("--verbose", action="store_true",
+                         help="print one line per refreshed batch")
+
+    stats = commands.add_parser(
+        "stats", help="print index metadata and row counts as JSON")
+    stats.add_argument("db", help="index file built with 'index build'")
+    stats.add_argument("--verify", action="store_true",
+                       help="also run the deep row-scan checksum "
+                            "verification")
+    return parser
+
+
+def build_datasets_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``datasets`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro datasets",
+        description="List the synthetic stand-in datasets and export them "
+                    "as deterministic edge-list files.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="print the registered dataset names")
+
+    export = commands.add_parser(
+        "export", help="write a dataset as a byte-stable sorted edge list")
+    export.add_argument("name", help="dataset name (see 'datasets list')")
+    export.add_argument("output", help="edge-list file to write")
+    export.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"),
+                        help="dataset scale (default: small)")
+    export.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default: 0)")
+    return parser
+
+
+def _parse_cli_vertex(text: str) -> Hashable:
+    """Vertex labels on the command line: int when possible, else str.
+
+    Mirrors :func:`repro.graph.io.read_edge_list`, so labels given with
+    ``--v`` match labels read from an edge-list file.
+    """
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _print_json(payload: object) -> int:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=repr))
+    return 0
+
+
+def index_main(argv: Sequence[str]) -> int:
+    """Entry point for ``python -m repro index``."""
+    # Deferred import: sqlite plumbing the batch commands never need.
+    from repro.index import CoreIndexReader, build_index, refresh_index
+
+    parser = build_index_parser()
+    args = parser.parse_args(list(argv))
+    try:
+        if args.command == "build":
+            graph = _load_graph(args)
+            db = args.db or ((args.input or "demo") + ".khidx")
+            try:
+                h_values = tuple(int(tok) for tok in
+                                 args.h_values.split(",") if tok.strip())
+            except ValueError:
+                raise ReproError(
+                    f"--h-values must be comma-separated integers, got "
+                    f"{args.h_values!r}")
+            report = build_index(
+                graph, db, h_values=h_values,
+                source=args.source or args.input or "demo",
+                overwrite=args.force)
+            return _print_json(report.as_dict())
+
+        if args.command == "query":
+            with CoreIndexReader(args.db) as reader:
+                return _print_json(_run_index_query(reader, args))
+
+        if args.command == "refresh":
+            updates = read_update_stream(args.updates)
+            refresh_kwargs = {}
+            if args.staleness_ratio is not None:
+                refresh_kwargs["staleness_ratio"] = args.staleness_ratio
+            summaries = refresh_index(
+                args.db, updates, batch_size=args.batch_size,
+                backend=args.backend,
+                fallback_ratio=args.fallback_ratio, **refresh_kwargs)
+            if args.verbose:
+                for i, summary in enumerate(summaries):
+                    print(f"# batch {i}: mode={summary.mode} "
+                          f"epoch={summary.epoch} "
+                          f"applied={summary.applied} "
+                          f"dirty_rows={summary.dirty_rows}",
+                          file=sys.stderr)
+            return _print_json([s.as_dict() for s in summaries])
+
+        # args.command == "stats"
+        with CoreIndexReader(args.db, verify=args.verify) as reader:
+            return _print_json(reader.stats())
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_index_query(reader, args: argparse.Namespace) -> object:
+    """Dispatch one ``index query`` invocation to the reader method."""
+    def need(name: str, value) -> object:
+        if value is None:
+            raise ReproError(
+                f"'index query {args.what}' requires --{name}")
+        return value
+
+    if args.what == "core-number":
+        vertex = _parse_cli_vertex(need("v", args.vertex))
+        return {"vertex": args.vertex, "h": args.h,
+                "core": reader.core_number(vertex, need("h", args.h))}
+    if args.what == "spectrum":
+        vertex = _parse_cli_vertex(need("v", args.vertex))
+        return {"vertex": args.vertex,
+                "spectrum": dict(reader.spectrum(vertex))}
+    if args.what == "threshold":
+        vertex = _parse_cli_vertex(need("v", args.vertex))
+        return {"vertex": args.vertex, "k": args.k,
+                "min_h": reader.membership_threshold(vertex,
+                                                     need("k", args.k))}
+    if args.what == "core":
+        members = reader.core_members(need("k", args.k), need("h", args.h))
+        return {"k": args.k, "h": args.h, "size": len(members),
+                "members": members}
+    if args.what == "shell":
+        members = reader.shell(need("k", args.k), need("h", args.h))
+        return {"k": args.k, "h": args.h, "size": len(members),
+                "members": members}
+    if args.what == "sizes":
+        return {"h": args.h, "sizes": reader.core_sizes(need("h", args.h)),
+                "degeneracy": reader.degeneracy(args.h)}
+    if args.what == "order":
+        return {"h": args.h,
+                "order": reader.removal_order(need("h", args.h))}
+    # args.what == "diff"
+    epoch_b = args.epoch_b if args.epoch_b is not None else reader.current_epoch
+    changes = reader.diff(need("from", args.epoch_a), epoch_b, h=args.h)
+    return {"from": args.epoch_a, "to": epoch_b, "h": args.h,
+            "changes": {repr(v): {"old": old, "new": new}
+                        for v, (old, new) in sorted(changes.items(),
+                                                    key=lambda kv: repr(kv[0]))}}
+
+
+def datasets_main(argv: Sequence[str]) -> int:
+    """Entry point for ``python -m repro datasets``."""
+    from repro.datasets import available_datasets, dataset_spec, export_edge_list
+
+    parser = build_datasets_parser()
+    args = parser.parse_args(list(argv))
+    try:
+        if args.command == "list":
+            for name in available_datasets():
+                spec = dataset_spec(name)
+                print(f"{name:6s} {spec.family:14s} {spec.description}")
+            return 0
+        # args.command == "export"
+        graph = export_edge_list(args.name, args.output, scale=args.scale,
+                                 seed=args.seed)
+        print(f"# wrote {args.output}: {graph.num_vertices} vertices, "
+              f"{graph.num_edges} edges", file=sys.stderr)
+        return 0
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

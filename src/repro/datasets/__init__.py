@@ -16,6 +16,7 @@ from repro.datasets.registry import (
     load_dataset,
     load_many,
     dataset_spec,
+    export_edge_list,
     paper_characteristics,
 )
 
@@ -26,5 +27,6 @@ __all__ = [
     "load_dataset",
     "load_many",
     "dataset_spec",
+    "export_edge_list",
     "paper_characteristics",
 ]

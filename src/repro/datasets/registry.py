@@ -13,8 +13,9 @@ the size appropriate for their time budget:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import IO, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import DatasetNotFoundError, ParameterError
 from repro.graph.graph import Graph
@@ -168,6 +169,44 @@ def load_many(names: Optional[Iterable[str]] = None, scale: str = "small",
     """Build several datasets at once, returned as ``{name: graph}``."""
     chosen = list(names) if names is not None else list(DATASET_NAMES)
     return {name: load_dataset(name, scale=scale, seed=seed) for name in chosen}
+
+
+def export_edge_list(name: str, target: Union[str, os.PathLike, IO[str]],
+                     scale: str = "small", seed: int = 0) -> Graph:
+    """Write dataset ``name`` as a deterministic, byte-stable edge list.
+
+    The generators are already seed-deterministic; on top of that the
+    export normalizes each edge's endpoint order and sorts all lines, so
+    the same ``(name, scale, seed)`` triple produces byte-identical files
+    on every run and platform — the property index builds and the
+    benchmark harness rely on for stable on-disk fixtures.  Isolated
+    vertices are written as bare-id lines (the
+    :func:`repro.graph.io.read_edge_list` round-trip convention).  Returns
+    the generated graph so callers can index or decompose it without
+    re-reading the file.
+    """
+    graph = load_dataset(name, scale=scale, seed=seed)
+    lines = []
+    for u, v in graph.edges():
+        a, b = sorted((u, v), key=lambda x: (repr(type(x)), repr(x)))
+        lines.append(f"{a} {b}")
+    for v in graph.vertices():
+        if graph.degree(v) == 0:
+            lines.append(f"{v}")
+    lines.sort()
+    header = (f"# dataset {name} scale={scale} seed={seed}: "
+              f"{graph.num_vertices} vertices, {graph.num_edges} edges\n")
+    if hasattr(target, "write"):
+        handle, should_close = target, False
+    else:
+        handle, should_close = open(target, "w", encoding="utf-8"), True
+    try:
+        handle.write(header)
+        handle.write("\n".join(lines) + "\n" if lines else "")
+    finally:
+        if should_close:
+            handle.close()
+    return graph
 
 
 def paper_characteristics() -> List[Dict[str, object]]:

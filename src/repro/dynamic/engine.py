@@ -109,6 +109,13 @@ class DynamicKHCore:
         ``num_workers``).
     counters:
         Optional shared instrumentation sink for all traversal work.
+    initial_cores:
+        Optional warm start: the exact ``vertex -> core index`` mapping of
+        ``graph`` for this ``h``, adopted verbatim instead of running the
+        initial decomposition.  The caller vouches for exactness (the
+        persistent index refresher passes its checksum-validated stored
+        layers); a wrong mapping silently corrupts every later answer.  The
+        mapping must cover exactly the graph's vertex set.
 
     Example
     -------
@@ -131,7 +138,8 @@ class DynamicKHCore:
                  counters: Optional[Counters] = None,
                  executor: str = "thread",
                  num_workers: Optional[int] = None,
-                 relabel: Optional[str] = None) -> None:
+                 relabel: Optional[str] = None,
+                 initial_cores: Optional[Dict[Vertex, int]] = None) -> None:
         if not isinstance(h, int) or isinstance(h, bool) or h < 1:
             raise InvalidDistanceThresholdError(h)
         # Backend names are validated by resolved_backend_name below.
@@ -169,7 +177,14 @@ class DynamicKHCore:
         self.num_workers = self._context.num_workers
         self._core: Dict[Vertex, int] = {}
         self._synced_version: int = -1
-        self._full_recompute(initial=True)
+        if initial_cores is not None:
+            if set(initial_cores) != set(self.graph.vertices()):
+                raise ParameterError(
+                    "initial_cores must cover exactly the graph's vertex set")
+            self._core = dict(initial_cores)
+            self._synced_version = self.graph.version
+        else:
+            self._full_recompute(initial=True)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -359,11 +374,13 @@ class DynamicKHCore:
         self.stats.peak_universe_size = max(self.stats.peak_universe_size,
                                             universe_size)
         self.stats.vertices_repeeled += region_size
-        self.stats.cores_changed += changed
+        self.stats.cores_changed += len(changed)
         return UpdateSummary(mode=MODE_INCREMENTAL, applied=applied,
                              skipped=skipped, region_size=region_size,
                              universe_size=universe_size,
-                             expansions=expansions, cores_changed=changed)
+                             expansions=expansions,
+                             cores_changed=len(changed),
+                             changed_vertices=frozenset(changed))
 
     def _rise_closure(self, engine: Engine, region: Set[object],
                       limit: int,
@@ -431,12 +448,13 @@ class DynamicKHCore:
 
     def _incremental_repeel(self, seeds: Set[Vertex], touched: Set[Vertex],
                             limit: int, had_insertions: bool
-                            ) -> Optional[Tuple[int, int, int, int]]:
+                            ) -> Optional[Tuple[int, int, int, Set[Vertex]]]:
         """Run the seed → (rise-close) → re-peel → expand fixed point.
 
-        Returns ``(region, universe, expansions, changed)`` sizes on
-        success, or ``None`` when the region outgrew ``limit`` (caller falls
-        back to full recomputation).
+        Returns ``(region_size, universe_size, expansions, changed_labels)``
+        on success — ``changed_labels`` being the exact set of vertices
+        whose core index changed — or ``None`` when the region outgrew
+        ``limit`` (caller falls back to full recomputation).
         """
         engine = self._refreshed_engine(touched)
         h = self.h
@@ -488,9 +506,10 @@ class DynamicKHCore:
                     if x not in region:
                         grow.add(x)
             if not grow:
+                changed_labels = {engine.label(w) for w in changed}
                 for w in region:
                     old_core[engine.label(w)] = new_core[w]
-                return len(region), universe, expansions, len(changed)
+                return len(region), universe, expansions, changed_labels
             if expansions >= self.max_expansions:
                 return None
             expansions += 1
@@ -540,14 +559,21 @@ class DynamicKHCore:
         previous = self._core
         self._core = dict(result.core_index)
         self._synced_version = self.graph.version
-        changed = sum(1 for v, k in self._core.items()
-                      if previous.get(v) != k) if not initial else 0
+        if initial:
+            changed: frozenset = frozenset()
+        else:
+            # Vertices whose core moved, vertices created by the batch, and
+            # vertices that vanished (external remove_vertex) all count.
+            changed = frozenset(
+                {v for v, k in self._core.items() if previous.get(v) != k}
+                | {v for v in previous if v not in self._core})
         if not initial:
             self.stats.full_recomputes += 1
-            self.stats.cores_changed += changed
+            self.stats.cores_changed += len(changed)
         return UpdateSummary(mode=MODE_FULL, applied=applied,
-                             skipped=skipped, cores_changed=changed,
-                             reason=reason or "full recomputation")
+                             skipped=skipped, cores_changed=len(changed),
+                             reason=reason or "full recomputation",
+                             changed_vertices=changed)
 
     def __repr__(self) -> str:
         return (f"DynamicKHCore(h={self.h}, backend={self.backend!r}, "

@@ -11,8 +11,8 @@ library.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable
 
 #: ``UpdateSummary.mode`` values.
 MODE_INCREMENTAL = "incremental"
@@ -94,6 +94,12 @@ class UpdateSummary:
     ``mode`` is :data:`MODE_INCREMENTAL`, :data:`MODE_FULL` or
     :data:`MODE_NOOP`; the size fields are zero unless the incremental path
     ran.
+
+    ``changed_vertices`` is the *exact* set of vertices whose core index
+    differs from before the batch (vertices created by the batch count as
+    changed; ``cores_changed == len(changed_vertices)``).  This is the
+    dirty-region output the persistent core index rides: an incremental
+    refresh rewrites only these rows.
     """
 
     mode: str
@@ -104,3 +110,4 @@ class UpdateSummary:
     expansions: int = 0
     cores_changed: int = 0
     reason: str = ""
+    changed_vertices: FrozenSet[Hashable] = field(default_factory=frozenset)

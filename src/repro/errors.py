@@ -59,6 +59,33 @@ class DatasetNotFoundError(ReproError, KeyError):
         self.available = available
 
 
+class CoreIndexError(ReproError):
+    """Problem with a persistent core-index store (see :mod:`repro.index`)."""
+
+
+class IndexCorruptionError(CoreIndexError):
+    """A core-index database is unreadable, incomplete or fails checksums.
+
+    Raised instead of ever returning answers from a store that cannot be
+    proven to describe a consistent epoch (truncated file, interrupted
+    build, checksum mismatch, schema from a different library version).
+    """
+
+
+class IndexMismatchError(CoreIndexError):
+    """A core index describes a different graph than the one supplied."""
+
+
+class StaleIndexError(CoreIndexError):
+    """The requested index artifact is stale at the current epoch.
+
+    Incremental refreshes keep the core tables exact but invalidate the
+    persisted removal orders (a re-peel of a dirty region does not produce
+    a global peeling order); asking for an order afterwards raises this
+    instead of returning an order from an older epoch.
+    """
+
+
 class SolverTimeoutError(ReproError):
     """An exact solver exceeded its configured time budget."""
 

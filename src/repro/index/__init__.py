@@ -1,0 +1,52 @@
+"""Persistent (k,h)-core spectrum index (the "XPath accelerator" move).
+
+This package turns repeated core queries from recomputes into index reads:
+:func:`build_index` precomputes the full core spectrum (every vertex's
+core index for a range of distance thresholds, plus removal orders and the
+graph structure) into an SQLite columnar store;
+:class:`CoreIndexReader` answers point lookups, membership thresholds,
+shell drill-downs and snapshot diffs as pure table reads; and
+:class:`IndexRefresher` keeps the store exact under edge updates by riding
+the dynamic engine's dirty-region output, rewriting only touched rows.
+
+Quickstart
+----------
+>>> from repro.graph.generators import relaxed_caveman_graph
+>>> from repro.index import build_index, CoreIndexReader
+>>> graph = relaxed_caveman_graph(4, 6, 0.1, seed=1)
+>>> report = build_index(graph, "/tmp/demo.khidx", h_values=(1, 2),
+...                      overwrite=True)
+>>> with CoreIndexReader("/tmp/demo.khidx") as reader:
+...     _ = reader.core_number(0, h=2)
+...     _ = reader.membership_threshold(0, k=5)
+"""
+
+from repro.index.build import DEFAULT_H_VALUES, BuildReport, build_index
+from repro.index.query import CoreIndexReader
+from repro.index.refresh import (
+    DEFAULT_STALENESS_RATIO,
+    IndexRefresher,
+    RefreshSummary,
+    refresh_index,
+)
+from repro.index.store import (
+    CoreIndexStore,
+    SCHEMA_VERSION,
+    graph_checksum,
+    layer_checksum,
+)
+
+__all__ = [
+    "BuildReport",
+    "CoreIndexReader",
+    "CoreIndexStore",
+    "DEFAULT_H_VALUES",
+    "DEFAULT_STALENESS_RATIO",
+    "IndexRefresher",
+    "RefreshSummary",
+    "SCHEMA_VERSION",
+    "build_index",
+    "graph_checksum",
+    "layer_checksum",
+    "refresh_index",
+]

@@ -1,0 +1,130 @@
+"""Build a persistent core-spectrum index from a graph.
+
+:func:`build_index` runs the spectrum computation (every configured h,
+each decomposition seeding the next one's lower bounds — see
+:func:`repro.core.spectrum.core_spectrum`) and bulk-loads the results into
+a :class:`~repro.index.store.CoreIndexStore`: one WAL transaction of
+batched ``executemany`` inserts, with ``status`` flipped to ``complete``
+only by the final commit so an interrupted build is never readable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.spectrum import core_spectrum
+from repro.graph.graph import Graph
+from repro.index.store import (
+    KIND_BUILD,
+    KIND_REBUILD,
+    CoreIndexStore,
+)
+from repro.instrumentation import Counters, NULL_COUNTERS
+
+#: Default thresholds persisted when the caller does not choose a range
+#: (the paper's suggested "spectrum" window).
+DEFAULT_H_VALUES: Tuple[int, ...] = (1, 2, 3)
+
+
+@dataclass
+class BuildReport:
+    """What one index build (or rebuild) wrote."""
+
+    path: str
+    h_values: Tuple[int, ...]
+    num_vertices: int = 0
+    num_edges: int = 0
+    rows_written: int = 0
+    seconds: float = 0.0
+    epoch: int = 0
+    degeneracies: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "h_values": list(self.h_values),
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "rows_written": self.rows_written,
+            "seconds": self.seconds,
+            "epoch": self.epoch,
+            "degeneracies": {
+                str(h): d for h, d in sorted(self.degeneracies.items())
+            },
+        }
+
+
+def write_full_state(
+    store: CoreIndexStore, graph: Graph, kind: str, counters: Counters = NULL_COUNTERS
+) -> BuildReport:
+    """Compute the spectrum of ``graph`` and replace the store's state.
+
+    Shared by the initial build and the refresher's staleness fallback
+    (``kind`` is ``build`` or ``rebuild``).  Rebuilds also reset the delta
+    log: a wholesale rewrite has no per-row history to offer, and diff
+    queries refuse to span a rebuild epoch.
+    """
+    started = time.perf_counter()
+    h_values = store.h_values
+    spectrum = core_spectrum(graph, h_values, counters=counters)
+    if kind == KIND_REBUILD:
+        store.set_meta("status", "building")
+        store.connection.execute("DELETE FROM deltas")
+    vids = store.write_graph(graph)
+    rows = 0
+    degeneracies: Dict[int, int] = {}
+    for h in h_values:
+        decomposition = spectrum.decompositions[h]
+        rows += store.write_layer(
+            h, decomposition.core_index, vids, order=decomposition.removal_order
+        )
+        degeneracies[h] = decomposition.degeneracy
+    seconds = time.perf_counter() - started
+    epoch = store.commit_epoch(
+        kind, graph.num_vertices, graph.num_edges, dirty_rows=rows, seconds=seconds
+    )
+    return BuildReport(
+        path=store.path,
+        h_values=h_values,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        rows_written=rows,
+        seconds=seconds,
+        epoch=epoch,
+        degeneracies=degeneracies,
+    )
+
+
+def build_index(
+    graph: Graph,
+    path: str,
+    h_values: Optional[Sequence[int]] = None,
+    source: str = "graph",
+    overwrite: bool = False,
+    counters: Counters = NULL_COUNTERS,
+) -> BuildReport:
+    """Build a fresh persistent core index for ``graph`` at ``path``.
+
+    Parameters
+    ----------
+    graph:
+        The graph to index (not retained — the structure is persisted).
+    path:
+        Filesystem path of the SQLite database to create.
+    h_values:
+        Distance thresholds to precompute (default ``(1, 2, 3)``).
+    source:
+        Display name recorded in the metadata (dataset or file name).
+    overwrite:
+        Replace an existing file instead of refusing.
+    counters:
+        Optional instrumentation sink for the decomposition work.
+    """
+    chosen = tuple(h_values) if h_values is not None else DEFAULT_H_VALUES
+    store = CoreIndexStore.create(path, chosen, source, overwrite=overwrite)
+    try:
+        return write_full_state(store, graph, KIND_BUILD, counters=counters)
+    finally:
+        store.close()

@@ -1,0 +1,388 @@
+"""Index-served (k,h)-core queries: pure SQLite reads, no peeling.
+
+:class:`CoreIndexReader` opens a built index read-only, validates it, and
+answers the repeated-query classes of the serving mix straight from the
+tables:
+
+========================  =================================================
+query                     index plan
+========================  =================================================
+``core_number(v, h)``     one ``cores`` primary-key probe
+``spectrum(v)``           one probe per configured h (a vertex "column")
+``membership_threshold``  ``MIN(h)`` aggregate over the vertex's column —
+                          valid because ``core_h(v)`` is non-decreasing in h
+``core_members(k, h)``    range scan of the ``(h, core)`` covering index
+``shell(k, h)``           equality scan of the same index
+``core_sizes(h)``         one ``GROUP BY core`` + cumulative sum
+``removal_order(h)``      ordered scan of ``orders`` (build epochs only)
+``diff(a, b, h)``         fold of the ``deltas`` log over ``(a, b]``
+========================  =================================================
+
+Every method validates its parameters and raises the library's error types;
+a reader never silently serves from a store that failed validation, and the
+removal orders refuse to be served stale (see
+:class:`~repro.errors.StaleIndexError`).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import (
+    CoreIndexError,
+    IndexCorruptionError,
+    ParameterError,
+    StaleIndexError,
+    VertexNotFoundError,
+)
+from repro.graph.graph import Graph
+from repro.index.store import (
+    KIND_REBUILD,
+    CoreIndexStore,
+    decode_label,
+    encode_label,
+    graph_checksum,
+)
+
+Vertex = Hashable
+
+
+class CoreIndexReader:
+    """Read-only, validated handle on a persistent core index.
+
+    Parameters
+    ----------
+    path:
+        Index database created by :func:`repro.index.build.build_index`.
+    verify:
+        Also run the deep row-scan checksum verification at open time
+        (:meth:`CoreIndexStore.verify`); cheap validation (schema, status,
+        metadata) always runs.
+
+    The reader is thread-safe: one connection guarded by a lock, which the
+    query service relies on when index reads run on its reader pool.
+    """
+
+    def __init__(self, path: str, verify: bool = False) -> None:
+        self.path = path
+        try:
+            conn = sqlite3.connect(
+                f"file:{path}?mode=ro", uri=True, check_same_thread=False
+            )
+        except sqlite3.Error as error:
+            raise IndexCorruptionError(
+                f"cannot open index {path!r}: {error}"
+            ) from error
+        self._store = CoreIndexStore(path, conn)
+        self._lock = threading.Lock()
+        try:
+            self._store.validate()
+            if verify:
+                with self._lock:
+                    self._store.verify()
+            self.h_values: Tuple[int, ...] = self._store.h_values
+            self.current_epoch: int = self._store.current_epoch
+            self.graph_checksum: int = self._store.stored_graph_checksum
+        except IndexCorruptionError:
+            self._store.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self._store.close()
+
+    def __enter__(self) -> "CoreIndexReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _execute(self, sql: str, params: Tuple = ()) -> List[Tuple]:
+        with self._lock:
+            try:
+                return self._store.connection.execute(sql, params).fetchall()
+            except sqlite3.Error as error:
+                raise IndexCorruptionError(
+                    f"index {self.path!r} failed mid-query: {error}"
+                ) from error
+
+    # ------------------------------------------------------------------ #
+    # parameter guards
+    # ------------------------------------------------------------------ #
+    def _check_h(self, h: int) -> int:
+        if h not in self.h_values:
+            raise ParameterError(
+                f"h={h} is not in this index (persisted thresholds: "
+                f"{list(self.h_values)})"
+            )
+        return h
+
+    def _vid(self, vertex: Vertex) -> int:
+        rows = self._execute(
+            "SELECT vid FROM vertices WHERE label = ?", (encode_label(vertex),)
+        )
+        if not rows:
+            raise VertexNotFoundError(vertex)
+        return rows[0][0]
+
+    # ------------------------------------------------------------------ #
+    # point and column queries
+    # ------------------------------------------------------------------ #
+    def core_number(self, vertex: Vertex, h: int) -> int:
+        """Core index of ``vertex`` at threshold ``h`` (one PK probe)."""
+        self._check_h(h)
+        vid = self._vid(vertex)
+        rows = self._execute("SELECT core FROM cores WHERE h = ? AND vid = ?", (h, vid))
+        if not rows:
+            raise IndexCorruptionError(
+                f"index {self.path!r} has vertex {vertex!r} but no core row "
+                f"for h={h}"
+            )
+        return rows[0][0]
+
+    def spectrum(self, vertex: Vertex) -> List[Tuple[int, int]]:
+        """``(h, core_h(vertex))`` for every persisted threshold."""
+        vid = self._vid(vertex)
+        rows = self._execute(
+            "SELECT h, core FROM cores WHERE vid = ? ORDER BY h", (vid,)
+        )
+        return [(h, core) for h, core in rows]
+
+    def membership_threshold(self, vertex: Vertex, k: int) -> Optional[int]:
+        """Smallest persisted ``h`` with ``vertex ∈ (k,h)-core``, else None.
+
+        Monotonicity (``core_h(v)`` non-decreasing in h) makes this a
+        single aggregate over the vertex's column.
+        """
+        if k < 0:
+            raise ParameterError("the core index k must be >= 0")
+        vid = self._vid(vertex)
+        rows = self._execute(
+            "SELECT MIN(h) FROM cores WHERE vid = ? AND core >= ?",
+            (vid, k),
+        )
+        return rows[0][0] if rows and rows[0][0] is not None else None
+
+    # ------------------------------------------------------------------ #
+    # membership / shell scans
+    # ------------------------------------------------------------------ #
+    def core_members(self, k: int, h: int) -> List[Vertex]:
+        """Vertices of the (k,h)-core, sorted by ``repr`` (range scan)."""
+        if k < 0:
+            raise ParameterError("the core index k must be >= 0")
+        self._check_h(h)
+        rows = self._execute(
+            "SELECT v.label FROM cores c JOIN vertices v ON v.vid = c.vid "
+            "WHERE c.h = ? AND c.core >= ?",
+            (h, k),
+        )
+        return sorted((decode_label(label) for (label,) in rows), key=repr)
+
+    def shell(self, k: int, h: int) -> List[Vertex]:
+        """Vertices whose core index is exactly ``k`` (equality scan)."""
+        if k < 0:
+            raise ParameterError("the core index k must be >= 0")
+        self._check_h(h)
+        rows = self._execute(
+            "SELECT v.label FROM cores c JOIN vertices v ON v.vid = c.vid "
+            "WHERE c.h = ? AND c.core = ?",
+            (h, k),
+        )
+        return sorted((decode_label(label) for (label,) in rows), key=repr)
+
+    def core_sizes(self, h: int) -> Dict[int, int]:
+        """``{k: |C_k|}`` for k = 0 .. degeneracy (one GROUP BY)."""
+        self._check_h(h)
+        rows = self._execute(
+            "SELECT core, COUNT(*) FROM cores WHERE h = ? "
+            "GROUP BY core ORDER BY core DESC",
+            (h,),
+        )
+        degeneracy = rows[0][0] if rows else 0
+        sizes: Dict[int, int] = {}
+        running = 0
+        by_core = dict(rows)
+        for k in range(degeneracy, -1, -1):
+            running += by_core.get(k, 0)
+            sizes[k] = running
+        return dict(sorted(sizes.items()))
+
+    def core_map(self, h: int) -> Dict[Vertex, int]:
+        """The full ``vertex -> core`` layer at threshold ``h``."""
+        self._check_h(h)
+        rows = self._execute(
+            "SELECT v.label, c.core FROM cores c "
+            "JOIN vertices v ON v.vid = c.vid WHERE c.h = ?",
+            (h,),
+        )
+        return {decode_label(label): core for label, core in rows}
+
+    def degeneracy(self, h: int) -> int:
+        """Largest non-empty core index at threshold ``h``."""
+        self._check_h(h)
+        rows = self._execute("SELECT degeneracy FROM layers WHERE h = ?", (h,))
+        if not rows:
+            raise IndexCorruptionError(
+                f"index {self.path!r} is missing the h={h} layer row"
+            )
+        return rows[0][0]
+
+    # ------------------------------------------------------------------ #
+    # orders, diffs, metadata
+    # ------------------------------------------------------------------ #
+    def removal_order(self, h: int) -> List[Vertex]:
+        """The persisted peeling order for ``h``.
+
+        Raises :class:`~repro.errors.StaleIndexError` after an incremental
+        refresh: dirty-row rewrites keep the cores exact but cannot produce
+        a global peeling order, so orders are only served from build or
+        rebuild epochs.
+        """
+        self._check_h(h)
+        orders_epoch = int(self._store.get_meta("orders_epoch") or 0)
+        current = int(self._store.get_meta("current_epoch") or 0)
+        if orders_epoch != current:
+            raise StaleIndexError(
+                f"removal orders were persisted at epoch {orders_epoch} but "
+                f"the index is at epoch {current} after incremental "
+                "refreshes; rebuild the index to restore them"
+            )
+        rows = self._execute(
+            "SELECT v.label FROM orders o JOIN vertices v ON v.vid = o.vid "
+            "WHERE o.h = ? ORDER BY o.pos",
+            (h,),
+        )
+        if not rows:
+            has_order = self._execute("SELECT has_order FROM layers WHERE h = ?", (h,))
+            if has_order and not has_order[0][0]:
+                raise CoreIndexError(
+                    f"the h={h} layer was built by an algorithm that does "
+                    "not record a removal order"
+                )
+        return [decode_label(label) for (label,) in rows]
+
+    def diff(
+        self, epoch_a: int, epoch_b: int, h: Optional[int] = None
+    ) -> Dict[Vertex, Tuple[Optional[int], int]]:
+        """Net core changes over ``(epoch_a, epoch_b]`` from the delta log.
+
+        Returns ``{vertex: (old_core, new_core)}`` restricted to threshold
+        ``h`` when given (``old_core`` is None for vertices created in the
+        window).  Without ``h``, a vertex is reported when *any* persisted
+        layer has a net change, valued at the smallest such threshold —
+        layers are always folded separately, never conflated.  Raises if
+        the window crosses a rebuild epoch — a wholesale rewrite keeps no
+        per-row history.
+        """
+        if epoch_a > epoch_b:
+            raise ParameterError("diff needs epoch_a <= epoch_b")
+        current = int(self._store.get_meta("current_epoch") or 0)
+        if epoch_b > current or epoch_a < 0:
+            raise ParameterError(
+                f"epoch range ({epoch_a}, {epoch_b}] is outside the index "
+                f"history (current epoch {current})"
+            )
+        rebuilds = self._execute(
+            "SELECT epoch FROM epochs WHERE kind = ? AND epoch > ? "
+            "AND epoch <= ?",
+            (KIND_REBUILD, epoch_a, epoch_b),
+        )
+        if rebuilds:
+            raise CoreIndexError(
+                f"diff range ({epoch_a}, {epoch_b}] crosses rebuild epoch "
+                f"{rebuilds[0][0]}, which reset the delta log"
+            )
+        if h is not None:
+            self._check_h(h)
+            rows = self._execute(
+                "SELECT d.h, d.vid, v.label, d.old_core, d.new_core "
+                "FROM deltas d JOIN vertices v ON v.vid = d.vid "
+                "WHERE d.h = ? AND d.epoch > ? AND d.epoch <= ? "
+                "ORDER BY d.epoch",
+                (h, epoch_a, epoch_b),
+            )
+        else:
+            rows = self._execute(
+                "SELECT d.h, d.vid, v.label, d.old_core, d.new_core "
+                "FROM deltas d JOIN vertices v ON v.vid = d.vid "
+                "WHERE d.epoch > ? AND d.epoch <= ? "
+                "ORDER BY d.epoch",
+                (epoch_a, epoch_b),
+            )
+        first_old: Dict[Tuple[int, int], Optional[int]] = {}
+        last_new: Dict[Tuple[int, int], int] = {}
+        labels: Dict[int, Vertex] = {}
+        for row_h, vid, label, old_core, new_core in rows:
+            key = (vid, row_h)
+            if key not in first_old:
+                first_old[key] = old_core
+                if vid not in labels:
+                    labels[vid] = decode_label(label)
+            last_new[key] = new_core
+        changes: Dict[int, Tuple[Optional[int], int]] = {}
+        for vid, row_h in sorted(first_old):
+            if vid in changes:
+                continue
+            old, new = first_old[(vid, row_h)], last_new[(vid, row_h)]
+            if old != new:
+                changes[vid] = (old, new)
+        return {labels[vid]: pair for vid, pair in changes.items()}
+
+    def epochs(self) -> List[Dict[str, object]]:
+        """The epoch history, oldest first."""
+        rows = self._execute(
+            "SELECT epoch, kind, created_at, graph_checksum, num_vertices, "
+            "num_edges, dirty_rows, seconds FROM epochs ORDER BY epoch"
+        )
+        keys = (
+            "epoch",
+            "kind",
+            "created_at",
+            "graph_checksum",
+            "num_vertices",
+            "num_edges",
+            "dirty_rows",
+            "seconds",
+        )
+        return [dict(zip(keys, row)) for row in rows]
+
+    def stats(self) -> Dict[str, object]:
+        """Metadata summary (the ``kh-core index stats`` payload)."""
+        store = self._store
+        counts = {
+            table: self._execute(f"SELECT COUNT(*) FROM {table}")[0][0]
+            for table in ("vertices", "edges", "cores", "orders", "deltas")
+        }
+        return {
+            "path": self.path,
+            "h_values": list(self.h_values),
+            "schema_version": int(store.get_meta("schema_version") or 0),
+            "engine_version": store.get_meta("engine_version"),
+            "source": store.get_meta("source"),
+            "status": store.get_meta("status"),
+            "current_epoch": int(store.get_meta("current_epoch") or 0),
+            "orders_epoch": int(store.get_meta("orders_epoch") or 0),
+            "graph_checksum": self.graph_checksum,
+            "rows": counts,
+            "epochs": self.epochs(),
+        }
+
+    def verify(self) -> None:
+        """Deep row-scan verification (checksums; raises on corruption)."""
+        with self._lock:
+            self._store.verify()
+
+    def matches_graph(self, graph: Graph) -> bool:
+        """True iff the index's stored structure checksum matches ``graph``."""
+        return graph_checksum(graph) == self.graph_checksum
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreIndexReader(path={self.path!r}, "
+            f"h_values={list(self.h_values)}, "
+            f"epoch={self.current_epoch})"
+        )

@@ -1,0 +1,522 @@
+"""SQLite-backed columnar store for the persistent (k,h)-core spectrum index.
+
+The store persists, for one graph, the full core *spectrum* — ``vertex × h
+→ core index`` for a configured range of distance thresholds — together
+with the removal orders, the graph structure itself, and per-epoch
+metadata.  Everything a query needs is a table read: point lookups hit the
+``cores`` primary key, shell drill-downs ride the ``(h, core)`` covering
+index, membership thresholds are a one-row aggregate over a vertex's
+column, and snapshot diffs fold the append-only ``deltas`` log.
+
+Design notes
+------------
+* **Stdlib only.**  ``sqlite3`` ships with CPython; WAL journaling plus
+  batched ``executemany`` makes bulk loads fast without any dependency.
+* **Current state + delta log.**  The ``cores`` table always holds the
+  *current* epoch (so reads never reconstruct), while every incremental
+  refresh appends ``(epoch, h, vid, old, new)`` rows to ``deltas`` —
+  cross-epoch diff queries replay the log instead of storing full copies.
+* **Self-verifying.**  Each layer carries an order-independent
+  XOR-of-CRC32 checksum over its rows and the graph carries one over its
+  vertices and edges.  The XOR form is incrementally updatable (toggle a
+  token in, toggle it out), so refreshes maintain exact checksums in O(dirty)
+  and :meth:`CoreIndexStore.verify` can recompute them from the rows at any
+  time.  A build keeps ``status = 'building'`` until its final commit, so an
+  interrupted build can never be mistaken for a complete index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from zlib import crc32
+
+from repro.errors import CoreIndexError, IndexCorruptionError
+from repro.graph.graph import Graph
+
+Vertex = Hashable
+
+#: Bump when the table layout changes; readers refuse other versions.
+SCHEMA_VERSION = 1
+
+#: ``meta.status`` values — anything but ``complete`` is unreadable.
+STATUS_BUILDING = "building"
+STATUS_COMPLETE = "complete"
+
+#: ``epochs.kind`` values.
+KIND_BUILD = "build"
+KIND_REFRESH = "refresh"
+KIND_REBUILD = "rebuild"
+
+#: Rows per ``executemany`` batch during bulk loads.
+BATCH_ROWS = 4096
+
+_SCHEMA = """
+CREATE TABLE meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+) WITHOUT ROWID;
+CREATE TABLE vertices (
+    vid   INTEGER PRIMARY KEY,
+    label TEXT NOT NULL UNIQUE
+);
+CREATE TABLE edges (
+    u INTEGER NOT NULL,
+    v INTEGER NOT NULL,
+    PRIMARY KEY (u, v)
+) WITHOUT ROWID;
+CREATE TABLE cores (
+    h    INTEGER NOT NULL,
+    vid  INTEGER NOT NULL,
+    core INTEGER NOT NULL,
+    PRIMARY KEY (h, vid)
+) WITHOUT ROWID;
+CREATE INDEX idx_cores_by_core ON cores (h, core);
+CREATE TABLE orders (
+    h   INTEGER NOT NULL,
+    pos INTEGER NOT NULL,
+    vid INTEGER NOT NULL,
+    PRIMARY KEY (h, pos)
+) WITHOUT ROWID;
+CREATE TABLE layers (
+    h          INTEGER PRIMARY KEY,
+    checksum   INTEGER NOT NULL,
+    degeneracy INTEGER NOT NULL,
+    has_order  INTEGER NOT NULL
+) WITHOUT ROWID;
+CREATE TABLE epochs (
+    epoch          INTEGER PRIMARY KEY,
+    kind           TEXT NOT NULL,
+    created_at     TEXT NOT NULL,
+    graph_checksum INTEGER NOT NULL,
+    num_vertices   INTEGER NOT NULL,
+    num_edges      INTEGER NOT NULL,
+    dirty_rows     INTEGER NOT NULL,
+    seconds        REAL NOT NULL
+);
+CREATE TABLE deltas (
+    epoch    INTEGER NOT NULL,
+    h        INTEGER NOT NULL,
+    vid      INTEGER NOT NULL,
+    old_core INTEGER,
+    new_core INTEGER NOT NULL
+);
+CREATE INDEX idx_deltas_by_h ON deltas (h, epoch);
+"""
+
+
+# --------------------------------------------------------------------- #
+# label codec
+# --------------------------------------------------------------------- #
+def _jsonable(value: Vertex) -> object:
+    """Tuples become lists (JSON has no tuples); scalars pass through."""
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _from_jsonable(value: object) -> Vertex:
+    if isinstance(value, list):
+        return tuple(_from_jsonable(item) for item in value)
+    return value
+
+
+def encode_label(vertex: Vertex) -> str:
+    """Canonical JSON encoding of a vertex label (ints, strings, tuples).
+
+    The encoding is injective on the supported label types — ``5`` and
+    ``"5"`` encode differently — so the ``vertices.label`` UNIQUE constraint
+    means what it says.
+    """
+    try:
+        return json.dumps(_jsonable(vertex), sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError):
+        raise CoreIndexError(
+            f"vertex label {vertex!r} is not JSON-encodable; the persistent "
+            "index supports int, string and (nested) tuple labels"
+        ) from None
+
+
+def decode_label(encoded: str) -> Vertex:
+    """Inverse of :func:`encode_label` (lists come back as tuples)."""
+    return _from_jsonable(json.loads(encoded))
+
+
+# --------------------------------------------------------------------- #
+# order-independent, incrementally-updatable checksums
+# --------------------------------------------------------------------- #
+def token_crc(token: str) -> int:
+    """CRC32 of one checksum token."""
+    return crc32(token.encode("utf-8"))
+
+
+def core_token(label: str, core: int) -> str:
+    """Checksum token of one ``cores`` row (``label`` already encoded)."""
+    return f"c|{label}|{core}"
+
+
+def vertex_token(label: str) -> str:
+    """Checksum token of one ``vertices`` row."""
+    return f"v|{label}"
+
+
+def edge_token(label_u: str, label_v: str) -> str:
+    """Checksum token of one undirected edge (endpoint order normalized)."""
+    a, b = sorted((label_u, label_v))
+    return f"e|{a}|{b}"
+
+
+def xor_checksum(tokens: Iterable[str]) -> int:
+    """XOR of the CRC32s of ``tokens``: order-independent, and toggling a
+    token in or out is the same XOR — which is what lets a refresh maintain
+    exact checksums while touching only dirty rows."""
+    digest = 0
+    for token in tokens:
+        digest ^= token_crc(token)
+    return digest
+
+
+def layer_checksum(cores: Dict[Vertex, int]) -> int:
+    """Checksum of a full ``vertex -> core`` layer (labels still decoded)."""
+    return xor_checksum(core_token(encode_label(v), c) for v, c in cores.items())
+
+
+def graph_checksum(graph: Graph) -> int:
+    """Checksum of a graph's structure (vertex set + undirected edge set)."""
+    digest = xor_checksum(vertex_token(encode_label(v)) for v in graph.vertices())
+    digest ^= xor_checksum(
+        edge_token(encode_label(u), encode_label(v)) for u, v in graph.edges()
+    )
+    return digest
+
+
+def _batched(rows: Sequence, size: int = BATCH_ROWS) -> Iterable[Sequence]:
+    for start in range(0, len(rows), size):
+        yield rows[start : start + size]
+
+
+class CoreIndexStore:
+    """Writable handle on one core-index database (build + refresh side).
+
+    Use :meth:`create` to initialize a fresh store and :meth:`open_rw` to
+    attach to an existing complete one.  Readers should use
+    :class:`repro.index.query.CoreIndexReader`, which opens the file
+    read-only and validates it first.
+    """
+
+    def __init__(self, path: str, connection: sqlite3.Connection) -> None:
+        self.path = path
+        self._conn = connection
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(
+        cls, path: str, h_values: Sequence[int], source: str, overwrite: bool = False
+    ) -> "CoreIndexStore":
+        """Initialize a fresh store with ``status = 'building'``."""
+        if os.path.exists(path):
+            if not overwrite:
+                raise CoreIndexError(
+                    f"index file {path!r} already exists "
+                    "(pass overwrite/--force to replace it)"
+                )
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.remove(path + suffix)
+                except FileNotFoundError:
+                    pass
+        conn = sqlite3.connect(path, check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.executescript(_SCHEMA)
+        store = cls(path, conn)
+        store.set_meta("schema_version", str(SCHEMA_VERSION))
+        store.set_meta("status", STATUS_BUILDING)
+        store.set_meta("h_values", json.dumps(sorted(set(h_values))))
+        store.set_meta("source", source)
+        store.set_meta("current_epoch", "0")
+        store.set_meta("orders_epoch", "0")
+        from repro import __version__
+
+        store.set_meta("engine_version", __version__)
+        conn.commit()
+        return store
+
+    @classmethod
+    def open_rw(cls, path: str) -> "CoreIndexStore":
+        """Attach read-write to an existing *complete* store."""
+        if not os.path.exists(path):
+            raise CoreIndexError(f"index file {path!r} does not exist")
+        conn = sqlite3.connect(path, check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        store = cls(path, conn)
+        store.validate()
+        return store
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+
+    def __enter__(self) -> "CoreIndexStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise CoreIndexError("the index store has been closed")
+        return self._conn
+
+    # ------------------------------------------------------------------ #
+    # meta
+    # ------------------------------------------------------------------ #
+    def set_meta(self, key: str, value: str) -> None:
+        self.connection.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (key, value),
+        )
+
+    def get_meta(self, key: str) -> Optional[str]:
+        row = self.connection.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def validate(self) -> None:
+        """Cheap structural validation; raises :class:`IndexCorruptionError`.
+
+        Catches the failure modes that do not need a row scan: a file that
+        is not a database (truncation), a schema from another version, and
+        an interrupted build (``status != 'complete'``).  Row-level damage
+        is what :meth:`verify` is for.
+        """
+        try:
+            schema = self.get_meta("schema_version")
+            status = self.get_meta("status")
+            h_values = self.get_meta("h_values")
+        except sqlite3.Error as error:
+            raise IndexCorruptionError(
+                f"{self.path!r} is not a readable core index: {error}"
+            ) from error
+        if schema is None or h_values is None:
+            raise IndexCorruptionError(f"{self.path!r} has no core-index metadata")
+        if int(schema) != SCHEMA_VERSION:
+            raise IndexCorruptionError(
+                f"{self.path!r} uses schema version {schema}, "
+                f"this library reads version {SCHEMA_VERSION}"
+            )
+        if status != STATUS_COMPLETE:
+            raise IndexCorruptionError(
+                f"{self.path!r} is marked {status!r} — an interrupted build "
+                "or refresh; rebuild the index"
+            )
+
+    # ------------------------------------------------------------------ #
+    # typed meta accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def h_values(self) -> Tuple[int, ...]:
+        raw = self.get_meta("h_values")
+        return tuple(json.loads(raw)) if raw else ()
+
+    @property
+    def current_epoch(self) -> int:
+        return int(self.get_meta("current_epoch") or 0)
+
+    @property
+    def orders_epoch(self) -> int:
+        return int(self.get_meta("orders_epoch") or 0)
+
+    @property
+    def stored_graph_checksum(self) -> int:
+        return int(self.get_meta("graph_checksum") or 0)
+
+    # ------------------------------------------------------------------ #
+    # bulk writes (build / rebuild path)
+    # ------------------------------------------------------------------ #
+    def write_graph(self, graph: Graph) -> Dict[Vertex, int]:
+        """Replace the stored structure with ``graph``; returns label → vid."""
+        conn = self.connection
+        conn.execute("DELETE FROM edges")
+        conn.execute("DELETE FROM vertices")
+        vids: Dict[Vertex, int] = {}
+        rows = []
+        for vid, vertex in enumerate(graph.vertices(), start=1):
+            vids[vertex] = vid
+            rows.append((vid, encode_label(vertex)))
+        for batch in _batched(rows):
+            conn.executemany("INSERT INTO vertices (vid, label) VALUES (?, ?)", batch)
+        edge_rows = []
+        for u, v in graph.edges():
+            i, j = vids[u], vids[v]
+            edge_rows.append((i, j) if i < j else (j, i))
+        for batch in _batched(edge_rows):
+            conn.executemany("INSERT INTO edges (u, v) VALUES (?, ?)", batch)
+        self.set_meta("graph_checksum", str(graph_checksum(graph)))
+        return vids
+
+    def write_layer(
+        self,
+        h: int,
+        cores: Dict[Vertex, int],
+        vids: Dict[Vertex, int],
+        order: Optional[List[Vertex]] = None,
+    ) -> int:
+        """Replace layer ``h`` (cores + order + checksum); returns row count."""
+        conn = self.connection
+        conn.execute("DELETE FROM cores WHERE h = ?", (h,))
+        conn.execute("DELETE FROM orders WHERE h = ?", (h,))
+        rows = [(h, vids[v], c) for v, c in cores.items()]
+        for batch in _batched(rows):
+            conn.executemany("INSERT INTO cores (h, vid, core) VALUES (?, ?, ?)", batch)
+        if order is not None:
+            order_rows = [(h, pos, vids[v]) for pos, v in enumerate(order)]
+            for batch in _batched(order_rows):
+                conn.executemany(
+                    "INSERT INTO orders (h, pos, vid) VALUES (?, ?, ?)",
+                    batch,
+                )
+        conn.execute(
+            "INSERT OR REPLACE INTO layers (h, checksum, degeneracy, "
+            "has_order) VALUES (?, ?, ?, ?)",
+            (
+                h,
+                layer_checksum(cores),
+                max(cores.values(), default=0),
+                1 if order is not None else 0,
+            ),
+        )
+        return len(rows)
+
+    def commit_epoch(
+        self,
+        kind: str,
+        num_vertices: int,
+        num_edges: int,
+        dirty_rows: int,
+        seconds: float,
+    ) -> int:
+        """Append an epoch row, advance ``current_epoch`` and commit."""
+        epoch = self.current_epoch + 1
+        self.connection.execute(
+            "INSERT INTO epochs (epoch, kind, created_at, graph_checksum, "
+            "num_vertices, num_edges, dirty_rows, seconds) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                epoch,
+                kind,
+                time.strftime("%Y-%m-%dT%H:%M:%S"),
+                self.stored_graph_checksum,
+                num_vertices,
+                num_edges,
+                dirty_rows,
+                seconds,
+            ),
+        )
+        self.set_meta("current_epoch", str(epoch))
+        if kind in (KIND_BUILD, KIND_REBUILD):
+            self.set_meta("orders_epoch", str(epoch))
+        self.set_meta("status", STATUS_COMPLETE)
+        self.connection.commit()
+        return epoch
+
+    # ------------------------------------------------------------------ #
+    # reads shared by the refresher
+    # ------------------------------------------------------------------ #
+    def load_vids(self) -> Dict[Vertex, int]:
+        """``label -> vid`` for every stored vertex."""
+        return {
+            decode_label(label): vid
+            for vid, label in self.connection.execute("SELECT vid, label FROM vertices")
+        }
+
+    def load_layer(self, h: int) -> List[Tuple[int, int]]:
+        """``(vid, core)`` rows of one persisted layer."""
+        return list(
+            self.connection.execute("SELECT vid, core FROM cores WHERE h = ?", (h,))
+        )
+
+    def load_graph(self) -> Graph:
+        """Reconstruct the stored structure as a :class:`Graph`."""
+        labels = {
+            vid: decode_label(label)
+            for vid, label in self.connection.execute("SELECT vid, label FROM vertices")
+        }
+        graph = Graph(vertices=labels.values())
+        for u, v in self.connection.execute("SELECT u, v FROM edges"):
+            graph.add_edge(labels[u], labels[v])
+        return graph
+
+    def max_vid(self) -> int:
+        row = self.connection.execute("SELECT MAX(vid) FROM vertices").fetchone()
+        return row[0] or 0
+
+    # ------------------------------------------------------------------ #
+    # full verification
+    # ------------------------------------------------------------------ #
+    def verify(self) -> None:
+        """Recompute every checksum from the rows; raise on any mismatch.
+
+        This is the deep (row-scan) integrity check behind
+        ``kh-core index stats --verify`` and the reader's ``verify=True``
+        open mode: the stored graph checksum must match the vertex/edge
+        tables, every layer checksum must match its core rows, and every
+        configured h must actually have a layer.
+        """
+        conn = self.connection
+        stored_graph = self.stored_graph_checksum
+        actual_graph = 0
+        labels: Dict[int, str] = {}
+        for vid, label in conn.execute("SELECT vid, label FROM vertices"):
+            labels[vid] = label
+            actual_graph ^= token_crc(vertex_token(label))
+        for u, v in conn.execute("SELECT u, v FROM edges"):
+            if u not in labels or v not in labels:
+                raise IndexCorruptionError(
+                    f"{self.path!r}: edge ({u}, {v}) references a missing "
+                    "vertex row"
+                )
+            actual_graph ^= token_crc(edge_token(labels[u], labels[v]))
+        if actual_graph != stored_graph:
+            raise IndexCorruptionError(
+                f"{self.path!r}: stored graph checksum {stored_graph:#010x} "
+                f"does not match the vertex/edge rows ({actual_graph:#010x})"
+            )
+        layer_rows = dict(conn.execute("SELECT h, checksum FROM layers").fetchall())
+        for h in self.h_values:
+            if h not in layer_rows:
+                raise IndexCorruptionError(
+                    f"{self.path!r}: layer h={h} is configured but missing"
+                )
+            actual = 0
+            count = 0
+            for vid, core in conn.execute(
+                "SELECT vid, core FROM cores WHERE h = ?", (h,)
+            ):
+                if vid not in labels:
+                    raise IndexCorruptionError(
+                        f"{self.path!r}: layer h={h} has a core row for "
+                        f"missing vertex vid={vid}"
+                    )
+                actual ^= token_crc(core_token(labels[vid], core))
+                count += 1
+            if actual != layer_rows[h]:
+                raise IndexCorruptionError(
+                    f"{self.path!r}: layer h={h} checksum mismatch "
+                    f"(stored {layer_rows[h]:#010x}, rows {actual:#010x})"
+                )
+            if count != len(labels):
+                raise IndexCorruptionError(
+                    f"{self.path!r}: layer h={h} has {count} rows for "
+                    f"{len(labels)} vertices"
+                )

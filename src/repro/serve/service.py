@@ -17,6 +17,14 @@ enforces the concurrency discipline the HTTP layer relies on:
 
 The query methods return JSON-ready dicts, each stamped with the epoch
 (``generation`` / ``graph_version``) it was answered from.
+
+A persistent core index (:mod:`repro.index`) can be attached with
+``index_path=``: spectrum and off-h point queries are then served as pure
+index reads instead of per-snapshot recomputes — but only while the live
+graph still matches the graph the index was built from.  The first
+accepted update batch moves the graph version past the attach point and
+every later query falls back to snapshot computation (correctness first;
+the HTTP service has no index-refresh path).
 """
 
 from __future__ import annotations
@@ -78,6 +86,11 @@ class CoreService:
         Upper bound on updates per batch (see :data:`DEFAULT_MAX_BATCH`).
     name:
         Display name of the loaded graph (for ``/healthz`` and logs).
+    index_path:
+        Optional persistent core index to serve spectrum / off-h point
+        queries from.  Validated at attach time: the index's stored graph
+        checksum must match ``graph`` (:class:`~repro.errors.IndexMismatchError`
+        otherwise), so a stale or wrong-graph index can never answer.
     """
 
     def __init__(
@@ -92,6 +105,7 @@ class CoreService:
         num_workers: Optional[int] = None,
         max_batch: int = DEFAULT_MAX_BATCH,
         name: str = "graph",
+        index_path: Optional[str] = None,
     ) -> None:
         if max_batch < 1:
             raise ParameterError("max_batch must be >= 1")
@@ -125,6 +139,26 @@ class CoreService:
         )
         self._publish_mutex = threading.Lock()
         self._snapshot = self._publish()
+        self._index = None
+        self._index_graph_version: Optional[int] = None
+        self.index_hits = 0
+        self.index_misses = 0
+        if index_path is not None:
+            # Deferred import: the sqlite index stack is only pulled in
+            # when a service actually attaches one.
+            from repro.errors import IndexMismatchError
+            from repro.index.query import CoreIndexReader
+
+            reader = CoreIndexReader(index_path)
+            if not reader.matches_graph(self.engine.graph):
+                reader.close()
+                raise IndexMismatchError(
+                    f"index {index_path!r} was built from a different graph "
+                    f"than the one being served; rebuild it with "
+                    f"'kh-core index build'"
+                )
+            self._index = reader
+            self._index_graph_version = self.engine.graph.version
         self.closed = False
 
     # ------------------------------------------------------------------ #
@@ -221,6 +255,22 @@ class CoreService:
     # ------------------------------------------------------------------ #
     # queries (each reads exactly one snapshot)
     # ------------------------------------------------------------------ #
+    def _index_for(self, snapshot: CoreSnapshot):
+        """The attached index reader, iff it is still exact for ``snapshot``.
+
+        Freshness is a version check, not a recheck of the checksum: the
+        reader was validated against the graph at attach time, so any
+        snapshot still carrying the attach-time graph version describes the
+        indexed graph verbatim.  The first accepted update invalidates the
+        index for good (tallied in :attr:`index_misses`).
+        """
+        if (self._index is not None
+                and snapshot.graph_version == self._index_graph_version):
+            return self._index
+        if self._index is not None:
+            self.index_misses += 1
+        return None
+
     def _stamp(
         self, snapshot: CoreSnapshot, payload: Dict[str, object]
     ) -> Dict[str, object]:
@@ -245,6 +295,15 @@ class CoreService:
     def query_stats(self) -> Dict[str, object]:
         snapshot = self.snapshot
         stats = self.engine.stats
+        index_stats: Optional[Dict[str, object]] = None
+        if self._index is not None:
+            index_stats = {
+                "path": self._index.path,
+                "h_values": list(self._index.h_values),
+                "fresh": snapshot.graph_version == self._index_graph_version,
+                "hits": self.index_hits,
+                "misses": self.index_misses,
+            }
         return self._stamp(
             snapshot,
             {
@@ -252,6 +311,7 @@ class CoreService:
                 "h": snapshot.h,
                 "backend": self.engine.backend,
                 "requests": dict(self.request_counts),
+                "index": index_stats,
                 "maintenance": {
                     "updates_applied": stats.updates_applied,
                     "batches": stats.batches,
@@ -268,7 +328,17 @@ class CoreService:
     ) -> Dict[str, object]:
         """Point lookup: the core index of ``v`` (optionally membership in k)."""
         snapshot = self.snapshot
-        core = snapshot.cores_for(h).get(v)
+        core: Optional[int] = None
+        if h is not None and h != snapshot.h:
+            # Off-h lookups otherwise cost a full decomposition at that
+            # threshold (cached per snapshot); a fresh index answers them
+            # with one primary-key probe.
+            index = self._index_for(snapshot)
+            if index is not None and h in index.h_values:
+                core = index.core_number(v, h)  # raises VertexNotFoundError
+                self.index_hits += 1
+        if core is None:
+            core = snapshot.cores_for(h).get(v)
         if core is None:
             core = snapshot.core_number(v)  # raises VertexNotFoundError
         payload: Dict[str, object] = {
@@ -320,6 +390,17 @@ class CoreService:
 
     def query_spectrum(self, v: Vertex, h_values: Sequence[int]) -> Dict[str, object]:
         snapshot = self.snapshot
+        index = self._index_for(snapshot)
+        if index is not None and all(h in index.h_values for h in h_values):
+            persisted = dict(index.spectrum(v))  # raises VertexNotFoundError
+            self.index_hits += 1
+            return self._stamp(
+                snapshot,
+                {
+                    "v": v,
+                    "spectrum": [[h, persisted[h]] for h in h_values],
+                },
+            )
         return self._stamp(
             snapshot,
             {
@@ -360,6 +441,8 @@ class CoreService:
         self.closed = True
         self._writer.shutdown(wait=True)
         self._readers.shutdown(wait=True)
+        if self._index is not None:
+            self._index.close()
         self.engine.close()
 
     def __enter__(self) -> "CoreService":

@@ -265,3 +265,132 @@ class TestNumpyBackendFlags:
         assert stream_main([str(updates), "--h", "2",
                             "--relabel", "degree", "--summary"]) == 0
         assert "core" in capsys.readouterr().out
+
+
+class TestIndexSubcommand:
+    @pytest.fixture
+    def built_index(self, edge_list_file, tmp_path):
+        db = tmp_path / "toy.khidx"
+        assert main(["index", "build", str(edge_list_file),
+                     "--db", str(db), "--h-values", "1,2"]) == 0
+        return db
+
+    def run_json(self, argv, capsys):
+        import json
+
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_build_reports_and_creates_file(self, edge_list_file, tmp_path,
+                                            capsys):
+        db = tmp_path / "toy.khidx"
+        report = self.run_json(["index", "build", str(edge_list_file),
+                                "--db", str(db), "--h-values", "1,2"],
+                               capsys)
+        assert db.exists()
+        assert report["h_values"] == [1, 2]
+        assert report["num_vertices"] == 6
+        assert report["epoch"] == 1
+
+    def test_build_refuses_overwrite_without_force(self, built_index,
+                                                   edge_list_file, capsys):
+        assert main(["index", "build", str(edge_list_file),
+                     "--db", str(built_index)]) == 2
+        assert "already exists" in capsys.readouterr().err
+        assert main(["index", "build", str(edge_list_file),
+                     "--db", str(built_index), "--force"]) == 0
+
+    def test_query_core_number_matches_decompose(self, built_index,
+                                                 edge_list_file, capsys):
+        from repro.core import core_decomposition
+        from repro.graph import read_edge_list
+
+        expected = core_decomposition(read_edge_list(edge_list_file),
+                                      2).core_index
+        out = self.run_json(["index", "query", str(built_index),
+                             "core-number", "--v", "2", "--h", "2"], capsys)
+        assert out["core"] == expected[2]
+
+    def test_query_spectrum_threshold_core_sizes(self, built_index, capsys):
+        spectrum = self.run_json(["index", "query", str(built_index),
+                                  "spectrum", "--v", "0"], capsys)
+        assert set(spectrum["spectrum"]) == {"1", "2"}
+        threshold = self.run_json(["index", "query", str(built_index),
+                                   "threshold", "--v", "0", "--k", "1"],
+                                  capsys)
+        assert threshold["min_h"] == 1
+        core = self.run_json(["index", "query", str(built_index), "core",
+                              "--k", "1", "--h", "2"], capsys)
+        assert core["size"] == len(core["members"]) > 0
+        sizes = self.run_json(["index", "query", str(built_index), "sizes",
+                               "--h", "1"], capsys)
+        assert sizes["degeneracy"] >= 1
+
+    def test_query_missing_required_flag_errors(self, built_index, capsys):
+        assert main(["index", "query", str(built_index),
+                     "core-number", "--v", "2"]) == 2
+        assert "requires --h" in capsys.readouterr().err
+
+    def test_refresh_then_query_and_stats(self, built_index, tmp_path,
+                                          capsys):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+ 0 4\n+ 1 5\n")
+        # staleness-ratio 1.0 keeps the toy store on the incremental path,
+        # so the delta log survives and the diff below can span all epochs.
+        summaries = self.run_json(["index", "refresh", str(built_index),
+                                   str(updates), "--batch-size", "1",
+                                   "--staleness-ratio", "1.0"],
+                                  capsys)
+        assert len(summaries) == 2
+        assert all(s["mode"] in ("incremental", "noop") for s in summaries)
+        stats = self.run_json(["index", "stats", str(built_index),
+                               "--verify"], capsys)
+        assert stats["current_epoch"] == 3
+        assert stats["status"] == "complete"
+        diff = self.run_json(["index", "query", str(built_index), "diff",
+                              "--from", "1"], capsys)
+        assert diff["to"] == 3
+
+    def test_stale_order_errors_cleanly(self, built_index, tmp_path,
+                                        capsys):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+ 0 4\n")
+        assert main(["index", "refresh", str(built_index),
+                     str(updates)]) == 0
+        capsys.readouterr()
+        assert main(["index", "query", str(built_index), "order",
+                     "--h", "1"]) == 2
+        assert "rebuild" in capsys.readouterr().err
+
+    def test_corrupt_db_errors_cleanly(self, tmp_path, capsys):
+        junk = tmp_path / "junk.khidx"
+        junk.write_text("not a database")
+        assert main(["index", "stats", str(junk)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDatasetsSubcommand:
+    def test_list_names(self, capsys):
+        assert main(["datasets", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("coli", "jazz", "lj"):
+            assert name in out
+
+    def test_export_roundtrip_and_determinism(self, tmp_path, capsys):
+        from repro.graph import read_edge_list
+
+        first = tmp_path / "a.edges"
+        second = tmp_path / "b.edges"
+        assert main(["datasets", "export", "jazz", str(first),
+                     "--scale", "tiny"]) == 0
+        assert main(["datasets", "export", "jazz", str(second),
+                     "--scale", "tiny"]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        graph = read_edge_list(first)
+        assert "40 vertices" in capsys.readouterr().err
+        assert graph.num_vertices == 40
+
+    def test_export_unknown_dataset_errors(self, tmp_path, capsys):
+        assert main(["datasets", "export", "wikipedia",
+                     str(tmp_path / "x.edges")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -81,3 +81,53 @@ class TestBuiltGraphs:
     def test_family_metadata(self):
         assert dataset_spec("rnTX").family == "road"
         assert dataset_spec("FBco").family == "social"
+
+
+class TestExportEdgeList:
+    def test_export_is_byte_deterministic(self, tmp_path):
+        from repro.datasets import export_edge_list
+
+        a, b = tmp_path / "a.edges", tmp_path / "b.edges"
+        export_edge_list("jazz", a, scale="tiny", seed=4)
+        export_edge_list("jazz", b, scale="tiny", seed=4)
+        assert a.read_bytes() == b.read_bytes()
+        c = tmp_path / "c.edges"
+        export_edge_list("jazz", c, scale="tiny", seed=5)
+        assert a.read_bytes() != c.read_bytes()
+
+    def test_export_roundtrips_through_read_edge_list(self, tmp_path):
+        from repro.datasets import export_edge_list
+        from repro.graph import read_edge_list
+
+        path = tmp_path / "coli.edges"
+        generated = export_edge_list("coli", path, scale="tiny", seed=1)
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == generated.num_vertices
+        assert loaded.num_edges == generated.num_edges
+        assert (sorted(map(sorted, loaded.edges()))
+                == sorted(map(sorted, generated.edges())))
+
+    def test_export_lines_are_sorted_with_header(self, tmp_path):
+        from repro.datasets import export_edge_list
+
+        path = tmp_path / "cele.edges"
+        export_edge_list("cele", path, scale="tiny")
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("# dataset cele scale=tiny seed=0:")
+        body = lines[1:]
+        assert body == sorted(body)
+
+    def test_export_accepts_file_like_target(self, tmp_path):
+        import io
+
+        from repro.datasets import export_edge_list
+
+        buffer = io.StringIO()
+        graph = export_edge_list("jazz", buffer, scale="tiny")
+        assert f"{graph.num_vertices} vertices" in buffer.getvalue()
+
+    def test_export_unknown_dataset_raises(self, tmp_path):
+        from repro.datasets import export_edge_list
+
+        with pytest.raises(DatasetNotFoundError):
+            export_edge_list("wikipedia", tmp_path / "x.edges")

@@ -71,6 +71,35 @@ class TestConstruction:
         assert DynamicKHCore(Graph([("a", "b")])).backend == "dict"
         assert DynamicKHCore(path_graph(4), backend="dict").backend == "dict"
 
+    def test_warm_start_skips_initial_decomposition(self):
+        graph = erdos_renyi_graph(20, 0.2, seed=1)
+        cores = core_decomposition(graph, 2).core_index
+        engine = DynamicKHCore(graph.copy(), h=2, initial_cores=cores)
+        assert engine.stats.full_recomputes == 0
+        assert engine.core_numbers() == cores
+        assert_exact(engine)
+
+    def test_warm_start_stays_exact_under_updates(self):
+        graph = erdos_renyi_graph(20, 0.2, seed=3)
+        cores = core_decomposition(graph, 2).core_index
+        warm = DynamicKHCore(graph.copy(), h=2, initial_cores=cores)
+        cold = DynamicKHCore(graph.copy(), h=2)
+        updates = random_update_stream(graph, 12, new_vertex_p=0.1, seed=4)
+        for offset in range(0, len(updates), 3):
+            batch = updates[offset:offset + 3]
+            warm.apply_batch(batch)
+            cold.apply_batch(batch)
+        assert warm.core_numbers() == cold.core_numbers()
+        assert_exact(warm)
+
+    def test_warm_start_rejects_wrong_vertex_set(self):
+        graph = path_graph(4)
+        with pytest.raises(ParameterError):
+            DynamicKHCore(graph, h=2, initial_cores={0: 1, 1: 1})
+        with pytest.raises(ParameterError):
+            DynamicKHCore(path_graph(3), h=2,
+                          initial_cores={0: 1, 1: 1, 2: 1, 99: 1})
+
 
 class TestSingleUpdates:
     def test_insert_raises_cores(self):
@@ -341,3 +370,67 @@ class TestStreamFormat:
                 scratch.add_edge(u, v)
             else:
                 scratch.remove_edge(u, v)
+
+
+class TestChangedVertices:
+    """`UpdateSummary.changed_vertices` names exactly the moved cores.
+
+    The persistent-index refresher rewrites only these rows, so the set
+    must cover every vertex whose core differs from before the batch — on
+    the incremental path, the full-recompute path, and the default blend.
+    """
+
+    def replay_and_check_sets(self, graph, updates, batch_size,
+                              **engine_kwargs):
+        engine = DynamicKHCore(graph, h=2, **engine_kwargs)
+        for offset in range(0, len(updates), batch_size):
+            before = engine.core_numbers()
+            summary = engine.apply_batch(updates[offset:offset + batch_size])
+            after = engine.core_numbers()
+            expected = ({v for v, c in after.items() if before.get(v) != c}
+                        | {v for v in before if v not in after})
+            assert summary.changed_vertices == frozenset(expected), (
+                f"offset {offset} mode={summary.mode}")
+            assert summary.cores_changed == len(summary.changed_vertices)
+        return engine
+
+    def test_incremental_mode_exact_sets(self):
+        graph = relaxed_caveman_graph(4, 5, 0.15, seed=1)
+        updates = random_update_stream(graph, 24, new_vertex_p=0.15, seed=2)
+        engine = self.replay_and_check_sets(graph, updates, batch_size=4,
+                                            fallback_ratio=1.0)
+        assert engine.stats.full_recomputes == 0
+
+    def test_full_mode_exact_sets(self):
+        graph = relaxed_caveman_graph(4, 5, 0.15, seed=1)
+        updates = random_update_stream(graph, 24, new_vertex_p=0.15, seed=2)
+        engine = self.replay_and_check_sets(graph, updates, batch_size=4,
+                                            fallback_ratio=0.0)
+        assert engine.stats.incremental_repeels == 0
+
+    def test_default_policy_exact_sets(self):
+        graph = erdos_renyi_graph(16, 0.18, seed=5)
+        updates = random_update_stream(graph, 20, new_vertex_p=0.1, seed=6)
+        self.replay_and_check_sets(graph, updates, batch_size=3)
+
+    def test_new_vertices_are_reported_as_changed(self):
+        engine = DynamicKHCore(path_graph(3), h=2, fallback_ratio=1.0)
+        summary = engine.apply_batch([("+", 2, 99)])
+        assert 99 in summary.changed_vertices
+
+    def test_noop_batch_reports_empty_set(self):
+        engine = DynamicKHCore(path_graph(3), h=2)
+        summary = engine.apply_batch([("+", 0, 1)])  # edge already present
+        assert summary.mode == MODE_NOOP
+        assert summary.changed_vertices == frozenset()
+        assert summary.cores_changed == 0
+
+    def test_core_preserving_update_reports_empty_set(self):
+        # A chord in a long cycle leaves every (2,2)-core untouched only if
+        # cores truly did not move; assert the set matches reality either way.
+        engine = DynamicKHCore(cycle_graph(12), h=2, fallback_ratio=1.0)
+        before = engine.core_numbers()
+        summary = engine.apply_batch([("+", 0, 6)])
+        after = engine.core_numbers()
+        expected = {v for v in after if before.get(v) != after[v]}
+        assert summary.changed_vertices == frozenset(expected)
