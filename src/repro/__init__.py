@@ -25,10 +25,17 @@ from repro.errors import (
     InvalidDistanceThresholdError,
     GraphFormatError,
     DatasetNotFoundError,
+    DatasetChecksumError,
     SolverTimeoutError,
     ExperimentError,
 )
-from repro.graph import Graph, SubgraphView
+from repro.graph import (
+    FrozenGraphView,
+    Graph,
+    SubgraphView,
+    load_csr,
+    stream_load,
+)
 from repro.core import (
     CoreDecomposition,
     core_decomposition,
@@ -44,7 +51,7 @@ from repro.runtime import ExecutionContext
 
 #: Single source of truth alongside pyproject.toml's ``version`` — keep the
 #: two in lockstep when releasing.
-__version__ = "0.8.0"
+__version__ = "0.9.0"
 
 __all__ = [
     "__version__",
@@ -57,11 +64,16 @@ __all__ = [
     "InvalidDistanceThresholdError",
     "GraphFormatError",
     "DatasetNotFoundError",
+    "DatasetChecksumError",
     "SolverTimeoutError",
     "ExperimentError",
     # graph
     "Graph",
     "SubgraphView",
+    "FrozenGraphView",
+    # out-of-core storage tier
+    "load_csr",
+    "stream_load",
     # core decomposition
     "CoreDecomposition",
     "core_decomposition",

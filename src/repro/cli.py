@@ -14,10 +14,20 @@ Usage::
     python -m repro index query g.khidx spectrum --v 3
     python -m repro index refresh g.khidx updates.txt
     python -m repro datasets export jazz jazz.edges       # stable fixtures
+    python -m repro datasets fetch caHe                   # real SNAP graph
+    python -m repro load big.edges --out big.khcsr        # out-of-core build
+    python -m repro big.khcsr --h 2 --summary             # decompose it
 
 The input format is a plain edge list (one ``u v`` pair per line, ``#``/``%``
-comments allowed — the SNAP convention).  The output is one ``vertex core``
-pair per line, or a short summary with ``--summary``.
+comments allowed — the SNAP convention) or a ``.khcsr`` CSR block file
+built by the ``load`` subcommand (opened memory-mapped, so graphs larger
+than RAM decompose without ever being expanded into dicts).  The output is
+one ``vertex core`` pair per line, or a short summary with ``--summary``.
+
+The ``load`` subcommand streams a large edge list into a ``.khcsr`` block
+file with bounded memory (two-pass external-sort pipeline — see
+``docs/scaling.md``); ``--json`` reports load statistics including the
+process peak RSS, which the out-of-core benchmark asserts against.
 
 The ``stream`` subcommand replays an edge-update stream (one ``op u v`` line
 per update, ``op`` being ``+`` or ``-``) through the dynamic maintenance
@@ -54,6 +64,7 @@ from repro.dynamic import DynamicKHCore, read_update_stream
 from repro.errors import ReproError
 from repro.graph import Graph, read_edge_list
 from repro.graph.generators import relaxed_caveman_graph
+from repro.graph.storage import BLOCK_SUFFIX
 from repro.runtime import ExecutionContext, resolve_worker_count
 
 
@@ -75,6 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("auto", "classic", "naive", "h-BZ", "h-LB", "h-LB+UB"),
                         help="decomposition algorithm (default: auto)")
     _add_backend_arguments(parser)
+    parser.add_argument("--storage-dir", default=None,
+                        help="directory for storage=mmap block files "
+                             "(default: the system temp dir)")
     parser.add_argument("--partition-size", type=int, default=1,
                         help="partition size S for h-LB+UB (default: 1)")
     parser.add_argument("--threads", type=int, default=None,
@@ -169,6 +183,75 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_load_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``load`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro load",
+        description="Stream an edge-list file into an on-disk CSR block "
+                    "file (.khcsr) with bounded memory, ready for "
+                    "memory-mapped decomposition.",
+    )
+    parser.add_argument("input", help="edge-list file (u v per line)")
+    parser.add_argument("--out", default=None,
+                        help="block file to write (default: <input>.khcsr)")
+    parser.add_argument("--max-ram-bytes", type=int, default=None,
+                        help="peak-RSS budget for the loader's working "
+                             "state; smaller budgets spill more but the "
+                             "output is byte-identical (default: 64 MiB)")
+    parser.add_argument("--tmp-dir", default=None,
+                        help="directory for build scratch files "
+                             "(default: alongside the output)")
+    parser.add_argument("--external-relabel", action="store_true",
+                        help="force the fully external relabel path even "
+                             "when the rank table would fit the budget")
+    parser.add_argument("--json", action="store_true",
+                        help="print load statistics as JSON on stdout "
+                             "(includes the process peak RSS in KiB)")
+    return parser
+
+
+def load_main(argv: Sequence[str]) -> int:
+    """Entry point for ``python -m repro load``."""
+    # Deferred import: the loader stack is only needed by this subcommand.
+    import resource
+
+    from repro.graph.stream_load import stream_load_with_stats
+
+    parser = build_load_parser()
+    args = parser.parse_args(list(argv))
+    out_path = args.out or (args.input + BLOCK_SUFFIX)
+    started = time.perf_counter()
+    try:
+        csr, stats = stream_load_with_stats(
+            args.input, out_path=out_path,
+            max_ram_bytes=args.max_ram_bytes, tmp_dir=args.tmp_dir,
+            external_relabel=True if args.external_relabel else None)
+        csr.close()
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    if args.json:
+        return _print_json({
+            "out": out_path,
+            "vertices": stats.vertices,
+            "edges": stats.edges,
+            "lines": stats.lines,
+            "self_loops": stats.self_loops,
+            "duplicate_edges": stats.duplicate_edges,
+            "identity_labels": stats.identity_labels,
+            "external_relabel": stats.external_relabel,
+            "spill_runs": stats.spill_runs,
+            "seconds": elapsed,
+            "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        })
+    print(f"# wrote {out_path}: {stats.vertices} vertices, "
+          f"{stats.edges} edges in {elapsed:.3f}s "
+          f"({stats.spill_runs} spill runs)", file=sys.stderr)
+    return 0
+
+
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="auto",
                         choices=("auto", "dict", "csr", "numpy"),
@@ -188,13 +271,39 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "CSR build time (degree: hubs first, bfs: "
                              "neighbors clustered); results are unaffected, "
                              "only the internal index order changes")
+    parser.add_argument("--storage", default="auto",
+                        choices=("auto", "ram", "mmap"),
+                        help="where the CSR snapshot arrays live: ram "
+                             "(in-process), mmap (an on-disk block file, "
+                             "for graphs larger than RAM), or auto (mmap "
+                             "above the KH_CORE_MMAP_THRESHOLD payload "
+                             "size, ram below)")
 
 
-def _load_graph(args: argparse.Namespace) -> Graph:
+def _load_graph(args: argparse.Namespace, mutable: bool = False):
+    """Load the graph named by ``args`` (demo, edge list, or block file).
+
+    A ``.khcsr`` input (built by the ``load`` subcommand) is opened
+    memory-mapped and wrapped in a read-only
+    :class:`~repro.graph.views.FrozenGraphView` — decomposition and index
+    builds run on it directly without expanding the graph into dicts.
+    Commands that mutate the graph (``stream``, ``serve``) pass
+    ``mutable=True`` and reject block files with a clear error.
+    """
     if args.demo:
         return relaxed_caveman_graph(8, 8, 0.15, seed=0)
     if not args.input:
         raise ReproError("either an input file or --demo is required")
+    if args.input.endswith(BLOCK_SUFFIX):
+        if mutable:
+            raise ReproError(
+                f"{args.input}: CSR block files are read-only snapshots; "
+                "this command needs a mutable graph — pass the original "
+                "edge-list file instead")
+        from repro.graph.storage import load_csr
+        from repro.graph.views import FrozenGraphView
+
+        return FrozenGraphView(load_csr(args.input))
     return read_edge_list(args.input)
 
 
@@ -219,7 +328,8 @@ def _emit_core_lines(core_index, output: Optional[str]) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` (and the ``kh-core`` script).
 
-    The ``stream``, ``serve``, ``index`` and ``datasets`` subcommands are
+    The ``stream``, ``serve``, ``index``, ``datasets`` and ``load``
+    subcommands are
     dispatched on the first token rather than through argparse subparsers,
     because the default command's optional positional input would otherwise
     be ambiguous.  Consequence: an edge-list file literally named after a
@@ -234,6 +344,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return index_main(argv[1:])
     if argv and argv[0] == "datasets":
         return datasets_main(argv[1:])
+    if argv and argv[0] == "load":
+        return load_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -248,7 +360,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                               executor=args.executor,
                               num_workers=workers,
                               csr_threshold=args.csr_threshold,
-                              relabel=args.relabel) as context:
+                              relabel=args.relabel,
+                              storage=args.storage,
+                              storage_dir=args.storage_dir) as context:
             report = core_decomposition_with_report(
                 graph, args.h, algorithm=args.algorithm,
                 dataset_name=args.input or "demo",
@@ -282,6 +396,11 @@ def stream_main(argv: Sequence[str]) -> int:
     parser = build_stream_parser()
     args = parser.parse_args(list(argv))
     try:
+        if args.graph and args.graph.endswith(BLOCK_SUFFIX):
+            raise ReproError(
+                f"{args.graph}: CSR block files are read-only snapshots; "
+                "stream replay needs a mutable graph — pass the original "
+                "edge-list file instead")
         graph = read_edge_list(args.graph) if args.graph else Graph()
         updates = read_update_stream(args.updates)
         engine_kwargs = {}
@@ -290,7 +409,8 @@ def stream_main(argv: Sequence[str]) -> int:
         backend = resolved_backend_name(graph, args.backend,
                                         csr_threshold=args.csr_threshold)
         engine = DynamicKHCore(graph, h=args.h, backend=backend,
-                               relabel=args.relabel, **engine_kwargs)
+                               relabel=args.relabel, storage=args.storage,
+                               **engine_kwargs)
         if args.verbose:
             print(f"# backend: {backend} (requested: {args.backend})",
                   file=sys.stderr)
@@ -338,7 +458,7 @@ def serve_main(argv: Sequence[str]) -> int:
     parser = build_serve_parser()
     args = parser.parse_args(list(argv))
     try:
-        graph = _load_graph(args)
+        graph = _load_graph(args, mutable=True)
         backend = resolved_backend_name(graph, args.backend,
                                         csr_threshold=args.csr_threshold)
         service_kwargs = {}
@@ -347,7 +467,7 @@ def serve_main(argv: Sequence[str]) -> int:
         if args.index_path is not None:
             service_kwargs["index_path"] = args.index_path
         service = CoreService(graph, h=args.h, backend=backend,
-                              relabel=args.relabel,
+                              relabel=args.relabel, storage=args.storage,
                               fallback_ratio=args.fallback_ratio,
                               executor=args.executor,
                               num_workers=args.workers,
@@ -467,8 +587,9 @@ def build_datasets_parser() -> argparse.ArgumentParser:
     """Build the argument parser of the ``datasets`` subcommand family."""
     parser = argparse.ArgumentParser(
         prog="python -m repro datasets",
-        description="List the synthetic stand-in datasets and export them "
-                    "as deterministic edge-list files.",
+        description="List the synthetic stand-in datasets, export them as "
+                    "deterministic edge-list files, and fetch the paper's "
+                    "real public graphs into a local cache.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -483,6 +604,22 @@ def build_datasets_parser() -> argparse.ArgumentParser:
                         help="dataset scale (default: small)")
     export.add_argument("--seed", type=int, default=0,
                         help="generator seed (default: 0)")
+
+    fetch = commands.add_parser(
+        "fetch", help="download (once) a real public dataset and print the "
+                      "cached edge-list path")
+    fetch.add_argument("name",
+                       help="real dataset name (see 'datasets list')")
+    fetch.add_argument("--cache-dir", default=None,
+                       help="cache root (default: KH_CORE_DATA_DIR or "
+                            "~/.cache/kh-core-datasets)")
+    fetch.add_argument("--refresh", action="store_true",
+                       help="re-download even when a cached archive exists "
+                            "(still checksum-verified)")
+    fetch.add_argument("--normalize", action="store_true",
+                       help="also write the canonical sorted form and "
+                            "print its path (materializes the graph in "
+                            "RAM; for small/medium datasets)")
     return parser
 
 
@@ -603,7 +740,13 @@ def _run_index_query(reader, args: argparse.Namespace) -> object:
 
 def datasets_main(argv: Sequence[str]) -> int:
     """Entry point for ``python -m repro datasets``."""
-    from repro.datasets import available_datasets, dataset_spec, export_edge_list
+    from repro.datasets import (
+        REAL_DATASET_NAMES,
+        available_datasets,
+        dataset_spec,
+        export_edge_list,
+        fetch_dataset,
+    )
 
     parser = build_datasets_parser()
     args = parser.parse_args(list(argv))
@@ -611,7 +754,15 @@ def datasets_main(argv: Sequence[str]) -> int:
         if args.command == "list":
             for name in available_datasets():
                 spec = dataset_spec(name)
-                print(f"{name:6s} {spec.family:14s} {spec.description}")
+                real = "[real]" if name in REAL_DATASET_NAMES else ""
+                print(f"{name:6s} {spec.family:14s} "
+                      f"{spec.description} {real}".rstrip())
+            return 0
+        if args.command == "fetch":
+            path = fetch_dataset(args.name, cache_dir=args.cache_dir,
+                                 refresh=args.refresh,
+                                 normalize=args.normalize)
+            print(path)
             return 0
         # args.command == "export"
         graph = export_edge_list(args.name, args.output, scale=args.scale,

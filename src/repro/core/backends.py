@@ -52,6 +52,7 @@ from repro.graph.csr import (
     resolve_numpy_threshold,
 )
 from repro.graph.graph import Graph, Vertex
+from repro.graph.views import FrozenGraphView
 from repro.instrumentation import Counters, NULL_COUNTERS
 from repro.runtime.workers import resolve_worker_count
 from repro.traversal.array_bfs import AliveMask, ArrayBFS
@@ -168,9 +169,11 @@ class DictEngine:
         if executor == "process" and workers > 1:
             # Process dispatch needs a CSR snapshot; cache one engine (and
             # its worker pool) across this engine's bulk passes instead of
-            # paying a pool spin-up per pass.
+            # paying a pool spin-up per pass.  A frozen view already carries
+            # its snapshot — reuse it instead of re-expanding the graph.
             if self._process_delegate is None:
-                self._process_delegate = CSREngine(self.graph)
+                self._process_delegate = CSREngine(
+                    self.graph, csr=getattr(self.graph, "csr", None))
             elif self._process_delegate.built_version != self.graph.version:
                 self._process_delegate.refresh(None)
             backend = self._process_delegate
@@ -185,15 +188,21 @@ class CSREngine:
     name = "csr"
 
     __slots__ = ("graph", "csr", "_scratch", "built_version", "_shm_pool",
-                 "relabel")
+                 "relabel", "_storage", "_storage_dir", "_owns_csr")
 
     def __init__(self, graph: Graph, csr: Optional[CSRGraph] = None,
-                 relabel: Optional[str] = None) -> None:
+                 relabel: Optional[str] = None,
+                 storage: str = "auto",
+                 storage_dir: Optional[str] = None) -> None:
         self.graph = graph
         self._shm_pool = None
         #: Cache-locality permutation requested for this engine's snapshots;
         #: re-applied if a refresh ever falls back to a full rebuild.
         self.relabel = relabel
+        #: Storage tier for engine-built snapshots ("ram" / "mmap" / "auto")
+        #: and where mmap spill files go; supplied snapshots keep theirs.
+        self._storage = storage
+        self._storage_dir = storage_dir
         if csr is not None and relabel is not None:
             raise ParameterError(
                 "relabel only applies when the engine builds its own CSR "
@@ -213,8 +222,12 @@ class CSREngine:
                 "the supplied CSR snapshot does not match the graph "
                 "(was the graph mutated after CSRGraph.from_graph?)"
             )
+        # The engine owns (and closes) only storage it allocated itself; a
+        # supplied snapshot's mmap block belongs to whoever built it.
+        self._owns_csr = csr is None
         self.csr = csr if csr is not None else CSRGraph.from_graph(
-            graph, relabel=relabel)
+            graph, relabel=relabel, storage=storage,
+            storage_dir=storage_dir)
         self._scratch = self._make_scratch()
         self.built_version = graph.version
 
@@ -252,8 +265,20 @@ class CSREngine:
         """
         if self.built_version == self.graph.version:
             return
-        self.csr = self.csr.rebuilt(self.graph, touched,
-                                    relabel=self.relabel)
+        previous = self.csr
+        if self._storage == "ram":
+            self.csr = previous.rebuilt(self.graph, touched,
+                                        relabel=self.relabel)
+        else:
+            # Delta reuse only applies to RAM lists; a storage-tiered
+            # engine rebuilds under its configured policy so a spilled
+            # snapshot stays spilled across refreshes.
+            self.csr = CSRGraph.from_graph(self.graph, relabel=self.relabel,
+                                           storage=self._storage,
+                                           storage_dir=self._storage_dir)
+        if self._owns_csr and previous is not self.csr:
+            previous.close()
+        self._owns_csr = True
         self._scratch = self._make_scratch()
         self.built_version = self.graph.version
         if self._shm_pool is not None:
@@ -267,14 +292,19 @@ class CSREngine:
             self._shm_pool.invalidate_export()
 
     def close(self) -> None:
-        """Tear down the process pool and shared-memory export, if any.
+        """Tear down the process pool, shared export and owned storage.
 
-        Idempotent; the engine remains usable afterwards (a later
-        ``executor="process"`` bulk pass simply spins the pool up again).
+        Idempotent with respect to the pool; the engine remains usable for
+        RAM snapshots afterwards (a later ``executor="process"`` bulk pass
+        simply spins the pool up again).  An *owned* mmap-backed snapshot is
+        closed too — its temp spill file is unlinked — so call ``close``
+        only when done with the engine; supplied snapshots are left alone.
         """
         pool, self._shm_pool = self._shm_pool, None
         if pool is not None:
             pool.close()
+        if self._owns_csr and self.csr.storage_kind != "ram":
+            self.csr.close()
 
     def _process_pool(self, num_workers: int,
                       start_method: Optional[str] = None):
@@ -481,10 +511,16 @@ class NumpyEngine(CSREngine):
 
 Engine = Union[DictEngine, CSREngine]
 
+#: Graph-like inputs the resolver accepts: a mutable dict graph or a frozen
+#: CSR snapshot view (the out-of-core entry path).
+GraphLike = Union[Graph, FrozenGraphView]
 
-def resolve_engine(graph: Graph, backend: Union[str, Engine] = "dict",
+
+def resolve_engine(graph: GraphLike, backend: Union[str, Engine] = "dict",
                    csr_threshold: Optional[int] = None,
-                   relabel: Optional[str] = None) -> Engine:
+                   relabel: Optional[str] = None,
+                   storage: str = "auto",
+                   storage_dir: Optional[str] = None) -> Engine:
     """Return the engine requested by ``backend`` for ``graph``.
 
     ``backend`` may be one of the names in :data:`BACKENDS` or an
@@ -502,6 +538,15 @@ def resolve_engine(graph: Graph, backend: Union[str, Engine] = "dict",
     :func:`~repro.graph.csr.relabel_order`); it changes only the internal
     index order, never label-space results, and is ignored by the dict
     engine (which has no index layout to permute).
+
+    ``storage`` / ``storage_dir`` select the storage tier for engine-built
+    CSR snapshots (:data:`repro.graph.storage.STORAGES`): ``"auto"`` (the
+    default) keeps historical in-RAM behavior below the mmap threshold and
+    spills giant snapshots to a temp block file; ``"mmap"`` forces the
+    spill.  A :class:`~repro.graph.views.FrozenGraphView` input skips the
+    build entirely — its embedded snapshot (whatever tier it lives on) is
+    reused as the engine's arrays, which is how a stream-loaded on-disk
+    graph decomposes without ever expanding into dicts.
     """
     if isinstance(backend, (DictEngine, CSREngine)):
         if relabel is not None:
@@ -531,6 +576,15 @@ def resolve_engine(graph: Graph, backend: Union[str, Engine] = "dict",
         return backend
     # Single source of truth for name validation and the "auto" policy.
     name = resolved_backend_name(graph, backend, csr_threshold)
+    # A frozen view carries its snapshot: hand it straight to the engine
+    # (its version property matches the snapshot's stamp, so the supplied-
+    # snapshot validation passes) instead of rebuilding the arrays.
+    frozen_csr = graph.csr if isinstance(graph, FrozenGraphView) else None
+    if frozen_csr is not None and relabel is not None:
+        raise ParameterError(
+            "relabel does not apply to a FrozenGraphView: its snapshot's "
+            "vertex order is fixed"
+        )
     if name == "dict":
         return DictEngine(graph)
     if name == "numpy":
@@ -546,11 +600,13 @@ def resolve_engine(graph: Graph, backend: Union[str, Engine] = "dict",
                 "(pip install 'kh-core-repro[numpy]'); the 'csr' and "
                 "'dict' engines run without it"
             )
-        return NumpyEngine(graph, relabel=relabel)
-    return CSREngine(graph, relabel=relabel)
+        return NumpyEngine(graph, csr=frozen_csr, relabel=relabel,
+                           storage=storage, storage_dir=storage_dir)
+    return CSREngine(graph, csr=frozen_csr, relabel=relabel,
+                     storage=storage, storage_dir=storage_dir)
 
 
-def resolved_backend_name(graph: Graph, backend: Union[str, Engine],
+def resolved_backend_name(graph: GraphLike, backend: Union[str, Engine],
                           csr_threshold: Optional[int] = None) -> str:
     """Return the concrete backend name ``backend`` resolves to for ``graph``.
 
@@ -558,11 +614,18 @@ def resolved_backend_name(graph: Graph, backend: Union[str, Engine],
     ``"auto"`` request actually selected.  The ``"auto"`` ladder: dict for
     graphs that are not integer-friendly or below the CSR threshold, then
     numpy when NumPy is importable and the graph clears the NumPy size
-    threshold, csr otherwise.
+    threshold, csr otherwise.  A frozen CSR view skips the suitability
+    probe — its arrays already exist, so ``"auto"`` never falls back to
+    dict for it.
     """
     if isinstance(backend, (DictEngine, CSREngine)):
         return backend.name
     if backend == "auto":
+        if isinstance(graph, FrozenGraphView):
+            if (numpy_available()
+                    and graph.num_vertices >= resolve_numpy_threshold()):
+                return "numpy"
+            return "csr"
         if not csr_suitable(graph, csr_threshold):
             return "dict"
         if (numpy_available()

@@ -1,14 +1,27 @@
-"""Synthetic stand-ins for the paper's thirteen real-world datasets.
+"""The paper's datasets: synthetic stand-ins plus real-download plumbing.
 
 The paper evaluates on public graphs from SNAP / KONECT / networkrepository
-(Table 1), up to 4.8 million vertices.  This environment has no network
-access and a single CPU core, so each real dataset is replaced by a synthetic
-graph of the same *structural family* (social, collaboration, biological,
-road, co-purchasing) at a laptop-friendly scale.  DESIGN.md §3 documents the
-substitution; :func:`paper_characteristics` keeps the original Table 1 values
-available for side-by-side reporting.
+(Table 1), up to 4.8 million vertices.  Two complementary paths:
+
+* :mod:`repro.datasets.registry` — deterministic synthetic graphs of the
+  same *structural family* (social, collaboration, biological, road,
+  co-purchasing) at laptop-friendly scales, so the test-suite, examples and
+  benchmarks run offline and reproducibly.  DESIGN.md §3 documents the
+  substitution; :func:`paper_characteristics` keeps the original Table 1
+  values available for side-by-side reporting.
+* :mod:`repro.datasets.fetch` — cached, checksum-verified downloaders for
+  the actual public graphs (``kh-core datasets fetch``), feeding the
+  out-of-core loader for the experiments that want the real thing.
 """
 
+from repro.datasets.fetch import (
+    REAL_DATASET_NAMES,
+    RealDatasetSpec,
+    available_real_datasets,
+    default_cache_dir,
+    fetch_dataset,
+    real_dataset_spec,
+)
 from repro.datasets.registry import (
     DATASET_NAMES,
     DatasetSpec,
@@ -23,10 +36,16 @@ from repro.datasets.registry import (
 __all__ = [
     "DATASET_NAMES",
     "DatasetSpec",
+    "REAL_DATASET_NAMES",
+    "RealDatasetSpec",
     "available_datasets",
-    "load_dataset",
-    "load_many",
+    "available_real_datasets",
+    "default_cache_dir",
     "dataset_spec",
     "export_edge_list",
+    "fetch_dataset",
+    "load_dataset",
+    "load_many",
     "paper_characteristics",
+    "real_dataset_spec",
 ]

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import IO, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import DatasetNotFoundError, ParameterError
+from repro.graph.edgefile import write_canonical
 from repro.graph.graph import Graph
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -181,31 +182,17 @@ def export_edge_list(name: str, target: Union[str, os.PathLike, IO[str]],
     on every run and platform — the property index builds and the
     benchmark harness rely on for stable on-disk fixtures.  Isolated
     vertices are written as bare-id lines (the
-    :func:`repro.graph.io.read_edge_list` round-trip convention).  Returns
-    the generated graph so callers can index or decompose it without
-    re-reading the file.
+    :func:`repro.graph.io.read_edge_list` round-trip convention).  The
+    formatting itself is :func:`repro.graph.edgefile.write_canonical` —
+    the same writer the real-dataset fetch pipeline normalizes downloads
+    through.  Returns the generated graph so callers can index or
+    decompose it without re-reading the file.
     """
     graph = load_dataset(name, scale=scale, seed=seed)
-    lines = []
-    for u, v in graph.edges():
-        a, b = sorted((u, v), key=lambda x: (repr(type(x)), repr(x)))
-        lines.append(f"{a} {b}")
-    for v in graph.vertices():
-        if graph.degree(v) == 0:
-            lines.append(f"{v}")
-    lines.sort()
-    header = (f"# dataset {name} scale={scale} seed={seed}: "
-              f"{graph.num_vertices} vertices, {graph.num_edges} edges\n")
-    if hasattr(target, "write"):
-        handle, should_close = target, False
-    else:
-        handle, should_close = open(target, "w", encoding="utf-8"), True
-    try:
-        handle.write(header)
-        handle.write("\n".join(lines) + "\n" if lines else "")
-    finally:
-        if should_close:
-            handle.close()
+    write_canonical(
+        graph, target,
+        header=(f"dataset {name} scale={scale} seed={seed}: "
+                f"{graph.num_vertices} vertices, {graph.num_edges} edges"))
     return graph
 
 

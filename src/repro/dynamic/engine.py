@@ -89,6 +89,11 @@ class DynamicKHCore:
         Optional cache-locality vertex permutation (``"degree"`` / ``"bfs"``)
         applied whenever a CSR-family snapshot is built; maintained cores
         are label-space and unaffected.
+    storage:
+        Storage tier for CSR-family snapshots (``"auto"`` / ``"ram"`` /
+        ``"mmap"`` — see :mod:`repro.graph.storage`).  Dynamic maintenance
+        still keeps the live dict graph in RAM; this only controls where
+        the peeling snapshots spill.
     algorithm:
         Batch algorithm used for the initial decomposition and every full
         recomputation (``"auto"`` dispatches as in
@@ -139,6 +144,7 @@ class DynamicKHCore:
                  executor: str = "thread",
                  num_workers: Optional[int] = None,
                  relabel: Optional[str] = None,
+                 storage: str = "auto",
                  initial_cores: Optional[Dict[Vertex, int]] = None) -> None:
         if not isinstance(h, int) or isinstance(h, bool) or h < 1:
             raise InvalidDistanceThresholdError(h)
@@ -165,6 +171,7 @@ class DynamicKHCore:
         self.backend = resolved_backend_name(self.graph, backend)
         self.executor = executor
         self.relabel = relabel
+        self.storage = storage
         #: The execution context owns the peeling engine (and any worker
         #: pool it spins up) for the engine's whole lifetime; rebuilt only
         #: if the graph object itself is swapped out from under us.
@@ -173,7 +180,8 @@ class DynamicKHCore:
                                          num_workers=num_workers,
                                          num_threads=num_threads,
                                          counters=self.counters,
-                                         relabel=relabel)
+                                         relabel=relabel,
+                                         storage=storage)
         self.num_workers = self._context.num_workers
         self._core: Dict[Vertex, int] = {}
         self._synced_version: int = -1
@@ -534,7 +542,7 @@ class DynamicKHCore:
             self._context = context = ExecutionContext(
                 self.graph, backend=self.backend, executor=self.executor,
                 num_workers=self.num_workers, counters=self.counters,
-                relabel=self.relabel)
+                relabel=self.relabel, storage=self.storage)
         elif isinstance(context.engine, CSREngine):
             context.engine.refresh(touched)
         return context.engine

@@ -59,6 +59,24 @@ class DatasetNotFoundError(ReproError, KeyError):
         self.available = available
 
 
+class DatasetChecksumError(ReproError):
+    """A downloaded dataset's bytes do not match the recorded checksum.
+
+    Raised by :func:`repro.datasets.fetch.fetch_dataset` both for a
+    mismatch against a pinned checksum in the spec and against the
+    trust-on-first-use sidecar recorded by an earlier fetch.
+    """
+
+    def __init__(self, name: str, expected: str, actual: str) -> None:
+        super().__init__(
+            f"dataset {name!r}: checksum mismatch (expected {expected}, "
+            f"got {actual}); delete the cached file to re-download"
+        )
+        self.name = name
+        self.expected = expected
+        self.actual = actual
+
+
 class CoreIndexError(ReproError):
     """Problem with a persistent core-index store (see :mod:`repro.index`)."""
 

@@ -11,17 +11,27 @@ For the performance-oriented decomposition path, :class:`repro.graph.CSRGraph`
 offers an immutable, int-relabeled compressed-sparse-row snapshot of a
 :class:`Graph`; see :mod:`repro.core.backends` for how the algorithms select
 between the two representations.
+
+The storage tier (:mod:`repro.graph.storage`) decides where a snapshot's
+arrays live — in RAM or in an mmap-backed on-disk block file — and
+:func:`repro.graph.stream_load.stream_load` builds such block files from
+edge lists of any size under a bounded memory budget.  A finalized block
+reopens as a :class:`CSRGraph` via :func:`load_csr`, and
+:class:`FrozenGraphView` presents it through the read-only subset of the
+:class:`Graph` API so every decomposition entry point accepts it.
 """
 
 from repro.graph.graph import Graph
 from repro.graph.csr import CSRGraph, csr_suitable
-from repro.graph.views import SubgraphView
+from repro.graph.views import FrozenGraphView, SubgraphView
 from repro.graph.io import (
     read_edge_list,
     write_edge_list,
     read_adjacency_list,
     write_adjacency_list,
 )
+from repro.graph.storage import estimated_payload_bytes, load_csr, resolve_storage
+from repro.graph.stream_load import LoadStats, stream_load, stream_load_with_stats
 from repro.graph.generators import (
     complete_graph,
     cycle_graph,
@@ -47,6 +57,13 @@ __all__ = [
     "CSRGraph",
     "csr_suitable",
     "SubgraphView",
+    "FrozenGraphView",
+    "estimated_payload_bytes",
+    "load_csr",
+    "resolve_storage",
+    "LoadStats",
+    "stream_load",
+    "stream_load_with_stats",
     "read_edge_list",
     "write_edge_list",
     "read_adjacency_list",

@@ -24,12 +24,21 @@ iteration.
 from __future__ import annotations
 
 import os
-import warnings
+import tempfile
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ParameterError, VertexNotFoundError
 from repro.graph.graph import Graph, Vertex
+from repro.graph.storage import (
+    BLOCK_SUFFIX,
+    MmapCSRStorage,
+    _env_threshold,
+    estimated_payload_bytes,
+    resolve_storage,
+    sidecar_safe_label,
+    write_block_file,
+)
 
 #: Minimum vertex count for ``backend="auto"`` to choose CSR when no explicit
 #: threshold (keyword or ``KH_CORE_CSR_THRESHOLD`` env var) is given.  Zero
@@ -54,12 +63,62 @@ NUMPY_THRESHOLD_ENV_VAR = "KH_CORE_NUMPY_THRESHOLD"
 RELABEL_STRATEGIES = ("none", "degree", "bfs")
 
 
+class IdentityIndex:
+    """``index_of`` mapping for snapshots whose labels are exactly ``0..n-1``.
+
+    Behaves like the dict ``{i: i for i in range(n)}`` for the read
+    operations the library performs — ``[]``, ``in``, ``get``, ``len``,
+    iteration — without materializing n entries.  Stream-loaded graphs with
+    contiguous integer ids use this (paired with a ``range`` for
+    ``labels``), making the relabeling layer free at any scale.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __getitem__(self, label: Vertex) -> int:
+        if type(label) is int and 0 <= label < self.n:
+            return label
+        raise KeyError(label)
+
+    def __contains__(self, label: object) -> bool:
+        return type(label) is int and 0 <= label < self.n  # type: ignore[operator]
+
+    def get(self, label: Vertex, default: Optional[int] = None
+            ) -> Optional[int]:
+        """Index of ``label``, or ``default`` when out of range."""
+        if type(label) is int and 0 <= label < self.n:
+            return label
+        return default
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self):
+        return iter(range(self.n))
+
+    def items(self):
+        """``(label, index)`` pairs, mirroring ``dict.items``."""
+        return ((i, i) for i in range(self.n))
+
+
 class CSRGraph:
     """Flat-array adjacency snapshot of an undirected :class:`Graph`.
 
-    Instances are produced by :meth:`from_graph` and never mutated; the
-    peeling algorithms express vertex deletions through "alive" masks instead
-    of touching the structure (see :mod:`repro.core.backends`).
+    Instances are produced by :meth:`from_graph` (or the out-of-core
+    loaders — see :meth:`from_edge_file`) and never mutated; the peeling
+    algorithms express vertex deletions through "alive" masks instead of
+    touching the structure (see :mod:`repro.core.backends`).
+
+    The arrays live in one of the storage tiers of
+    :mod:`repro.graph.storage`: plain RAM lists (``storage`` attribute
+    ``None`` or a :class:`~repro.graph.storage.RamCSRStorage`) or zero-copy
+    views into an mmap-backed block file
+    (:class:`~repro.graph.storage.MmapCSRStorage`).  Every query below is
+    storage-agnostic — both tiers expose int64 elements through integer
+    indexing and slice iteration.
 
     Example
     -------
@@ -72,26 +131,35 @@ class CSRGraph:
     """
 
     __slots__ = ("indptr", "adjacency", "labels", "index_of",
-                 "source_version")
+                 "source_version", "storage")
 
-    def __init__(self, indptr: List[int], adjacency: List[int],
-                 labels: List[Vertex],
-                 index_of: Optional[Dict[Vertex, int]] = None,
-                 source_version: Optional[int] = None) -> None:
+    def __init__(self, indptr: Sequence[int], adjacency: Sequence[int],
+                 labels: Sequence[Vertex],
+                 index_of: Optional[Union[Dict[Vertex, int],
+                                          IdentityIndex]] = None,
+                 source_version: Optional[int] = None,
+                 storage: Optional[object] = None) -> None:
         self.indptr = indptr
         self.adjacency = adjacency
         self.labels = labels
-        self.index_of: Dict[Vertex, int] = (
+        self.index_of: Union[Dict[Vertex, int], IdentityIndex] = (
             index_of if index_of is not None
             else {v: i for i, v in enumerate(labels)})
         #: ``Graph.version`` of the source graph at snapshot time (None for
         #: hand-assembled instances).  Lets consumers detect snapshots taken
         #: before a mutation even when |V| and |E| happen to match.
         self.source_version = source_version
+        #: Storage backend owning the arrays (None for plain RAM lists).
+        #: Close it (:meth:`close`) to release an mmap-backed snapshot's
+        #: file mapping.
+        self.storage = storage
 
     @classmethod
     def from_graph(cls, graph: Graph,
-                   relabel: Optional[str] = None) -> "CSRGraph":
+                   relabel: Optional[str] = None,
+                   storage: str = "ram",
+                   storage_path: Optional[str] = None,
+                   storage_dir: Optional[str] = None) -> "CSRGraph":
         """Relabel ``graph`` to ``0..n-1`` and pack adjacency into flat arrays.
 
         By default, vertex order follows the graph's (deterministic)
@@ -106,6 +174,18 @@ class CSRGraph:
         expressed in label space (core numbers, h-degrees, counters) are
         unaffected — only the internal index enumeration (and therefore
         traversal order and memory-access pattern) changes.
+
+        ``storage`` selects the tier the arrays end up in: ``"ram"`` (the
+        default — plain lists), ``"mmap"`` (the build is spilled to a block
+        file and re-opened as zero-copy mappings), or ``"auto"`` (mmap only
+        when the estimated payload clears ``KH_CORE_MMAP_THRESHOLD``).
+        ``storage_path`` persists the block file at a chosen location
+        (with a labels sidecar, so :func:`~repro.graph.storage.load_csr`
+        can re-open it later); otherwise an unlinked-on-close temp file
+        under ``storage_dir`` is used.  Note the source graph is already
+        in RAM here — the spill bounds the *decomposition's* footprint,
+        not the build's; for end-to-end bounded loading use
+        :meth:`from_edge_file`.
         """
         labels = relabel_order(graph, relabel)
         index_of = {v: i for i, v in enumerate(labels)}
@@ -115,8 +195,84 @@ class CSRGraph:
             neighbors = sorted(index_of[u] for u in graph.neighbors(v))
             adjacency.extend(neighbors)
             indptr[i + 1] = len(adjacency)
-        return cls(indptr, adjacency, labels, index_of,
-                   source_version=graph.version)
+        resolved = resolve_storage(
+            storage, estimated_payload_bytes(len(labels),
+                                             len(adjacency) // 2))
+        if resolved == "ram":
+            return cls(indptr, adjacency, labels, index_of,
+                       source_version=graph.version)
+        return cls._spill_to_mmap(indptr, adjacency, labels, index_of,
+                                  graph.version, storage_path, storage_dir)
+
+    @classmethod
+    def _spill_to_mmap(cls, indptr: List[int], adjacency: List[int],
+                       labels: List[Vertex], index_of: Dict[Vertex, int],
+                       source_version: Optional[int],
+                       storage_path: Optional[str],
+                       storage_dir: Optional[str]) -> "CSRGraph":
+        """Write built arrays to a block file and re-open them mmap-backed."""
+        identity = all(
+            type(v) is int and v == i for i, v in enumerate(labels))
+        persist = storage_path is not None
+        if persist:
+            path = storage_path
+        else:
+            fd, path = tempfile.mkstemp(suffix=BLOCK_SUFFIX,
+                                        dir=storage_dir,
+                                        prefix="kh-core-csr-")
+            os.close(fd)
+        sidecar: Optional[List[Vertex]] = None
+        volatile = False
+        if not identity:
+            if persist and not all(sidecar_safe_label(v) for v in labels):
+                raise ParameterError(
+                    "cannot persist this snapshot: a vertex label does not "
+                    "round-trip through the labels sidecar (only ints and "
+                    "whitespace-free non-numeric strings do)"
+                )
+            if persist:
+                sidecar = labels
+            else:
+                volatile = True  # labels stay on this object, in RAM
+        write_block_file(path, indptr, adjacency, labels=sidecar,
+                         volatile_labels=volatile)
+        mm = MmapCSRStorage(path, delete_on_close=not persist)
+        return cls(mm.indptr, mm.adjacency, labels, index_of,
+                   source_version=source_version, storage=mm)
+
+    @classmethod
+    def from_edge_file(cls, path: str,
+                       storage: str = "auto",
+                       out_path: Optional[str] = None,
+                       max_ram_bytes: Optional[int] = None,
+                       tmp_dir: Optional[str] = None) -> "CSRGraph":
+        """Stream an edge-list file straight into a CSR snapshot.
+
+        Runs the two-pass external-sort loader
+        (:func:`repro.graph.stream_load.stream_load`) — the graph is never
+        materialized as Python dicts, so peak RSS is bounded by
+        ``max_ram_bytes`` regardless of file size.  Vertex ids are assigned
+        indices in sorted order (ints first, ascending, then strings), not
+        file order.  ``storage`` decides where the result lives: ``"mmap"``
+        keeps the block file mapped (at ``out_path``, or a temp file
+        deleted on close), ``"ram"`` materializes the arrays into lists and
+        discards the temp block, ``"auto"`` spills to mmap only for
+        payloads clearing ``KH_CORE_MMAP_THRESHOLD``.
+        """
+        from repro.graph.stream_load import stream_load
+
+        resolved = resolve_storage(storage,
+                                   _edge_file_payload_estimate(path))
+        if resolved == "mmap":
+            return stream_load(path, out_path=out_path,
+                               max_ram_bytes=max_ram_bytes,
+                               tmp_dir=tmp_dir)
+        csr = stream_load(path, out_path=None, max_ram_bytes=max_ram_bytes,
+                          tmp_dir=tmp_dir)
+        try:
+            return csr.to_ram()
+        finally:
+            csr.close()
 
     def rebuilt(self, graph: Graph,
                 touched: Optional[Iterable[Vertex]] = None,
@@ -137,9 +293,12 @@ class CSRGraph:
         ``None`` or when a vertex of this snapshot has been removed (index
         stability is impossible then); ``relabel`` is the permutation to
         re-apply on that path, so an engine's requested cache-locality
-        layout survives the fallback.
+        layout survives the fallback.  An mmap-backed snapshot always takes
+        the full-rebuild path — its arrays are immutable file views — and
+        the rebuild lands in RAM: a graph under mutation is dict-resident
+        anyway, so the out-of-core tier is for static snapshots.
         """
-        if touched is None:
+        if touched is None or self.storage_kind != "ram":
             return CSRGraph.from_graph(graph, relabel=relabel)
         touched_set = {v for v in touched if v in graph}
         if graph.num_vertices < len(self.labels) or any(
@@ -188,6 +347,42 @@ class CSRGraph:
         copy_span(old_count)
         return CSRGraph(indptr, adjacency, labels, index_of,
                         source_version=graph.version)
+
+    # ------------------------------------------------------------------ #
+    # storage tier
+    # ------------------------------------------------------------------ #
+    @property
+    def storage_kind(self) -> str:
+        """Where the arrays live: ``"ram"`` or ``"mmap"``."""
+        if self.storage is None:
+            return "ram"
+        return self.storage.kind  # type: ignore[attr-defined]
+
+    def to_ram(self) -> "CSRGraph":
+        """Materialize this snapshot's arrays into plain RAM lists.
+
+        Element-for-element identical to the source — indptr, adjacency,
+        labels and index mapping are preserved bit-for-bit, so a
+        decomposition of the copy matches one of the original exactly
+        (cores, removal orders, counters).  Returns ``self`` when already
+        RAM-resident.
+        """
+        if self.storage_kind == "ram" and isinstance(self.indptr, list):
+            return self
+        labels = self.labels
+        if not isinstance(labels, range):
+            labels = list(labels)
+        return CSRGraph(list(self.indptr), list(self.adjacency), labels,
+                        self.index_of, source_version=self.source_version)
+
+    def close(self) -> None:
+        """Release the storage backend, if any (no-op for RAM snapshots).
+
+        After closing an mmap-backed snapshot its array views are invalid;
+        temp-file-backed storages also unlink their block file here.
+        """
+        if self.storage is not None:
+            self.storage.close()  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------ #
     # queries (index space)
@@ -291,6 +486,7 @@ def relabel_order(graph: Graph, relabel: Optional[str]) -> List[Vertex]:
     position = {v: i for i, v in enumerate(vertices)}
 
     def rank(v: Vertex) -> Tuple[int, int]:
+        """Sort key: degree-descending, ties by insertion position."""
         return (-graph.degree(v), position[v])
 
     by_degree = sorted(vertices, key=rank)
@@ -312,34 +508,6 @@ def relabel_order(graph: Graph, relabel: Optional[str]) -> List[Vertex]:
                     seen.add(u)
                     queue.append(u)
     return order
-
-
-def _env_threshold(env_var: str, default: int) -> int:
-    """Parse a non-negative int threshold from the environment.
-
-    Invalid values (non-integer or negative) *warn and fall back* to
-    ``default`` instead of raising: a typo in a deployment environment
-    should degrade to the default auto policy, not crash every
-    decomposition entry point.
-    """
-    raw = os.environ.get(env_var)
-    if raw is None:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        warnings.warn(
-            f"{env_var}={raw!r} is not an integer; falling back to the "
-            f"default threshold ({default})",
-            RuntimeWarning, stacklevel=3)
-        return default
-    if value < 0:
-        warnings.warn(
-            f"{env_var} must be >= 0, got {value}; falling back to the "
-            f"default threshold ({default})",
-            RuntimeWarning, stacklevel=3)
-        return default
-    return value
 
 
 def resolve_csr_threshold(min_vertices: Optional[int] = None) -> int:
@@ -372,6 +540,20 @@ def resolve_numpy_threshold(min_vertices: Optional[int] = None) -> int:
         return min_vertices
     return _env_threshold(NUMPY_THRESHOLD_ENV_VAR,
                           DEFAULT_NUMPY_AUTO_THRESHOLD)
+
+
+def _edge_file_payload_estimate(path: str) -> int:
+    """Rough CSR payload estimate for an edge-list file, from its size.
+
+    A text edge line ("u v\\n") is 4+ bytes and contributes 16 bytes of
+    adjacency, so the file's own size is a conservative same-order proxy —
+    good enough for the coarse ram-vs-mmap ``storage="auto"`` decision,
+    which only has to be right about orders of magnitude.
+    """
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0
 
 
 def csr_suitable(graph: Graph, min_vertices: Optional[int] = None) -> bool:

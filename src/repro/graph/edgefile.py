@@ -1,0 +1,115 @@
+"""Shared edge-list text conventions: one parser/formatter for every path.
+
+Edge-list files flow through the library from several directions — the plain
+readers (:mod:`repro.graph.io`), the dataset export command
+(:func:`repro.datasets.registry.export_edge_list`), the real-dataset fetch
+pipeline (:mod:`repro.datasets.fetch`) and the out-of-core streaming loader
+(:mod:`repro.graph.stream_load`).  They all agree on one dialect, defined
+here exactly once:
+
+* lines starting with ``#`` or ``%`` are comments (the SNAP and KONECT
+  conventions, matching the datasets the paper uses);
+* a line with two or more whitespace-separated tokens is an edge between
+  the first two tokens (extra columns — weights, timestamps — are ignored);
+* a line with exactly one token declares an isolated vertex (the
+  round-trip convention for graphs with degree-0 vertices);
+* vertex tokens parse as ``int`` when possible, else stay strings, so
+  ``"01"`` and ``"1"`` denote the same vertex;
+* self-loops are dropped but keep their endpoint as a vertex (loops are
+  meaningless for (k,h)-cores).
+
+The canonical *writer* additionally normalizes endpoint order and sorts all
+lines so that equal graphs produce byte-identical files on every platform —
+the property index builds and benchmark fixtures rely on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterable, Iterator, List, Tuple, Union
+
+from repro.graph.graph import Graph, Vertex
+
+PathOrFile = Union[str, os.PathLike, IO[str]]
+
+#: Line prefixes treated as comments (SNAP uses ``#``, KONECT uses ``%``).
+COMMENT_PREFIXES = ("#", "%")
+
+
+def parse_vertex(token: str) -> Vertex:
+    """Interpret a vertex token as an ``int`` when possible, else a string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def vertex_sort_key(v: Vertex) -> Tuple[str, str]:
+    """Total order over mixed-type vertices (type name first, then repr)."""
+    return (repr(type(v)), repr(v))
+
+
+def split_line(line: str) -> List[str]:
+    """Tokenize one stripped, non-comment edge-list line."""
+    return line.split()
+
+
+def is_comment(line: str) -> bool:
+    """True for blank lines and ``#``/``%`` comment lines (pre-stripped)."""
+    return not line or line.startswith(COMMENT_PREFIXES)
+
+
+def iter_records(handle: Iterable[str]
+                 ) -> Iterator[Tuple[int, List[Vertex]]]:
+    """Yield ``(line_number, parsed_tokens)`` for every payload line.
+
+    Comments and blank lines are skipped; tokens beyond the second are
+    dropped (SNAP/KONECT weight and timestamp columns).  A single-token
+    record is an isolated vertex; callers decide how to treat self-loops.
+    """
+    for line_number, raw_line in enumerate(handle, start=1):
+        line = raw_line.strip()
+        if is_comment(line):
+            continue
+        tokens = split_line(line)
+        yield line_number, [parse_vertex(t) for t in tokens[:2]]
+
+
+def canonical_lines(graph: Graph) -> List[str]:
+    """Byte-stable edge-list lines for ``graph`` (sorted, loop-free).
+
+    Each edge appears once with its endpoints in :func:`vertex_sort_key`
+    order; isolated vertices become bare-id lines; the whole list is
+    sorted.  Equal graphs therefore serialize identically regardless of
+    insertion order.
+    """
+    lines = []
+    for u, v in graph.edges():
+        a, b = sorted((u, v), key=vertex_sort_key)
+        lines.append(f"{a} {b}")
+    for v in graph.vertices():
+        if graph.degree(v) == 0:
+            lines.append(f"{v}")
+    lines.sort()
+    return lines
+
+
+def write_canonical(graph: Graph, target: PathOrFile,
+                    header: str = "") -> None:
+    """Write ``graph`` to ``target`` in the canonical byte-stable form.
+
+    ``header`` (when non-empty) is emitted first as a ``#`` comment line;
+    pass the bare text, without the leading ``#`` or trailing newline.
+    """
+    lines = canonical_lines(graph)
+    if hasattr(target, "write"):
+        handle, should_close = target, False
+    else:
+        handle, should_close = open(target, "w", encoding="utf-8"), True
+    try:
+        if header:
+            handle.write(f"# {header}\n")
+        handle.write("\n".join(lines) + "\n" if lines else "")
+    finally:
+        if should_close:
+            handle.close()

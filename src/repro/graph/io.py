@@ -8,6 +8,9 @@ Two plain-text formats are supported:
 * **adjacency list** — one line per vertex: ``v: n1 n2 n3 ...``.
 
 Vertex ids are read as integers when possible, otherwise kept as strings.
+The shared dialect (comment prefixes, token parsing, isolated-vertex and
+self-loop conventions) is defined once in :mod:`repro.graph.edgefile`; this
+module keeps the convenient Graph-building entry points on top of it.
 """
 
 from __future__ import annotations
@@ -16,19 +19,11 @@ import os
 from typing import IO, Iterable, Union
 
 from repro.errors import GraphFormatError
-from repro.graph.graph import Graph, Vertex
+from repro.graph.edgefile import COMMENT_PREFIXES as _COMMENT_PREFIXES
+from repro.graph.edgefile import parse_vertex as _parse_vertex
+from repro.graph.graph import Graph
 
 PathOrFile = Union[str, os.PathLike, IO[str]]
-
-_COMMENT_PREFIXES = ("#", "%")
-
-
-def _parse_vertex(token: str) -> Vertex:
-    """Interpret a vertex token as an int when possible, else keep the string."""
-    try:
-        return int(token)
-    except ValueError:
-        return token
 
 
 def _open_for_read(source: PathOrFile):

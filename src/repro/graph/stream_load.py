@@ -1,0 +1,543 @@
+"""Streaming edge-list loader: text file → on-disk CSR, bounded RSS.
+
+:func:`stream_load` turns an edge-list file of any size into a finalized
+CSR block file (:mod:`repro.graph.storage`) without ever holding the graph
+— or any O(|E|) structure — in memory.  Everything that would not fit the
+configured budget goes through *external merge sort*: the input is parsed
+into sorted spill runs of at most ``max_ram_bytes`` worth of lines, and
+every later stage is a linear merge/join over sorted streams.
+
+The pipeline (two passes over the edge data, in the ISSUE's terms — a
+counting pass that discovers ``n``, ``m`` and the vertex ranking, and a
+placement pass that writes the arrays):
+
+1. **Parse + spill.**  One sequential read of the input.  Each edge ``u v``
+   is emitted as *two* directed records ``(key(u), key(v))`` and
+   ``(key(v), key(u))``; each endpoint also goes to a vertex spill.
+   ``key()`` is an order-preserving byte encoding (ints sort numerically
+   before strings), so sorted-key order *is* final index order.
+2. **Dedup.**  ``heapq.merge`` over the sorted runs; consecutive
+   duplicates collapse (this is where duplicate input edges and both
+   orientations of a repeated pair disappear).  The unique vertex stream
+   assigns ranks ``0..n-1`` and the unique directed-pair count is ``2|E|``.
+3. **Relabel (merge-join).**  Keys translate to ranks.  When the rank
+   table fits the budget it is a plain dict; otherwise the translation
+   runs fully externally: join pairs with the vertex stream on the source
+   key (emitting source ranks to a sequential sidecar file), re-sort the
+   ``(dst_key, position)`` stream, join again on the destination key, and
+   re-sort by position — every step a sorted-stream pass.
+4. **Placement.**  The translated stream is sorted by ``(src, dst)``, so
+   ``indptr`` and ``adjacency`` are written append-only into the block
+   file — no random access, no large resident mappings — and the status
+   sentinel flips only after the last fsync.
+
+Temp state lives in a uniquely-named build directory that is always
+removed on the way out (success or error); a crash can only leave behind
+an inert uniquely-named directory and an output file whose *building*
+status :func:`repro.graph.storage.load_csr` refuses to open.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import shutil
+import tempfile
+from array import array
+from contextlib import ExitStack
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.storage import (
+    BLOCK_SUFFIX,
+    BlockFileWriter,
+    load_csr,
+)
+
+#: Default peak-RSS budget for the loader's own working state (64 MiB).
+DEFAULT_MAX_RAM_BYTES = 64 * 1024 * 1024
+
+#: Floor for the budget: below this the spill bookkeeping itself dominates.
+_MIN_RAM_BYTES = 1 << 18
+
+#: Integer vertex ids must fit the 20-digit order-preserving encoding
+#: (covers the full int64 range and then some).
+_INT_KEY_LIMIT = 10 ** 20
+
+#: Estimated per-line Python overhead used by the spill accounting.
+_LINE_OVERHEAD = 64
+
+#: Per-entry cost estimate of the in-RAM rank dict (key bytes + dict slot);
+#: when ``n * _RANK_ENTRY_BYTES`` exceeds half the budget the relabel stage
+#: goes external.
+_RANK_ENTRY_BYTES = 120
+
+#: Maximum spill runs merged in one ``heapq.merge`` pass; more than this
+#: cascades through intermediate merged runs (bounds open file handles).
+_MAX_MERGE_FANIN = 256
+
+#: Flush granularity (entries) for the block writer's array buffers.
+_ARRAY_FLUSH = 1 << 16
+
+
+@dataclass
+class LoadStats:
+    """What one :func:`stream_load` run saw and produced."""
+
+    #: Input lines read (including comments and blanks).
+    lines: int = 0
+    #: Edge records parsed from the input (before dedup, after loop drop).
+    edge_records: int = 0
+    #: Self-loop records dropped (their endpoint is kept as a vertex).
+    self_loops: int = 0
+    #: Distinct vertices in the result.
+    vertices: int = 0
+    #: Distinct undirected edges in the result.
+    edges: int = 0
+    #: Edge records discarded as duplicates of an earlier record.
+    duplicate_edges: int = 0
+    #: True when vertex ids were exactly ``0..n-1`` (labels cost nothing).
+    identity_labels: bool = False
+    #: True when the rank table exceeded the budget and the relabel stage
+    #: ran as external merge-joins instead of an in-RAM dict.
+    external_relabel: bool = False
+    #: Sorted spill runs written across all stages.
+    spill_runs: int = 0
+
+
+def _vertex_key(token: bytes, line_number: int) -> bytes:
+    """Order-preserving sort key for a vertex token.
+
+    Two tokens denote the same vertex iff their keys are equal (``"01"``
+    and ``"1"`` both key as the integer 1, matching
+    :func:`repro.graph.edgefile.parse_vertex`); byte-wise key order puts
+    all integers first, in numeric order, then strings lexicographically.
+    """
+    try:
+        value = int(token)
+    except ValueError:
+        try:
+            token.decode("utf-8")
+        except UnicodeDecodeError:
+            raise GraphFormatError(
+                f"line {line_number}: vertex token is not valid UTF-8"
+            ) from None
+        return b"s" + token
+    if not -_INT_KEY_LIMIT < value < _INT_KEY_LIMIT:
+        raise GraphFormatError(
+            f"line {line_number}: integer vertex id {value} is outside "
+            f"the supported range (|id| < 10^20)"
+        )
+    return b"i%021d" % (value + _INT_KEY_LIMIT)
+
+
+def _decode_label(token: bytes):
+    """Token bytes → the vertex label (int when possible, else str)."""
+    try:
+        return int(token)
+    except ValueError:
+        return token.decode("utf-8")
+
+
+class _RunWriter:
+    """Accumulate lines, spill them as sorted runs under a byte budget.
+
+    Lines are stored (and compared) *with* their trailing newline so the
+    in-memory sort and the later file-stream merge use byte-identical
+    comparators.
+    """
+
+    def __init__(self, build_dir: str, prefix: str, limit: int,
+                 stats: LoadStats) -> None:
+        self._dir = build_dir
+        self._prefix = prefix
+        self._limit = max(limit, _MIN_RAM_BYTES // 4)
+        self._stats = stats
+        self._lines: List[bytes] = []
+        self._bytes = 0
+        self.paths: List[str] = []
+
+    def add(self, line: bytes) -> None:
+        """Buffer one newline-terminated line, spilling at the limit."""
+        self._lines.append(line)
+        self._bytes += len(line) + _LINE_OVERHEAD
+        if self._bytes >= self._limit:
+            self._spill()
+
+    def _spill(self) -> None:
+        if not self._lines:
+            return
+        self._lines.sort()
+        path = os.path.join(self._dir,
+                            f"{self._prefix}.{len(self.paths):06d}.run")
+        with open(path, "wb") as handle:
+            handle.writelines(self._lines)
+        self.paths.append(path)
+        self._stats.spill_runs += 1
+        self._lines = []
+        self._bytes = 0
+
+    def finish(self) -> List[str]:
+        """Spill any buffered tail and return the run paths."""
+        self._spill()
+        return self.paths
+
+
+def _merged_lines(paths: List[str], stack: ExitStack,
+                  build_dir: str, tag: str) -> Iterator[bytes]:
+    """Merge sorted run files into one sorted line stream.
+
+    Cascades through intermediate on-disk runs when the fan-in exceeds
+    :data:`_MAX_MERGE_FANIN`, so file-handle usage stays bounded no matter
+    how tiny the RAM budget (and thus how numerous the runs).
+    """
+    level = 0
+    while len(paths) > _MAX_MERGE_FANIN:
+        merged_paths: List[str] = []
+        for start in range(0, len(paths), _MAX_MERGE_FANIN):
+            group = paths[start:start + _MAX_MERGE_FANIN]
+            out = os.path.join(build_dir,
+                               f"{tag}.merge{level}.{len(merged_paths):06d}")
+            with ExitStack() as group_stack:
+                handles = [group_stack.enter_context(open(p, "rb"))
+                           for p in group]
+                with open(out, "wb") as sink:
+                    sink.writelines(heapq.merge(*handles))
+            for p in group:
+                os.unlink(p)
+            merged_paths.append(out)
+        paths = merged_paths
+        level += 1
+    handles: List[IO[bytes]] = [stack.enter_context(open(p, "rb"))
+                                for p in paths]
+    return heapq.merge(*handles)
+
+
+def _unlink_all(paths: List[str]) -> None:
+    """Remove run files, tolerating ones a cascaded merge already consumed."""
+    for path in paths:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+
+def _unique(lines: Iterable[bytes]) -> Iterator[bytes]:
+    """Drop consecutive duplicates from a sorted line stream."""
+    previous = None
+    for line in lines:
+        if line != previous:
+            yield line
+            previous = line
+
+
+def _unique_by_key(lines: Iterable[bytes]
+                   ) -> Iterator[Tuple[bytes, bytes]]:
+    """``(key, token)`` pairs from a sorted vertex stream, one per key."""
+    previous = None
+    for line in lines:
+        key, _, token = line.rstrip(b"\n").partition(b"\t")
+        if key != previous:
+            yield key, token
+            previous = key
+
+
+def stream_load(source, out_path: Optional[str] = None,
+                max_ram_bytes: Optional[int] = None,
+                tmp_dir: Optional[str] = None) -> CSRGraph:
+    """Build an mmap-backed :class:`CSRGraph` from an edge-list file.
+
+    Parameters
+    ----------
+    source:
+        Path of the edge-list file (the dialect of
+        :mod:`repro.graph.edgefile`: ``#``/``%`` comments, ``u v`` edges
+        with extra columns ignored, bare-id isolated vertices, self-loops
+        dropped).
+    out_path:
+        Destination block file.  ``None`` builds into a temp file that is
+        unlinked when the returned graph is closed; a real path persists
+        the block (plus a ``.labels`` sidecar when ids are not exactly
+        ``0..n-1``) for later :func:`repro.graph.storage.load_csr`.
+    max_ram_bytes:
+        Peak-RSS budget for the loader's working state (default 64 MiB).
+        Smaller budgets spill more, run slower, and change nothing about
+        the output — the result is byte-identical for any budget.
+    tmp_dir:
+        Directory for the build scratch (default: alongside the output).
+
+    Vertex indices follow sorted id order (integers numerically first,
+    then strings), independent of input line order — the same input file
+    always produces a byte-identical block file.
+    """
+    csr, _ = stream_load_with_stats(source, out_path=out_path,
+                                    max_ram_bytes=max_ram_bytes,
+                                    tmp_dir=tmp_dir)
+    return csr
+
+
+def stream_load_with_stats(source, out_path: Optional[str] = None,
+                           max_ram_bytes: Optional[int] = None,
+                           tmp_dir: Optional[str] = None,
+                           external_relabel: Optional[bool] = None
+                           ) -> Tuple[CSRGraph, LoadStats]:
+    """:func:`stream_load`, also returning the run's :class:`LoadStats`.
+
+    ``external_relabel`` overrides the automatic in-RAM-vs-external choice
+    for the relabel stage (``None`` = decide from the budget); forcing
+    ``True`` exercises the fully external path on graphs of any size —
+    the parity tests and benchmarks use this to prove both paths emit
+    byte-identical blocks.
+    """
+    source = os.fspath(source)
+    budget = DEFAULT_MAX_RAM_BYTES if max_ram_bytes is None else max_ram_bytes
+    budget = max(budget, _MIN_RAM_BYTES)
+    stats = LoadStats()
+
+    delete_on_close = out_path is None
+    if out_path is None:
+        fd, out_path = tempfile.mkstemp(suffix=BLOCK_SUFFIX, dir=tmp_dir,
+                                        prefix="kh-core-stream-")
+        os.close(fd)
+    out_path = os.fspath(out_path)
+
+    build_dir = tempfile.mkdtemp(
+        prefix=".kh-core-load-",
+        dir=tmp_dir if tmp_dir is not None
+        else (os.path.dirname(os.path.abspath(out_path)) or None))
+    try:
+        _build_block(source, out_path, build_dir, budget, stats,
+                     external_relabel)
+    except BaseException:
+        if delete_on_close:
+            for stale in (out_path, out_path + ".labels"):
+                try:
+                    os.unlink(stale)
+                except OSError:
+                    pass
+        raise
+    finally:
+        shutil.rmtree(build_dir, ignore_errors=True)
+    csr = load_csr(out_path, delete_on_close=delete_on_close)
+    stats.vertices = csr.num_vertices
+    stats.edges = csr.num_edges
+    return csr, stats
+
+
+def _build_block(source: str, out_path: str, build_dir: str,
+                 budget: int, stats: LoadStats,
+                 external_relabel: Optional[bool] = None) -> None:
+    """Run the full pipeline; leaves a finalized block file at ``out_path``."""
+    # -- pass 1: parse + spill (both directed orientations) ------------- #
+    vertex_runs = _RunWriter(build_dir, "v", budget // 4, stats)
+    pair_runs = _RunWriter(build_dir, "e", budget // 4, stats)
+    with open(source, "rb") as handle:
+        line_number = 0
+        for raw in handle:
+            line_number += 1
+            line = raw.strip()
+            if not line or line[:1] in (b"#", b"%"):
+                continue
+            tokens = line.split()
+            if len(tokens) == 1:
+                key = _vertex_key(tokens[0], line_number)
+                vertex_runs.add(key + b"\t" + tokens[0] + b"\n")
+                continue
+            ku = _vertex_key(tokens[0], line_number)
+            kv = _vertex_key(tokens[1], line_number)
+            vertex_runs.add(ku + b"\t" + tokens[0] + b"\n")
+            vertex_runs.add(kv + b"\t" + tokens[1] + b"\n")
+            if ku == kv:
+                stats.self_loops += 1
+                continue
+            stats.edge_records += 1
+            pair_runs.add(ku + b"\t" + kv + b"\n")
+            pair_runs.add(kv + b"\t" + ku + b"\n")
+        stats.lines = line_number
+    vertex_paths = vertex_runs.finish()
+    pair_paths = pair_runs.finish()
+
+    # -- pass 2a: dedup into canonical sorted streams -------------------- #
+    # The unique vertex stream is materialized once (it is O(n), read up to
+    # three more times below); unique pairs are materialized so the
+    # directed count m2 is known before the block header is written.
+    vertex_file = os.path.join(build_dir, "vertices")
+    n = 0
+    identity = True
+    with ExitStack() as stack:
+        merged = _merged_lines(vertex_paths, stack, build_dir, "v")
+        with open(vertex_file, "wb") as sink:
+            for key, token in _unique_by_key(merged):
+                if identity and not (
+                        key[:1] == b"i" and int(token) == n):
+                    identity = False
+                sink.write(key + b"\t" + token + b"\n")
+                n += 1
+    _unlink_all(vertex_paths)
+    stats.identity_labels = identity and n > 0 or n == 0
+
+    pair_file = os.path.join(build_dir, "pairs")
+    m2 = 0
+    with ExitStack() as stack:
+        merged = _merged_lines(pair_paths, stack, build_dir, "e")
+        with open(pair_file, "wb") as sink:
+            for line in _unique(merged):
+                sink.write(line)
+                m2 += 1
+    _unlink_all(pair_paths)
+    stats.duplicate_edges = stats.edge_records - m2 // 2
+
+    # -- pass 2b: relabel + placement ------------------------------------ #
+    writer = BlockFileWriter(out_path, n, m2)
+    try:
+        if external_relabel is None:
+            external = n * _RANK_ENTRY_BYTES > budget // 2
+        else:
+            external = external_relabel
+        stats.external_relabel = external
+        if external:
+            pairs = _translate_external(pair_file, vertex_file, build_dir,
+                                        budget, stats)
+        else:
+            pairs = _translate_in_ram(pair_file, vertex_file)
+        _write_arrays(writer, n, pairs)
+        if identity:
+            writer.finalize()
+        else:
+            writer.finalize(labels=_label_stream(vertex_file))
+    except BaseException:
+        writer.abort()
+        raise
+
+
+def _label_stream(vertex_file: str) -> Iterator[object]:
+    """Decoded labels in rank order, streamed from the unique-vertex file."""
+    with open(vertex_file, "rb") as handle:
+        for line in handle:
+            _, _, token = line.rstrip(b"\n").partition(b"\t")
+            yield _decode_label(token)
+
+
+def _translate_in_ram(pair_file: str, vertex_file: str
+                      ) -> Iterator[Tuple[int, int]]:
+    """Key → rank translation through an in-RAM dict (the fast path)."""
+    rank = {}
+    with open(vertex_file, "rb") as handle:
+        for i, line in enumerate(handle):
+            key, _, _ = line.rstrip(b"\n").partition(b"\t")
+            rank[key] = i
+    with open(pair_file, "rb") as handle:
+        for line in handle:
+            ksrc, _, kdst = line.rstrip(b"\n").partition(b"\t")
+            yield rank[ksrc], rank[kdst]
+
+
+def _rank_join(lines: Iterable[bytes], vertex_file: str, field: int
+               ) -> Iterator[Tuple[bytes, int]]:
+    """Merge-join a key-sorted stream with the vertex ranks.
+
+    ``lines`` must be sorted by their ``field``-th tab-separated column (a
+    vertex key); yields ``(other_column, rank_of_key)`` per line.  Linear:
+    both inputs are consumed exactly once.
+    """
+    with open(vertex_file, "rb") as vertices:
+        rank = -1
+        current: Optional[bytes] = None
+
+        def advance_to(key: bytes) -> int:
+            """Advance the vertex cursor to ``key`` and return its rank."""
+            nonlocal rank, current
+            while current != key:
+                vline = vertices.readline()
+                if not vline:
+                    raise GraphFormatError(
+                        "internal: pair key missing from vertex stream")
+                current = vline.split(b"\t", 1)[0]
+                rank += 1
+            return rank
+
+        for line in lines:
+            columns = line.rstrip(b"\n").split(b"\t")
+            yield columns[1 - field], advance_to(columns[field])
+
+
+def _translate_external(pair_file: str, vertex_file: str, build_dir: str,
+                        budget: int, stats: LoadStats
+                        ) -> Iterator[Tuple[int, int]]:
+    """Fully external key → rank translation (bounded-RSS slow path).
+
+    Three linear passes, each over sorted streams: join on the source key
+    (source ranks land in a sequential binary file, positions ride along
+    as padded decimals), external re-sort by destination key + join, then
+    an external re-sort by position to restore final order.
+    """
+    src_file = os.path.join(build_dir, "src.i64")
+    by_dst = _RunWriter(build_dir, "jd", budget // 2, stats)
+    position = 0
+    buf = array("q")
+    with open(pair_file, "rb") as pairs, open(src_file, "wb") as srcs:
+        for kdst, src_rank in _rank_join(pairs, vertex_file, 0):
+            buf.append(src_rank)
+            if len(buf) >= _ARRAY_FLUSH:
+                srcs.write(buf.tobytes())
+                del buf[:]
+            by_dst.add(kdst + b"\t%012d\n" % position)
+            position += 1
+        srcs.write(buf.tobytes())
+
+    by_position = _RunWriter(build_dir, "jp", budget // 2, stats)
+    with ExitStack() as stack:
+        merged = _merged_lines(by_dst.finish(), stack, build_dir, "jd")
+        for seq, dst_rank in _rank_join(merged, vertex_file, 0):
+            by_position.add(seq + b"\t%020d\n" % dst_rank)
+
+    with ExitStack() as stack:
+        merged = _merged_lines(by_position.finish(), stack, build_dir, "jp")
+        with open(src_file, "rb") as srcs:
+            src_buf = array("q")
+            src_pos = 0
+            for line in merged:
+                if src_pos >= len(src_buf):
+                    src_buf = array("q")
+                    chunk = srcs.read(_ARRAY_FLUSH * 8)
+                    src_buf.frombytes(chunk)
+                    src_pos = 0
+                dst = int(line.rstrip(b"\n").split(b"\t")[1])
+                yield src_buf[src_pos], dst
+                src_pos += 1
+
+
+def _write_arrays(writer: BlockFileWriter, n: int,
+                  pairs: Iterable[Tuple[int, int]]) -> None:
+    """Append-only placement: sorted ``(src, dst)`` stream → indptr+adjacency.
+
+    The stream arrives sorted by ``(src, dst)``, so each vertex's neighbor
+    run is contiguous and ascending; ``indptr`` entries are emitted as each
+    row closes, with gaps (isolated vertices) filled in bulk.
+    """
+    idx_buf = array("q", [0])
+    adj_buf = array("q")
+    row = 0
+    position = 0
+    for src, dst in pairs:
+        while row < src:
+            idx_buf.append(position)
+            row += 1
+            if len(idx_buf) >= _ARRAY_FLUSH:
+                writer.write_indptr(idx_buf)
+                idx_buf = array("q")
+        adj_buf.append(dst)
+        position += 1
+        if len(adj_buf) >= _ARRAY_FLUSH:
+            writer.write_adjacency(adj_buf)
+            adj_buf = array("q")
+    while row < n:
+        idx_buf.append(position)
+        row += 1
+        if len(idx_buf) >= _ARRAY_FLUSH:
+            writer.write_indptr(idx_buf)
+            idx_buf = array("q")
+    writer.write_indptr(idx_buf)
+    writer.write_adjacency(adj_buf)

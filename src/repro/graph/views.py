@@ -1,18 +1,28 @@
-"""Read-only induced-subgraph views.
+"""Read-only graph views: induced subgraphs and frozen CSR snapshots.
 
 A :class:`SubgraphView` restricts a base :class:`~repro.graph.graph.Graph` to
 a set of "alive" vertices without copying adjacency.  The peeling algorithms
 use the cheaper idiom of passing an ``alive`` set straight to the traversal
 primitives, but the view is the convenient public-facing object when a caller
 wants to treat a core as a graph (e.g. ``decomposition.core_subgraph(k)``).
+
+A :class:`FrozenGraphView` goes the other direction: it adapts an existing
+:class:`~repro.graph.csr.CSRGraph` snapshot — typically a stream-loaded,
+mmap-backed one — to the read-only slice of the :class:`Graph` API the
+decomposition entry points touch, *without* expanding it into dict-of-sets
+adjacency.  This is what lets ``core_decomposition`` run directly on an
+out-of-core snapshot whose dict representation would not fit in RAM.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Set
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Set
 
 from repro.errors import VertexNotFoundError
 from repro.graph.graph import Edge, Graph, Vertex
+
+if TYPE_CHECKING:
+    from repro.graph.csr import CSRGraph
 
 
 class SubgraphView:
@@ -98,3 +108,113 @@ class SubgraphView:
 
     def __repr__(self) -> str:
         return f"SubgraphView(|V|={self.num_vertices} of {self._graph.num_vertices})"
+
+
+class FrozenGraphView:
+    """Read-only :class:`Graph`-API adapter over a :class:`CSRGraph` snapshot.
+
+    Pass one of these wherever the decomposition entry points expect a
+    graph (``core_decomposition(FrozenGraphView(csr), h=2)``) and the CSR
+    family of engines reuses the embedded snapshot as-is — no dict graph is
+    ever built, which is the whole point for mmap-backed snapshots larger
+    than RAM.  The dict reference engine also runs against the view
+    (neighbors are materialized per call), which is how the cross-engine
+    equivalence tests cover the out-of-core path.
+
+    The view is immutable by construction — there is no mutation API and
+    :attr:`version` is pinned to the snapshot — so engines built on it can
+    never go stale.
+
+    Example
+    -------
+    >>> from repro.graph import Graph
+    >>> from repro.graph.csr import CSRGraph
+    >>> view = FrozenGraphView(CSRGraph.from_graph(Graph([(1, 2), (2, 3)])))
+    >>> view.num_vertices, sorted(view.neighbors(2))
+    (3, [1, 3])
+    """
+
+    __slots__ = ("csr",)
+
+    def __init__(self, csr: "CSRGraph") -> None:
+        #: The wrapped immutable snapshot (any storage tier).
+        self.csr = csr
+
+    @property
+    def version(self) -> int:
+        """Snapshot version stamp (constant: the view is immutable)."""
+        source = self.csr.source_version
+        return source if source is not None else 0
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices |V|."""
+        return self.csr.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges |E|."""
+        return self.csr.num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate vertex labels in index order."""
+        return iter(self.csr.labels)
+
+    def __contains__(self, v: Vertex) -> bool:
+        try:
+            return v in self.csr.index_of
+        except TypeError:
+            return False
+
+    def __len__(self) -> int:
+        return self.csr.num_vertices
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self.csr.labels)
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Neighbor labels of ``v`` (materialized per call)."""
+        return self.csr.neighbors_of_label(v)
+
+    def degree(self, v: Vertex) -> int:
+        """Degree of ``v``."""
+        return self.csr.degree(self.csr.index(v))
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True when the snapshot contains edge ``{u, v}``."""
+        csr = self.csr
+        try:
+            i, j = csr.index(u), csr.index(v)
+        except VertexNotFoundError:
+            return False
+        return j in csr.neighbors(i)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate each undirected edge once, as a label pair."""
+        labels = self.csr.labels
+        for i, j in self.csr.edges():
+            yield (labels[i], labels[j])
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> Graph:
+        """Materialize the induced subgraph as a standalone dict Graph."""
+        csr = self.csr
+        indices = sorted(csr.index(v) for v in vertices)
+        labels = csr.labels
+        graph = Graph(vertices=(labels[i] for i in indices))
+        for i, j in csr.induced_edges(indices):
+            graph.add_edge(labels[i], labels[j])
+        return graph
+
+    def degree_histogram(self) -> List[int]:
+        """Degree counts indexed by degree (mirrors ``Graph``)."""
+        counts: List[int] = []
+        for i in range(self.csr.num_vertices):
+            d = self.csr.degree(i)
+            while len(counts) <= d:
+                counts.append(0)
+            counts[d] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (f"FrozenGraphView(|V|={self.num_vertices}, "
+                f"|E|={self.num_edges}, storage={self.csr.storage_kind!r})")

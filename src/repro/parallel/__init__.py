@@ -9,8 +9,10 @@ persistent pool of worker processes attaches to the block, and only tiny
 
 Layering
 --------
-* :mod:`repro.parallel.shm` — block layout, parent-side export
-  (:class:`SharedCSRExport`), worker-side zero-copy view
+* :mod:`repro.parallel.shm` — block layout, parent-side exports
+  (:class:`SharedCSRExport` for in-RAM snapshots, :class:`FileCSRExport`
+  for mmap-backed block files — workers then map the file zero-copy and
+  only the alive mask rides in shared memory), worker-side view
   (:class:`SharedCSRView`).
 * :mod:`repro.parallel.worker` — the per-process task entry point
   (:func:`run_chunk`) with its attach/alive caches.
@@ -26,12 +28,13 @@ itself lives in :func:`repro.core.parallel.map_batches` and
 
 from repro.core.parallel import EXECUTORS
 from repro.parallel.pool import DEFAULT_OVERSUBSCRIPTION, SharedMemoryExecutor
-from repro.parallel.shm import SharedCSRExport, SharedCSRView
+from repro.parallel.shm import FileCSRExport, SharedCSRExport, SharedCSRView
 from repro.parallel.worker import run_chunk
 
 __all__ = [
     "DEFAULT_OVERSUBSCRIPTION",
     "EXECUTORS",
+    "FileCSRExport",
     "SharedCSRExport",
     "SharedCSRView",
     "SharedMemoryExecutor",

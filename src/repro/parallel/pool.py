@@ -37,7 +37,7 @@ from typing import Any, Dict, Iterable, Optional, Sequence
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
 from repro.instrumentation import Counters, NULL_COUNTERS
-from repro.parallel.shm import SharedCSRExport
+from repro.parallel.shm import FileCSRExport, SharedCSRExport
 from repro.parallel.worker import run_chunk
 from repro.core.parallel import chunk_plan
 from repro.traversal.array_bfs import AliveMask
@@ -115,6 +115,12 @@ class SharedMemoryExecutor:
         refresh, so object identity doubles as a version stamp.  The old
         block is unlinked only after the new one exists, and workers switch
         atomically because every task names its block explicitly.
+
+        The export style follows the snapshot's storage tier: an in-RAM
+        snapshot is copied into a shared-memory block
+        (:class:`SharedCSRExport`); an mmap-backed snapshot already lives in
+        a block file, so only its small alive mask gets a segment and
+        workers map the file directly (:class:`FileCSRExport`).
         """
         if self.closed:
             raise ParameterError("the shared-memory executor is closed")
@@ -122,7 +128,11 @@ class SharedMemoryExecutor:
             return
         previous = self._state["export"]
         self._generation += 1
-        self._state["export"] = SharedCSRExport(csr, self._generation)
+        if csr.storage_kind == "mmap":
+            export: Any = FileCSRExport(csr, self._generation)
+        else:
+            export = SharedCSRExport(csr, self._generation)
+        self._state["export"] = export
         self._exported_for = csr
         if previous is not None:
             previous.close()

@@ -8,9 +8,10 @@ mask into the BFS scratch — happen once per export generation / alive stamp
 rather than once per task.
 
 The task descriptor is deliberately tiny: ``(layout, chunk, h, use_alive,
-alive_stamp, engine_kind)`` where ``layout`` is the 4-tuple attach
-descriptor (:data:`~repro.parallel.shm.SharedCSRLayout`) and ``chunk`` is a
-list of vertex indices.  No graph data ever crosses the pipe.
+alive_stamp, engine_kind)`` where ``layout`` is the attach descriptor
+(:data:`~repro.parallel.shm.SharedCSRLayout` — an shm block name or a block
+file path plus an alive-segment name) and ``chunk`` is a list of vertex
+indices.  No graph data ever crosses the pipe.
 
 ``engine_kind`` selects the traversal kernel the worker runs over the
 shared arrays:
@@ -37,7 +38,7 @@ from repro.traversal.array_bfs import AliveMask, ArrayBFS
 #: engine kind that built it), and the alive mask installed for the current
 #: ``alive_stamp``.
 _STATE: Dict[str, Any] = {
-    "name": None,
+    "key": None,
     # "requested" is the engine_kind of the task that built this attachment
     # (the cache key); "kind" is what _attach actually resolved it to — they
     # differ only when a NumPy-less worker downgraded a "numpy" request, and
@@ -60,7 +61,7 @@ def _detach() -> None:
     and releasing a pinned memoryview raises ``BufferError``.
     """
     view = _STATE["view"]
-    _STATE.update(name=None, requested=None, kind=None, view=None, bfs=None,
+    _STATE.update(key=None, requested=None, kind=None, view=None, bfs=None,
                   alive_stamp=None, mask=None)
     if view is not None:
         view.close()
@@ -70,6 +71,19 @@ def _detach() -> None:
 # exiting with them alive would hit ``BufferError: cannot close exported
 # pointers exist`` inside SharedMemory.__del__.
 atexit.register(_detach)
+
+
+def _layout_key(layout: SharedCSRLayout) -> tuple:
+    """Identity of one export: kind, block name/path, generation.
+
+    The generation matters for file attachments — a re-export keeps the
+    same block path but allocates a fresh alive segment, so a stale cached
+    attachment must be dropped.  Legacy 4-tuple descriptors key on the shm
+    name and generation alike.
+    """
+    if len(layout) == 4:
+        return ("shm", layout[0], layout[3])
+    return (layout[0], layout[1], layout[4])
 
 
 def _attach(layout: SharedCSRLayout, engine_kind: str) -> None:
@@ -88,7 +102,7 @@ def _attach(layout: SharedCSRLayout, engine_kind: str) -> None:
             bfs = ArrayBFS(view)
     else:
         bfs = ArrayBFS(view)
-    _STATE.update(name=layout[0], requested=engine_kind, kind=kind,
+    _STATE.update(key=_layout_key(layout), requested=engine_kind, kind=kind,
                   view=view, bfs=bfs)
 
 
@@ -102,7 +116,8 @@ def run_chunk(layout: SharedCSRLayout, chunk: List[int], h: int,
     and ``counters`` is this task's private instrumentation, merged by the
     parent so the reported totals are identical to a serial run.
     """
-    if _STATE["name"] != layout[0] or _STATE["requested"] != engine_kind:
+    if (_STATE["key"] != _layout_key(layout)
+            or _STATE["requested"] != engine_kind):
         _attach(layout, engine_kind)
     local = Counters()
 

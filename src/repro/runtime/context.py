@@ -85,6 +85,15 @@ class ExecutionContext:
         builds a CSR-family engine from a name: ``"degree"`` (hubs first)
         or ``"bfs"`` (neighbors clustered).  Label-space results are
         unaffected; the dict engine ignores it.
+    storage:
+        Storage tier for context-built CSR snapshots (``"auto"`` / ``"ram"``
+        / ``"mmap"`` — see :mod:`repro.graph.storage`).  ``"auto"`` stays in
+        RAM below the ``KH_CORE_MMAP_THRESHOLD`` gate and spills giant
+        snapshots to a memory-mapped temp block file; ``"mmap"`` forces the
+        spill.  A :class:`~repro.graph.views.FrozenGraphView` input reuses
+        its embedded snapshot regardless.
+    storage_dir:
+        Directory for mmap spill files (default: the system temp dir).
 
     Example
     -------
@@ -106,6 +115,8 @@ class ExecutionContext:
                  peel: str = "auto",
                  csr_threshold: Optional[int] = None,
                  relabel: Optional[str] = None,
+                 storage: str = "auto",
+                 storage_dir: Optional[str] = None,
                  num_threads: Optional[int] = None) -> None:
         from repro.core.backends import resolve_engine
         from repro.core.parallel import _validate_executor
@@ -121,7 +132,8 @@ class ExecutionContext:
         self.counters = counters
         self.peel = peel
         self.engine = resolve_engine(graph, backend, csr_threshold,
-                                     relabel=relabel)
+                                     relabel=relabel, storage=storage,
+                                     storage_dir=storage_dir)
         #: True when the context resolved the engine from a name and is
         #: therefore responsible for tearing it down; False for
         #: caller-supplied engines, which :meth:`close` never touches.
@@ -199,7 +211,10 @@ def scoped_context(graph, context: Optional[ExecutionContext] = None,
                    num_workers: Optional[int] = None,
                    num_threads: Optional[int] = None,
                    counters: Counters = NULL_COUNTERS,
-                   peel: str = "auto") -> Iterator[ExecutionContext]:
+                   peel: str = "auto",
+                   storage: str = "auto",
+                   storage_dir: Optional[str] = None
+                   ) -> Iterator[ExecutionContext]:
     """Yield ``context`` if supplied, else a fresh context closed on exit.
 
     This is the shim every legacy entry point runs on: the historical
@@ -221,7 +236,8 @@ def scoped_context(graph, context: Optional[ExecutionContext] = None,
     fresh = ExecutionContext(graph, backend=backend, executor=executor,
                              num_workers=num_workers,
                              num_threads=num_threads,
-                             counters=counters, peel=peel)
+                             counters=counters, peel=peel,
+                             storage=storage, storage_dir=storage_dir)
     try:
         yield fresh
     finally:

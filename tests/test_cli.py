@@ -394,3 +394,114 @@ class TestDatasetsSubcommand:
         assert main(["datasets", "export", "wikipedia",
                      str(tmp_path / "x.edges")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestLoadCommand:
+    def test_load_writes_block_file(self, edge_list_file, tmp_path, capsys):
+        out = tmp_path / "toy.khcsr"
+        assert main(["load", str(edge_list_file), "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().err
+
+    def test_load_json_reports_stats_and_rss(self, edge_list_file, tmp_path,
+                                             capsys):
+        import json
+
+        out = tmp_path / "toy.khcsr"
+        assert main(["load", str(edge_list_file), "--out", str(out),
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["vertices"] == 6
+        assert stats["edges"] == 7
+        assert stats["max_rss_kb"] > 0
+        assert stats["out"] == str(out)
+
+    def test_load_default_out_path(self, edge_list_file, capsys):
+        assert main(["load", str(edge_list_file)]) == 0
+        assert (edge_list_file.parent / "toy.edges.khcsr").exists()
+
+    def test_load_missing_input_errors_cleanly(self, tmp_path, capsys):
+        assert main(["load", str(tmp_path / "none.edges")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_load_external_relabel_flag(self, edge_list_file, tmp_path,
+                                        capsys):
+        import json
+
+        out = tmp_path / "toy.khcsr"
+        assert main(["load", str(edge_list_file), "--out", str(out),
+                     "--json", "--external-relabel"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["external_relabel"] is True
+
+
+class TestBlockFileInput:
+    @pytest.fixture
+    def block_file(self, edge_list_file, tmp_path):
+        out = tmp_path / "toy.khcsr"
+        assert main(["load", str(edge_list_file), "--out", str(out)]) == 0
+        return out
+
+    def test_decompose_block_file_matches_edge_list(self, edge_list_file,
+                                                    block_file, capsys):
+        assert main([str(edge_list_file), "--h", "2"]) == 0
+        from_edges = capsys.readouterr().out
+        assert main([str(block_file), "--h", "2"]) == 0
+        assert capsys.readouterr().out == from_edges
+
+    def test_storage_mmap_flag_matches_default(self, edge_list_file, capsys):
+        assert main([str(edge_list_file), "--h", "2"]) == 0
+        baseline = capsys.readouterr().out
+        assert main([str(edge_list_file), "--h", "2", "--storage", "mmap",
+                     "--backend", "csr"]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_stream_rejects_block_file(self, block_file, tmp_path, capsys):
+        updates = tmp_path / "u.txt"
+        updates.write_text("+ 0 5\n")
+        assert main(["stream", str(updates), "--graph",
+                     str(block_file)]) == 2
+        assert "read-only" in capsys.readouterr().err
+
+    def test_serve_rejects_block_file(self, block_file, capsys):
+        assert main(["serve", str(block_file)]) == 2
+        assert "read-only" in capsys.readouterr().err
+
+    def test_index_build_accepts_block_file(self, block_file, tmp_path,
+                                            capsys):
+        db = tmp_path / "toy.khidx"
+        assert main(["index", "build", str(block_file), "--db", str(db),
+                     "--h-values", "1,2"]) == 0
+        assert db.exists()
+        assert main(["index", "query", str(db), "sizes", "--h", "2"]) == 0
+
+
+class TestDatasetsFetchCommand:
+    def test_fetch_prints_cached_path(self, tmp_path, capsys, monkeypatch):
+        from repro.datasets import fetch as fetch_mod
+
+        payload = tmp_path / "up.txt"
+        payload.write_text("1 2\n2 3\n")
+        monkeypatch.setitem(
+            fetch_mod._REAL, "clitest",
+            fetch_mod.RealDatasetSpec("clitest", payload.as_uri(), "local",
+                                      "cli fixture", archive="plain"))
+        assert main(["datasets", "fetch", "clitest", "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        printed = capsys.readouterr().out.strip()
+        assert printed.endswith("clitest.txt")
+        assert open(printed).read() == "1 2\n2 3\n"
+
+    def test_fetch_unknown_dataset_errors(self, tmp_path, capsys):
+        assert main(["datasets", "fetch", "not-a-dataset", "--cache-dir",
+                     str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_marks_real_datasets(self, capsys):
+        assert main(["datasets", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "[real]" in out
+        # coli has no public mirror and must stay unmarked.
+        coli_line = next(line for line in out.splitlines()
+                         if line.startswith("coli"))
+        assert "[real]" not in coli_line

@@ -1,0 +1,203 @@
+"""Tests for the real-dataset downloaders (repro.datasets.fetch).
+
+Everything runs offline: specs are monkeypatched onto ``file://`` URLs
+pointing at fixture archives built in the test's tmp dir, which exercises
+the full download → verify → extract → normalize pipeline without any
+network access.
+"""
+
+import gzip
+import hashlib
+import os
+import tarfile
+
+import pytest
+
+from repro.datasets import fetch as fetch_mod
+from repro.datasets import export_edge_list, fetch_dataset
+from repro.datasets.fetch import RealDatasetSpec, default_cache_dir
+from repro.errors import DatasetChecksumError, DatasetNotFoundError
+from repro.graph import read_edge_list
+from repro.graph.edgefile import canonical_lines, iter_records
+
+RAW = "# a comment\n% another\n2 1\n1 2\n3 1\n4 4\n"
+
+
+def _register(monkeypatch, spec):
+    monkeypatch.setitem(fetch_mod._REAL, spec.name, spec)
+
+
+def _plain_spec(tmp_path, monkeypatch, name="tiny", sha256=None):
+    payload = tmp_path / f"{name}-upstream.txt"
+    payload.write_text(RAW)
+    spec = RealDatasetSpec(name, payload.as_uri(), "local",
+                           "offline fixture", archive="plain",
+                           sha256=sha256)
+    _register(monkeypatch, spec)
+    return spec, str(payload)
+
+
+def _gz_spec(tmp_path, monkeypatch, name="tinygz"):
+    payload = tmp_path / f"{name}-upstream.txt.gz"
+    with gzip.open(payload, "wb") as handle:
+        handle.write(RAW.encode())
+    spec = RealDatasetSpec(name, payload.as_uri(), "local",
+                           "offline gz fixture", archive="gz")
+    _register(monkeypatch, spec)
+    return spec
+
+
+def _tar_spec(tmp_path, monkeypatch, name="tinytar", member="out.tiny"):
+    inner = tmp_path / member
+    inner.write_text(RAW)
+    payload = tmp_path / f"{name}-upstream.tar.bz2"
+    with tarfile.open(payload, "w:bz2") as tar:
+        tar.add(inner, arcname=f"dataset-dir/{member}")
+    spec = RealDatasetSpec(name, payload.as_uri(), "local",
+                           "offline tar fixture", archive="tar.bz2")
+    _register(monkeypatch, spec)
+    return spec
+
+
+class TestFetch:
+    def test_plain_fetch_and_cache_layout(self, tmp_path, monkeypatch):
+        _plain_spec(tmp_path, monkeypatch)
+        cache = str(tmp_path / "cache")
+        path = fetch_dataset("tiny", cache_dir=cache)
+        assert path == os.path.join(cache, "tiny", "tiny.txt")
+        assert open(path).read() == RAW
+        assert os.path.exists(path + ".sha256")  # TOFU sidecar
+
+    def test_gz_extraction(self, tmp_path, monkeypatch):
+        _gz_spec(tmp_path, monkeypatch)
+        path = fetch_dataset("tinygz", cache_dir=str(tmp_path / "cache"))
+        assert open(path).read() == RAW
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2  # dup orientation + self-loop dropped
+
+    def test_tar_bz2_extracts_out_member(self, tmp_path, monkeypatch):
+        _tar_spec(tmp_path, monkeypatch)
+        path = fetch_dataset("tinytar", cache_dir=str(tmp_path / "cache"))
+        assert open(path).read() == RAW
+
+    def test_tar_without_out_member_fails(self, tmp_path, monkeypatch):
+        _tar_spec(tmp_path, monkeypatch, name="badtar", member="data.tsv")
+        with pytest.raises(DatasetNotFoundError):
+            fetch_dataset("badtar", cache_dir=str(tmp_path / "cache"))
+
+    def test_cache_reuse_skips_download(self, tmp_path, monkeypatch):
+        _plain_spec(tmp_path, monkeypatch)
+        cache = str(tmp_path / "cache")
+        fetch_dataset("tiny", cache_dir=cache)
+
+        def no_download(url, target):
+            raise AssertionError("second fetch must not re-download")
+
+        monkeypatch.setattr(fetch_mod, "_download", no_download)
+        path = fetch_dataset("tiny", cache_dir=cache)
+        assert open(path).read() == RAW
+
+    def test_refresh_redownloads(self, tmp_path, monkeypatch):
+        spec, upstream = _plain_spec(tmp_path, monkeypatch)
+        cache = str(tmp_path / "cache")
+        fetch_dataset("tiny", cache_dir=cache)
+        calls = []
+        real_download = fetch_mod._download
+
+        def counting_download(url, target):
+            calls.append(url)
+            return real_download(url, target)
+
+        monkeypatch.setattr(fetch_mod, "_download", counting_download)
+        fetch_dataset("tiny", cache_dir=cache, refresh=True)
+        assert len(calls) == 1
+
+    def test_unknown_name(self, tmp_path):
+        with pytest.raises(DatasetNotFoundError):
+            fetch_dataset("no-such-dataset", cache_dir=str(tmp_path))
+
+    def test_default_cache_dir_env_override(self, monkeypatch):
+        monkeypatch.setenv("KH_CORE_DATA_DIR", "/elsewhere/data")
+        assert default_cache_dir() == "/elsewhere/data"
+        monkeypatch.delenv("KH_CORE_DATA_DIR")
+        assert default_cache_dir().endswith("kh-core-datasets")
+
+    def test_every_registered_spec_is_wellformed(self):
+        for name in fetch_mod.REAL_DATASET_NAMES:
+            spec = fetch_mod.real_dataset_spec(name)
+            assert spec.archive in ("gz", "tar.bz2", "plain")
+            assert spec.url.startswith(("http://", "https://"))
+
+
+class TestChecksums:
+    def test_pinned_mismatch_raises(self, tmp_path, monkeypatch):
+        _plain_spec(tmp_path, monkeypatch, name="pinned",
+                    sha256="0" * 64)
+        with pytest.raises(DatasetChecksumError, match="pinned"):
+            fetch_dataset("pinned", cache_dir=str(tmp_path / "cache"))
+
+    def test_pinned_match_passes(self, tmp_path, monkeypatch):
+        digest = hashlib.sha256(RAW.encode()).hexdigest()
+        _plain_spec(tmp_path, monkeypatch, name="pinned-ok", sha256=digest)
+        path = fetch_dataset("pinned-ok", cache_dir=str(tmp_path / "cache"))
+        assert open(path).read() == RAW
+
+    def test_tofu_detects_tampering(self, tmp_path, monkeypatch):
+        _plain_spec(tmp_path, monkeypatch)
+        cache = str(tmp_path / "cache")
+        path = fetch_dataset("tiny", cache_dir=cache)
+        with open(path, "a") as handle:
+            handle.write("666 667\n")  # corrupt the cached copy
+        with pytest.raises(DatasetChecksumError, match="checksum"):
+            fetch_dataset("tiny", cache_dir=cache)
+
+
+class TestNormalize:
+    def test_normalize_produces_canonical_form(self, tmp_path, monkeypatch):
+        _plain_spec(tmp_path, monkeypatch)
+        cache = str(tmp_path / "cache")
+        path = fetch_dataset("tiny", cache_dir=cache, normalize=True)
+        assert path.endswith(".canonical.txt")
+        lines = open(path).read().splitlines()
+        assert lines[0].startswith("# dataset tiny source=local")
+        # Canonical: deduped, sorted, self-loop endpoint kept as a vertex.
+        assert lines[1:] == ["1 2", "1 3", "4"]
+
+    def test_normalize_round_trips_through_shared_parser(
+            self, tmp_path, monkeypatch):
+        _plain_spec(tmp_path, monkeypatch)
+        cache = str(tmp_path / "cache")
+        raw_path = fetch_dataset("tiny", cache_dir=cache)
+        canonical = fetch_dataset("tiny", cache_dir=cache, normalize=True)
+        assert ({frozenset(e) for e in read_edge_list(raw_path).edges()}
+                == {frozenset(e)
+                    for e in read_edge_list(canonical).edges()})
+        # Re-normalizing the canonical file is a fixed point.
+        graph = read_edge_list(canonical)
+        assert (canonical_lines(graph)
+                == open(canonical).read().splitlines()[1:])
+
+
+class TestSharedWriter:
+    """'datasets export' and fetch normalize share one edge-list dialect."""
+
+    def test_export_and_normalize_agree_byte_for_byte(self, tmp_path):
+        exported = str(tmp_path / "jazz.edges")
+        graph = export_edge_list("jazz", exported, scale="tiny", seed=0)
+        body = open(exported).read().splitlines()[1:]  # drop the header
+        assert body == canonical_lines(graph)
+
+    def test_exported_file_round_trips(self, tmp_path):
+        exported = str(tmp_path / "caHe.edges")
+        graph = export_edge_list("caHe", exported, scale="tiny", seed=1)
+        loaded = read_edge_list(exported)
+        assert set(loaded.vertices()) == set(graph.vertices())
+        assert ({frozenset(e) for e in loaded.edges()}
+                == {frozenset(e) for e in graph.edges()})
+
+    def test_iter_records_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text("# c\n\n% d\n1 2 weight\nsolo\n")
+        with open(path) as handle:
+            records = list(iter_records(handle))
+        assert [tokens for _, tokens in records] == [[1, 2], ["solo"]]

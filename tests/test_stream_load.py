@@ -1,0 +1,376 @@
+"""Tests for the streaming edge-list loader (repro.graph.stream_load).
+
+Edge-case inputs (comments, garbage, duplicates, loops, string ids, empty
+files), crash safety via the status sentinel, budget-independence of the
+output bytes, and bit-identical decomposition parity — cores, removal
+orders and traversal counters — between mmap-backed and in-RAM snapshots
+across every generator family.
+"""
+
+import importlib
+import os
+
+import pytest
+
+from repro.core import core_decomposition, core_decomposition_with_report
+from repro.errors import GraphFormatError
+from repro.graph import (
+    FrozenGraphView,
+    Graph,
+    load_csr,
+    read_edge_list,
+    stream_load,
+    stream_load_with_stats,
+    write_edge_list,
+)
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.storage import BLOCK_SUFFIX
+from repro.runtime import ExecutionContext
+
+#: The loader *module* — the package re-exports the function under the
+#: same name, so plain attribute access would shadow it.
+loader = importlib.import_module("repro.graph.stream_load")
+
+
+def _write(tmp_path, text, name="input.txt"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def _cores_of(csr, h=2):
+    view = FrozenGraphView(csr)
+    return core_decomposition(view, h=h).core_index
+
+
+class TestEdgeCases:
+    def test_comments_blanks_and_extra_columns(self, tmp_path):
+        source = _write(tmp_path, (
+            "# SNAP-style comment\n"
+            "% KONECT-style comment\n"
+            "\n"
+            "   \n"
+            "1 2 1.5 extra columns ignored\n"
+            "2 3\n"
+            "\t3\t1\t\n"
+        ))
+        csr, stats = stream_load_with_stats(source)
+        try:
+            assert stats.vertices == 3
+            assert stats.edges == 3
+            assert stats.lines == 7
+        finally:
+            csr.close()
+
+    def test_duplicates_and_both_orientations_collapse(self, tmp_path):
+        source = _write(tmp_path, "1 2\n2 1\n1 2\n2 3\n3 2\n")
+        csr, stats = stream_load_with_stats(source)
+        try:
+            assert stats.edges == 2
+            assert stats.duplicate_edges == 3
+        finally:
+            csr.close()
+
+    def test_self_loops_dropped_but_vertex_kept(self, tmp_path):
+        source = _write(tmp_path, "5 5\n1 2\n")
+        csr, stats = stream_load_with_stats(source)
+        try:
+            assert stats.self_loops == 1
+            assert stats.vertices == 3  # 1, 2 and the loop endpoint 5
+            assert stats.edges == 1
+            assert 5 in list(csr.labels)
+        finally:
+            csr.close()
+
+    def test_bare_ids_are_isolated_vertices(self, tmp_path):
+        source = _write(tmp_path, "7\n1 2\n")
+        csr, _ = stream_load_with_stats(source)
+        try:
+            assert csr.num_vertices == 3
+            assert csr.degree(csr.index(7)) == 0
+        finally:
+            csr.close()
+
+    def test_non_contiguous_and_string_ids(self, tmp_path):
+        source = _write(tmp_path, "100 7\nalpha 7\nbeta alpha\n100 beta\n")
+        csr, stats = stream_load_with_stats(source)
+        try:
+            # Sorted order: ints ascending first, then strings.
+            assert list(csr.labels) == [7, 100, "alpha", "beta"]
+            assert not stats.identity_labels
+            reference = core_decomposition(read_edge_list(source), h=2)
+            assert _cores_of(csr) == reference.core_index
+        finally:
+            csr.close()
+
+    def test_leading_zeros_unify_like_read_edge_list(self, tmp_path):
+        source = _write(tmp_path, "01 2\n1 3\n")
+        csr, _ = stream_load_with_stats(source)
+        try:
+            assert list(csr.labels) == [1, 2, 3]
+            assert csr.degree(csr.index(1)) == 2
+        finally:
+            csr.close()
+
+    def test_empty_file(self, tmp_path):
+        source = _write(tmp_path, "")
+        csr, stats = stream_load_with_stats(source)
+        try:
+            assert stats.vertices == 0
+            assert stats.edges == 0
+            assert _cores_of(csr) == {}
+        finally:
+            csr.close()
+
+    def test_comment_only_file(self, tmp_path):
+        source = _write(tmp_path, "# nothing\n% here\n")
+        csr, stats = stream_load_with_stats(source)
+        try:
+            assert stats.vertices == 0
+        finally:
+            csr.close()
+
+    def test_non_utf8_token_is_a_format_error(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_bytes(b"1 \xff\xfe\n")
+        with pytest.raises(GraphFormatError, match="UTF-8"):
+            stream_load(str(path))
+
+    def test_oversized_int_is_a_format_error(self, tmp_path):
+        source = _write(tmp_path, f"1 {10 ** 21}\n")
+        with pytest.raises(GraphFormatError, match="outside"):
+            stream_load(source)
+
+    def test_missing_input_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            stream_load(str(tmp_path / "does-not-exist.txt"))
+
+
+class TestCrashSafety:
+    def test_interrupted_build_leaves_no_readable_artifact(
+            self, tmp_path, monkeypatch):
+        from repro.graph import storage as storage_mod
+
+        source = _write(tmp_path, "1 2\n2 3\n")
+        out = str(tmp_path / ("g" + BLOCK_SUFFIX))
+
+        def exploding_finalize(self, *args, **kwargs):
+            raise RuntimeError("simulated crash before the status flip")
+
+        # Both patches target the class itself, which the loader shares.
+        monkeypatch.setattr(storage_mod.BlockFileWriter, "finalize",
+                            exploding_finalize)
+        # The crash model: abort() never runs either (hard kill).
+        monkeypatch.setattr(storage_mod.BlockFileWriter, "abort",
+                            lambda self: self._close_handles())
+        with pytest.raises(RuntimeError):
+            stream_load(source, out_path=out)
+        assert os.path.exists(out)  # bytes are there, but...
+        with pytest.raises(GraphFormatError, match="incomplete"):
+            load_csr(out)
+        # Restore and prove a rebuild over the same path recovers.
+        monkeypatch.undo()
+        csr = stream_load(source, out_path=out)
+        try:
+            assert csr.num_edges == 2
+        finally:
+            csr.close()
+
+    def test_failed_build_cleans_scratch_directory(self, tmp_path):
+        source = _write(tmp_path, f"1 {10 ** 21}\n")
+        with pytest.raises(GraphFormatError):
+            stream_load(source, tmp_dir=str(tmp_path))
+        leftovers = [f for f in os.listdir(tmp_path)
+                     if f.startswith(".kh-core-load-")]
+        assert leftovers == []
+
+
+class TestBudgetIndependence:
+    def test_tiny_budget_spills_but_output_is_identical(self, tmp_path):
+        # Big enough that the clamped minimum budget (256 KiB) has to
+        # spill mid-stream, not just flush its tail.
+        graph = gen.relaxed_caveman_graph(16, 14, 0.2, seed=11)
+        source = str(tmp_path / "g.edges")
+        write_edge_list(graph, source)
+
+        big = str(tmp_path / ("big" + BLOCK_SUFFIX))
+        small = str(tmp_path / ("small" + BLOCK_SUFFIX))
+        csr_big, stats_big = stream_load_with_stats(source, out_path=big)
+        csr_big.close()
+        csr_small, stats_small = stream_load_with_stats(
+            source, out_path=small, max_ram_bytes=1)
+        csr_small.close()
+        assert stats_small.spill_runs > stats_big.spill_runs
+        with open(big, "rb") as a, open(small, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_external_relabel_is_byte_identical(self, tmp_path):
+        graph = gen.powerlaw_cluster_graph(40, 2, 0.3, seed=5)
+        source = str(tmp_path / "g.edges")
+        write_edge_list(graph, source)
+        fast = str(tmp_path / ("fast" + BLOCK_SUFFIX))
+        slow = str(tmp_path / ("slow" + BLOCK_SUFFIX))
+        csr, stats = stream_load_with_stats(source, out_path=fast,
+                                            external_relabel=False)
+        csr.close()
+        assert not stats.external_relabel
+        csr, stats = stream_load_with_stats(source, out_path=slow,
+                                            external_relabel=True)
+        csr.close()
+        assert stats.external_relabel
+        with open(fast, "rb") as a, open(slow, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_cascaded_merge_is_byte_identical(self, tmp_path, monkeypatch):
+        # Force the multi-level merge cascade (normally needs > 256 spill
+        # runs) by shrinking the fan-in; the cascade consumes and unlinks
+        # its input runs itself, which must not trip the later cleanup.
+        graph = gen.relaxed_caveman_graph(16, 14, 0.2, seed=11)
+        source = str(tmp_path / "g.edges")
+        write_edge_list(graph, source)
+
+        plain = str(tmp_path / ("plain" + BLOCK_SUFFIX))
+        stream_load(source, out_path=plain).close()
+
+        monkeypatch.setattr(loader, "_MAX_MERGE_FANIN", 2)
+        cascaded = str(tmp_path / ("cascaded" + BLOCK_SUFFIX))
+        csr, stats = stream_load_with_stats(source, out_path=cascaded,
+                                            max_ram_bytes=1)
+        csr.close()
+        assert stats.spill_runs > 2
+        with open(plain, "rb") as a, open(cascaded, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_input_line_order_does_not_matter(self, tmp_path):
+        forward = _write(tmp_path, "1 2\n2 3\n3 4\n", "f.txt")
+        backward = _write(tmp_path, "4 3\n3 2\n2 1\n", "b.txt")
+        out_f = str(tmp_path / ("f" + BLOCK_SUFFIX))
+        out_b = str(tmp_path / ("b" + BLOCK_SUFFIX))
+        stream_load(forward, out_path=out_f).close()
+        stream_load(backward, out_path=out_b).close()
+        with open(out_f, "rb") as a, open(out_b, "rb") as b:
+            assert a.read() == b.read()
+
+
+#: One representative per generator family (all 15 families — the parity
+#: requirement floor is 14).  Sizes are kept small: the point is coverage
+#: of structural shapes, not scale.
+FAMILIES = [
+    ("complete", lambda: gen.complete_graph(8)),
+    ("cycle", lambda: gen.cycle_graph(24)),
+    ("path", lambda: gen.path_graph(24)),
+    ("star", lambda: gen.star_graph(15)),
+    ("empty", lambda: gen.empty_graph(12)),
+    ("erdos_renyi", lambda: gen.erdos_renyi_graph(30, 0.15, seed=3)),
+    ("barabasi_albert", lambda: gen.barabasi_albert_graph(30, 2, seed=3)),
+    ("watts_strogatz", lambda: gen.watts_strogatz_graph(30, 4, 0.2, seed=3)),
+    ("grid", lambda: gen.grid_graph(5, 6)),
+    ("road_network", lambda: gen.road_network_graph(5, 6, seed=3)),
+    ("caveman", lambda: gen.caveman_graph(4, 5)),
+    ("relaxed_caveman",
+     lambda: gen.relaxed_caveman_graph(4, 5, 0.2, seed=3)),
+    ("powerlaw_cluster",
+     lambda: gen.powerlaw_cluster_graph(30, 2, 0.3, seed=3)),
+    ("random_tree", lambda: gen.random_tree(30, seed=3)),
+    ("planted_partition",
+     lambda: gen.planted_partition_graph(3, 8, 0.6, 0.1, seed=3)),
+]
+
+
+class TestDecompositionParity:
+    """storage=mmap must be bit-identical to in-RAM: cores, orders, counters."""
+
+    @pytest.mark.parametrize("name,factory", FAMILIES,
+                             ids=[name for name, _ in FAMILIES])
+    def test_mmap_vs_ram_bit_identical(self, name, factory, tmp_path):
+        graph = factory()
+        source = str(tmp_path / f"{name}.edges")
+        write_edge_list(graph, source)
+
+        mmap_csr = stream_load(source)
+        try:
+            ram_csr = mmap_csr.to_ram()
+            dict_graph = read_edge_list(source)
+            for h in (1, 2, 3):
+                results = {}
+                for tag, csr in (("mmap", mmap_csr), ("ram", ram_csr)):
+                    view = FrozenGraphView(csr)
+                    with ExecutionContext(view, backend="csr") as context:
+                        report = core_decomposition_with_report(
+                            view, h, context=context)
+                    results[tag] = report
+                mm, rr = results["mmap"].result, results["ram"].result
+                assert mm.core_index == rr.core_index, (name, h)
+                assert mm.removal_order == rr.removal_order, (name, h)
+                assert (results["mmap"].visits
+                        == results["ram"].visits), (name, h)
+                # And both agree with the dict-based reference on cores.
+                reference = core_decomposition(dict_graph, h=h)
+                assert mm.core_index == reference.core_index, (name, h)
+        finally:
+            mmap_csr.close()
+
+
+class TestFromEdgeFile:
+    def test_storage_mmap_keeps_block_mapped(self, tmp_path):
+        graph = gen.relaxed_caveman_graph(4, 5, 0.2, seed=1)
+        source = str(tmp_path / "g.edges")
+        write_edge_list(graph, source)
+        csr = CSRGraph.from_edge_file(source, storage="mmap")
+        try:
+            assert csr.storage_kind == "mmap"
+            reference = core_decomposition(graph, h=2)
+            assert _cores_of(csr) == reference.core_index
+        finally:
+            csr.close()
+
+    def test_storage_ram_materializes(self, tmp_path):
+        graph = gen.cycle_graph(10)
+        source = str(tmp_path / "g.edges")
+        write_edge_list(graph, source)
+        csr = CSRGraph.from_edge_file(source, storage="ram")
+        assert csr.storage_kind == "ram"
+        assert csr.num_edges == 10
+
+    def test_persisted_out_path_round_trips(self, tmp_path):
+        graph = gen.star_graph(9)
+        source = str(tmp_path / "g.edges")
+        write_edge_list(graph, source)
+        out = str(tmp_path / ("g" + BLOCK_SUFFIX))
+        csr = CSRGraph.from_edge_file(source, storage="mmap", out_path=out)
+        csr.close()
+        reopened = load_csr(out)
+        try:
+            assert reopened.num_vertices == 10
+            assert reopened.num_edges == 9
+        finally:
+            reopened.close()
+
+
+class TestGraphEquivalence:
+    def test_loader_agrees_with_read_edge_list(self, tmp_path):
+        graph = gen.planted_partition_graph(3, 6, 0.7, 0.1, seed=9)
+        source = str(tmp_path / "g.edges")
+        write_edge_list(graph, source)
+        csr, _ = stream_load_with_stats(source)
+        try:
+            loaded = read_edge_list(source)
+            view = FrozenGraphView(csr)
+            assert set(view.vertices()) == set(loaded.vertices())
+            assert ({frozenset(e) for e in view.edges()}
+                    == {frozenset(e) for e in loaded.edges()})
+        finally:
+            csr.close()
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        graph = Graph([(1, 2)])
+        graph.add_vertex(99)
+        source = str(tmp_path / "g.edges")
+        write_edge_list(graph, source)
+        csr, stats = stream_load_with_stats(source)
+        try:
+            assert stats.vertices == 3
+            assert csr.degree(csr.index(99)) == 0
+        finally:
+            csr.close()
