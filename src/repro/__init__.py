@@ -51,7 +51,7 @@ from repro.runtime import ExecutionContext
 
 #: Single source of truth alongside pyproject.toml's ``version`` — keep the
 #: two in lockstep when releasing.
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     "__version__",

@@ -254,13 +254,15 @@ def load_main(argv: Sequence[str]) -> int:
 
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="auto",
-                        choices=("auto", "dict", "csr", "numpy"),
+                        choices=("auto", "dict", "csr", "numpy", "native"),
                         help="graph backend for the generalized algorithms: "
                              "dict (reference), csr (flat-array, faster), "
                              "numpy (vectorized kernels; needs the optional "
-                             "NumPy extra), or auto (numpy for large "
-                             "integer-vertex graphs when available, csr "
-                             "below the size threshold)")
+                             "NumPy extra), native (compiled GIL-releasing "
+                             "kernels; needs the optional Numba extra), or "
+                             "auto (the fastest installed engine for large "
+                             "integer-vertex graphs, csr below the size "
+                             "thresholds)")
     parser.add_argument("--csr-threshold", type=int, default=None,
                         help="minimum vertex count for backend=auto to pick "
                              "csr (default: KH_CORE_CSR_THRESHOLD env var, "
@@ -566,7 +568,7 @@ def build_index_parser() -> argparse.ArgumentParser:
                               "a batch triggers a full rebuild "
                               "(default: 0.5)")
     refresh.add_argument("--backend", default="auto",
-                         choices=("auto", "dict", "csr", "numpy"),
+                         choices=("auto", "dict", "csr", "numpy", "native"),
                          help="graph backend for the maintenance engines")
     refresh.add_argument("--fallback-ratio", type=float, default=None,
                          help="per-engine dirty-region fraction above which "

@@ -17,7 +17,9 @@ from repro.core.backends import (
     AliveMask,
     CSREngine,
     DictEngine,
+    NativeEngine,
     NumpyEngine,
+    native_available,
     numpy_available,
     resolve_engine,
 )
@@ -51,7 +53,9 @@ __all__ = [
     "AliveMask",
     "CSREngine",
     "DictEngine",
+    "NativeEngine",
     "NumpyEngine",
+    "native_available",
     "numpy_available",
     "resolve_engine",
     "BucketQueue",

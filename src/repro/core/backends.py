@@ -49,6 +49,7 @@ from repro.errors import ParameterError
 from repro.graph.csr import (
     CSRGraph,
     csr_suitable,
+    resolve_native_threshold,
     resolve_numpy_threshold,
 )
 from repro.graph.graph import Graph, Vertex
@@ -60,7 +61,7 @@ from repro.traversal.bfs import h_bounded_neighbors
 from repro.traversal.hneighborhood import h_degree as _dict_h_degree
 
 #: Backend names accepted by the decomposition entry points.
-BACKENDS = ("auto", "dict", "csr", "numpy")
+BACKENDS = ("auto", "dict", "csr", "numpy", "native")
 
 
 def numpy_available() -> bool:
@@ -80,6 +81,38 @@ def numpy_available() -> bool:
     if os.environ.get("KH_CORE_DISABLE_NUMPY", "") not in ("", "0"):
         return False
     return importlib.util.find_spec("numpy") is not None
+
+
+def native_available() -> bool:
+    """True when the compiled ``native`` engine can run.
+
+    Gate for the ``native`` engine, mirroring :func:`numpy_available`:
+    ``backend="auto"`` consults this (plus
+    :func:`~repro.graph.csr.resolve_native_threshold`) before preferring the
+    compiled engine, and an explicit ``backend="native"`` raises a
+    :class:`~repro.errors.ParameterError` when it returns False.
+
+    The engine needs both optional extras: NumPy for the arrays and Numba
+    for the JIT (``pip install 'kh-core-repro[native]'``).  Two levers:
+
+    * ``KH_CORE_DISABLE_NATIVE=1`` forces False even with Numba installed —
+      the operator kill switch for broken Numba/LLVM builds (it also
+      respects ``KH_CORE_DISABLE_NUMPY``, since the kernels run on
+      ndarrays).
+    * ``KH_CORE_NATIVE_ALLOW_INTERPRETED=1`` allows True with Numba absent
+      (NumPy still required): the kernels then run as interpreted Python —
+      bit-identical results, none of the speed.  A test/debug lever for
+      exercising the native codepaths on machines without a compiler; never
+      set it in production.
+    """
+    if os.environ.get("KH_CORE_DISABLE_NATIVE", "") not in ("", "0"):
+        return False
+    if not numpy_available():
+        return False
+    if importlib.util.find_spec("numba") is not None:
+        return True
+    return os.environ.get("KH_CORE_NATIVE_ALLOW_INTERPRETED", "") not in (
+        "", "0")
 
 
 class DictEngine:
@@ -509,6 +542,69 @@ class NumpyEngine(CSREngine):
         return dict(zip(batch, degrees.tolist()))
 
 
+class NativeEngine(CSREngine):
+    """Compiled engine: the CSR snapshot traversed by Numba-JIT kernels.
+
+    Same handle space, alive masks, snapshot/refresh lifecycle,
+    bulk-dispatch logic and shared-memory process path as
+    :class:`CSREngine`; the kernel hooks swap in
+    :class:`~repro.traversal.native_bfs.NativeBFS`, whose h-bounded level
+    loop runs as a single ``@njit(nogil=True, cache=True)`` call.  Results
+    (traversal orders, removal orders, counter totals) are bit-identical to
+    every other engine; what changes is the constant factor — the whole
+    BFS compiles to machine code — and the concurrency story: because the
+    kernels release the GIL, ``executor="thread"`` bulk passes fan
+    :func:`~repro.core.parallel.chunk_plan` batches out over threads that
+    genuinely run in parallel on the *shared* snapshot, with none of the
+    process pool's export cost.
+
+    Requires the optional Numba extra (``pip install
+    'kh-core-repro[native]'``); :func:`resolve_engine` raises a clear error
+    when it is missing and ``backend="auto"`` simply never selects it.
+    Construction pre-compiles (or cache-loads) the kernels unless
+    ``KH_CORE_NATIVE_WARMUP=0``, so first-traversal timings are
+    steady-state.
+    """
+
+    name = "native"
+
+    __slots__ = ()
+
+    def __init__(self, *args, **kwargs) -> None:
+        if os.environ.get("KH_CORE_NATIVE_WARMUP", "1") not in ("", "0"):
+            from repro.traversal.native_bfs import warmup_kernels
+
+            warmup_kernels()
+        super().__init__(*args, **kwargs)
+
+    def _make_scratch(self):
+        from repro.traversal.native_bfs import NativeBFS
+
+        return NativeBFS(self.csr)
+
+    def _bulk_serial(self, indices: List[int], h: int,
+                     alive: Optional[AliveMask],
+                     counters: Counters) -> Dict[int, int]:
+        """Serial bulk kernel: all sources in one compiled, GIL-free call."""
+        degrees = self._scratch.bulk(indices, h, alive, counters)
+        counters.count_hdegrees(len(indices))
+        return dict(zip(indices, degrees.tolist()))
+
+    def _bulk_worker_batch(self, batch: List[int], h: int,
+                           alive: Optional[AliveMask],
+                           local: Counters) -> Dict[int, int]:
+        """Thread-pool bulk kernel: a private cloned scratch per batch.
+
+        The scratch's stamp/queue buffers are per-thread; the CSR ndarrays
+        are shared read-only — and the kernel drops the GIL for the whole
+        batch, which is what makes this executor finally scale.
+        """
+        scratch = self._scratch.clone()
+        degrees = scratch.bulk(batch, h, alive, local)
+        local.count_hdegrees(len(batch))
+        return dict(zip(batch, degrees.tolist()))
+
+
 Engine = Union[DictEngine, CSREngine]
 
 #: Graph-like inputs the resolver accepts: a mutable dict graph or a frozen
@@ -525,13 +621,16 @@ def resolve_engine(graph: GraphLike, backend: Union[str, Engine] = "dict",
 
     ``backend`` may be one of the names in :data:`BACKENDS` or an
     already-constructed engine (useful to amortize a CSR build across
-    several decompositions of the same graph).  ``"auto"`` picks the
-    vectorized NumPy engine for integer-friendly graphs clearing the NumPy
-    size threshold (when NumPy is importable), the interpreted CSR engine
-    for smaller integer-friendly graphs, and the dict reference engine
-    otherwise; ``csr_threshold`` overrides the minimum vertex count for the
-    CSR choice (default: the ``KH_CORE_CSR_THRESHOLD`` environment
-    variable, with ``KH_CORE_NUMPY_THRESHOLD`` gating the NumPy step-up).
+    several decompositions of the same graph).  ``"auto"`` climbs the
+    engine ladder as far as the graph and the installed extras allow: the
+    compiled native engine for integer-friendly graphs clearing the native
+    size threshold (when Numba is importable), the vectorized NumPy engine
+    above the NumPy threshold (when NumPy is importable), the interpreted
+    CSR engine for smaller integer-friendly graphs, and the dict reference
+    engine otherwise; ``csr_threshold`` overrides the minimum vertex count
+    for the CSR choice (default: the ``KH_CORE_CSR_THRESHOLD`` environment
+    variable, with ``KH_CORE_NUMPY_THRESHOLD`` / ``KH_CORE_NATIVE_THRESHOLD``
+    gating the step-ups).
 
     ``relabel`` applies a cache-locality vertex permutation at CSR build
     time (``"degree"`` / ``"bfs"`` — see
@@ -602,6 +701,21 @@ def resolve_engine(graph: GraphLike, backend: Union[str, Engine] = "dict",
             )
         return NumpyEngine(graph, csr=frozen_csr, relabel=relabel,
                            storage=storage, storage_dir=storage_dir)
+    if name == "native":
+        if not native_available():
+            if os.environ.get("KH_CORE_DISABLE_NATIVE", "") not in ("", "0"):
+                raise ParameterError(
+                    "backend='native' is disabled by KH_CORE_DISABLE_NATIVE "
+                    "in this environment; unset it (or use the 'numpy' / "
+                    "'csr' / 'dict' engines)"
+                )
+            raise ParameterError(
+                "backend='native' requires the optional Numba dependency "
+                "(pip install 'kh-core-repro[native]'); the 'numpy', 'csr' "
+                "and 'dict' engines run without it"
+            )
+        return NativeEngine(graph, csr=frozen_csr, relabel=relabel,
+                            storage=storage, storage_dir=storage_dir)
     return CSREngine(graph, csr=frozen_csr, relabel=relabel,
                      storage=storage, storage_dir=storage_dir)
 
@@ -613,21 +727,28 @@ def resolved_backend_name(graph: GraphLike, backend: Union[str, Engine],
     Cheap (no engine is built): used by the CLI to surface which backend an
     ``"auto"`` request actually selected.  The ``"auto"`` ladder: dict for
     graphs that are not integer-friendly or below the CSR threshold, then
-    numpy when NumPy is importable and the graph clears the NumPy size
-    threshold, csr otherwise.  A frozen CSR view skips the suitability
-    probe — its arrays already exist, so ``"auto"`` never falls back to
-    dict for it.
+    native when Numba is importable and the graph clears the native size
+    threshold, then numpy when NumPy is importable and the graph clears
+    the NumPy size threshold, csr otherwise.  A frozen CSR view skips the
+    suitability probe — its arrays already exist, so ``"auto"`` never
+    falls back to dict for it.
     """
     if isinstance(backend, (DictEngine, CSREngine)):
         return backend.name
     if backend == "auto":
         if isinstance(graph, FrozenGraphView):
+            if (native_available()
+                    and graph.num_vertices >= resolve_native_threshold()):
+                return "native"
             if (numpy_available()
                     and graph.num_vertices >= resolve_numpy_threshold()):
                 return "numpy"
             return "csr"
         if not csr_suitable(graph, csr_threshold):
             return "dict"
+        if (native_available()
+                and graph.num_vertices >= resolve_native_threshold()):
+            return "native"
         if (numpy_available()
                 and graph.num_vertices >= resolve_numpy_threshold()):
             return "numpy"

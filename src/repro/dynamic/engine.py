@@ -80,11 +80,12 @@ class DynamicKHCore:
     h:
         Distance threshold (``h >= 1``).
     backend:
-        ``"dict"``, ``"csr"``, ``"numpy"`` or ``"auto"`` — resolved once at
-        construction and kept for the engine's lifetime.  The CSR-family
-        backends (``csr`` and the vectorized ``numpy`` engine) delta-rebuild
-        their snapshot after each batch (touched rows only), the dict
-        backend reads the live graph.
+        ``"dict"``, ``"csr"``, ``"numpy"``, ``"native"`` or ``"auto"`` —
+        resolved once at construction and kept for the engine's lifetime.
+        The CSR-family backends (``csr`` plus the vectorized ``numpy`` and
+        compiled ``native`` engines) delta-rebuild their snapshot after
+        each batch (touched rows only), the dict backend reads the live
+        graph.
     relabel:
         Optional cache-locality vertex permutation (``"degree"`` / ``"bfs"``)
         applied whenever a CSR-family snapshot is built; maintained cores
@@ -167,7 +168,8 @@ class DynamicKHCore:
         self.counters = counters if counters is not None else NULL_COUNTERS
         self.stats = DynamicStats()
 
-        #: Backend name fixed at construction ("dict", "csr" or "numpy").
+        #: Backend name fixed at construction
+        #: ("dict", "csr", "numpy" or "native").
         self.backend = resolved_backend_name(self.graph, backend)
         self.executor = executor
         self.relabel = relabel

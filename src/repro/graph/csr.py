@@ -32,6 +32,7 @@ from repro.errors import ParameterError, VertexNotFoundError
 from repro.graph.graph import Graph, Vertex
 from repro.graph.storage import (
     BLOCK_SUFFIX,
+    LazyLabelIndex,
     MmapCSRStorage,
     _env_threshold,
     estimated_payload_bytes,
@@ -57,6 +58,17 @@ DEFAULT_NUMPY_AUTO_THRESHOLD = 512
 
 #: Environment variable overriding :data:`DEFAULT_NUMPY_AUTO_THRESHOLD`.
 NUMPY_THRESHOLD_ENV_VAR = "KH_CORE_NUMPY_THRESHOLD"
+
+#: Minimum vertex count for ``backend="auto"`` to step up from the NumPy
+#: engine to the compiled native engine (when Numba is importable).  The
+#: compiled kernels beat every interpreter at any size, but on tiny graphs
+#: the whole decomposition is microseconds either way and the first-call
+#: kernel-cache lookup is not worth scheduling; above this size the
+#: frontier-bound workloads the NumPy engine leaves on the table dominate.
+DEFAULT_NATIVE_AUTO_THRESHOLD = 2048
+
+#: Environment variable overriding :data:`DEFAULT_NATIVE_AUTO_THRESHOLD`.
+NATIVE_THRESHOLD_ENV_VAR = "KH_CORE_NATIVE_THRESHOLD"
 
 #: Cache-locality relabeling strategies accepted by
 #: :meth:`CSRGraph.from_graph` (``None`` behaves like ``"none"``).
@@ -136,13 +148,15 @@ class CSRGraph:
     def __init__(self, indptr: Sequence[int], adjacency: Sequence[int],
                  labels: Sequence[Vertex],
                  index_of: Optional[Union[Dict[Vertex, int],
-                                          IdentityIndex]] = None,
+                                          IdentityIndex,
+                                          LazyLabelIndex]] = None,
                  source_version: Optional[int] = None,
                  storage: Optional[object] = None) -> None:
         self.indptr = indptr
         self.adjacency = adjacency
         self.labels = labels
-        self.index_of: Union[Dict[Vertex, int], IdentityIndex] = (
+        self.index_of: Union[Dict[Vertex, int], IdentityIndex,
+                             LazyLabelIndex] = (
             index_of if index_of is not None
             else {v: i for i, v in enumerate(labels)})
         #: ``Graph.version`` of the source graph at snapshot time (None for
@@ -540,6 +554,22 @@ def resolve_numpy_threshold(min_vertices: Optional[int] = None) -> int:
         return min_vertices
     return _env_threshold(NUMPY_THRESHOLD_ENV_VAR,
                           DEFAULT_NUMPY_AUTO_THRESHOLD)
+
+
+def resolve_native_threshold(min_vertices: Optional[int] = None) -> int:
+    """Resolve the minimum size for ``backend="auto"`` to prefer native.
+
+    Same precedence and hardening as :func:`resolve_csr_threshold`, reading
+    ``KH_CORE_NATIVE_THRESHOLD`` and defaulting to
+    :data:`DEFAULT_NATIVE_AUTO_THRESHOLD`.
+    """
+    if min_vertices is not None:
+        if min_vertices < 0:
+            raise ParameterError(
+                "the native auto-backend threshold must be >= 0")
+        return min_vertices
+    return _env_threshold(NATIVE_THRESHOLD_ENV_VAR,
+                          DEFAULT_NATIVE_AUTO_THRESHOLD)
 
 
 def _edge_file_payload_estimate(path: str) -> int:

@@ -243,6 +243,8 @@ class RamCSRStorage:
 
 def _cleanup_mmap(state: dict) -> None:
     """Finalizer shared by close() and GC: unmap, close, maybe unlink."""
+    for extra in state.pop("extra_close", ()):
+        extra()
     views = state.pop("views", ())
     for view in views:
         view.release()
@@ -497,13 +499,197 @@ def read_sidecar_labels(path: str, expected: int) -> List[object]:
     return labels
 
 
+def _cleanup_label_store(state: dict) -> None:
+    """Finalizer shared by LazyLabelStore.close() and GC: unmap and close."""
+    mm = state.pop("mm", None)
+    if mm is not None:
+        mm.close()
+    fh = state.pop("fh", None)
+    if fh is not None:
+        fh.close()
+
+
+class LazyLabelStore:
+    """Sequence view over a ``<path>.labels`` sidecar, decoded on demand.
+
+    Reopening a string-labeled block file used to read the whole sidecar
+    into a Python list and build an n-entry index dict before the first
+    query ran — O(n) RAM and time just to *open* the graph.  This store
+    makes :func:`load_csr` reopen O(1): construction only checks that the
+    sidecar exists; the first label access memory-maps the sidecar and
+    scans it once into a compact line-offset table (8 bytes per vertex,
+    in lieu of n boxed labels), after which ``labels[i]`` decodes one line
+    straight out of the page cache.  Iteration streams the mapping without
+    ever materializing the list.
+
+    The count-vs-header validation the eager reader performed moves to
+    that first access; a sidecar that was truncated after the block was
+    finalized still raises :class:`~repro.errors.GraphFormatError`, just
+    lazily.  Not thread-safe (one-shot index build), matching every other
+    per-snapshot scratch structure in this package.
+    """
+
+    __slots__ = ("path", "expected", "_offsets", "_mm", "_state",
+                 "_finalizer", "__weakref__")
+
+    def __init__(self, path: str, expected: int) -> None:
+        sidecar = path + LABELS_SUFFIX
+        if not os.path.exists(sidecar):
+            raise GraphFormatError(
+                f"{path}: labels sidecar {sidecar!r} is missing")
+        self.path = sidecar
+        self.expected = expected
+        self._offsets: Optional["array[int]"] = None
+        self._mm: Optional[mmap.mmap] = None
+        self._state: dict = {}
+        self._finalizer = weakref.finalize(
+            self, _cleanup_label_store, self._state)
+
+    def _ensure(self) -> None:
+        """Map the sidecar and build the line-offset table (first use only)."""
+        if self._offsets is not None:
+            return
+        fh = open(self.path, "rb")
+        try:
+            if os.fstat(fh.fileno()).st_size == 0:
+                mm = None
+            else:
+                mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except BaseException:
+            fh.close()
+            raise
+        offsets = array("q", [0])
+        if mm is not None:
+            find = mm.find
+            pos = find(b"\n", 0)
+            while pos != -1:
+                offsets.append(pos + 1)
+                pos = find(b"\n", pos + 1)
+            if offsets[-1] != len(mm):
+                # No trailing newline: the final partial line is a label.
+                offsets.append(len(mm))
+        if len(offsets) - 1 != self.expected:
+            if mm is not None:
+                mm.close()
+            fh.close()
+            raise GraphFormatError(
+                f"{self.path}: {len(offsets) - 1} labels for "
+                f"{self.expected} vertices")
+        self._state.update(mm=mm, fh=fh)
+        self._mm = mm
+        self._offsets = offsets
+
+    def __len__(self) -> int:
+        return self.expected
+
+    def __getitem__(self, index: int) -> object:
+        """Decode the label of vertex ``index`` straight from the mapping."""
+        from repro.graph.edgefile import parse_vertex
+
+        self._ensure()
+        if index < 0:
+            index += self.expected
+        if not 0 <= index < self.expected:
+            raise IndexError(index)
+        offsets = self._offsets
+        assert offsets is not None and self._mm is not None
+        raw = self._mm[offsets[index]:offsets[index + 1]]
+        return parse_vertex(raw.decode("utf-8").rstrip("\n"))
+
+    def __iter__(self):
+        """Stream every label in vertex order without materializing a list."""
+        from repro.graph.edgefile import parse_vertex
+
+        self._ensure()
+        if self._mm is None:
+            return
+        offsets = self._offsets
+        assert offsets is not None
+        mm = self._mm
+        for i in range(self.expected):
+            raw = mm[offsets[i]:offsets[i + 1]]
+            yield parse_vertex(raw.decode("utf-8").rstrip("\n"))
+
+    def __add__(self, other: Sequence[object]) -> List[object]:
+        """Materialized concatenation, for the delta-rebuild label path."""
+        return list(self) + list(other)
+
+    def __eq__(self, other: object) -> bool:
+        """Element-wise equality against any sequence (materializes self)."""
+        if isinstance(other, (list, tuple, range, LazyLabelStore)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        """Path and size; never forces the lazy read."""
+        return (f"LazyLabelStore({self.path!r}, n={self.expected}, "
+                f"loaded={self._offsets is not None})")
+
+    def close(self) -> None:
+        """Release the sidecar mapping (idempotent; safe before first use)."""
+        if self._finalizer.alive:
+            self._finalizer()
+        self._offsets = None
+        self._mm = None
+
+
+class LazyLabelIndex:
+    """``index_of`` mapping over a :class:`LazyLabelStore`, built on demand.
+
+    The reverse ``label -> index`` dict is only worth n dict entries of RAM
+    once somebody actually resolves a label (``handle_of`` / ``index``);
+    decompositions and exports that only ever go index→label never pay for
+    it.  Read surface mirrors :class:`~repro.graph.csr.IdentityIndex`:
+    ``[]``, ``in``, ``get``, ``len``, iteration, ``items``.
+    """
+
+    __slots__ = ("_store", "_index")
+
+    def __init__(self, store: LazyLabelStore) -> None:
+        self._store = store
+        self._index: Optional[dict] = None
+
+    def _ensure(self) -> dict:
+        if self._index is None:
+            self._index = {v: i for i, v in enumerate(self._store)}
+        return self._index
+
+    def __getitem__(self, label: object) -> int:
+        return self._ensure()[label]
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._ensure()
+
+    def get(self, label: object, default: Optional[int] = None
+            ) -> Optional[int]:
+        """Index of ``label``, or ``default`` when unknown."""
+        return self._ensure().get(label, default)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self):
+        return iter(self._ensure())
+
+    def items(self):
+        """``(label, index)`` pairs, mirroring ``dict.items``."""
+        return self._ensure().items()
+
+    def keys(self):
+        """Label view, mirroring ``dict.keys`` (lets ``dict(index)`` work)."""
+        return self._ensure().keys()
+
+
 def load_csr(path: str, delete_on_close: bool = False):
     """Open a finalized block file as an mmap-backed ``CSRGraph``.
 
-    Labels come back per the header flag: identity labels materialize as a
-    ``range`` (no per-vertex cost), sidecar labels are read from
-    ``<path>.labels``, and a volatile-labels file (an engine-internal
-    spill) is refused — it was never meant to outlive its process.
+    Labels come back per the header flag, and in O(1) either way: identity
+    labels materialize as a ``range`` (no per-vertex cost), sidecar labels
+    become a :class:`LazyLabelStore` / :class:`LazyLabelIndex` pair that
+    memory-maps ``<path>.labels`` on first access (a missing sidecar is
+    still reported here, at open time), and a volatile-labels file (an
+    engine-internal spill) is refused — it was never meant to outlive its
+    process.
     """
     from repro.graph.csr import CSRGraph, IdentityIndex
 
@@ -512,10 +698,15 @@ def load_csr(path: str, delete_on_close: bool = False):
         n = storage.num_vertices
         if storage.labels_flag == LABELS_IDENTITY:
             labels: Sequence[object] = range(n)
-            index_of = IdentityIndex(n)
+            index_of: object = IdentityIndex(n)
         elif storage.labels_flag == LABELS_SIDECAR:
-            labels = read_sidecar_labels(storage.path, n)
-            index_of = {v: i for i, v in enumerate(labels)}
+            store = LazyLabelStore(storage.path, n)
+            # Closing (or finalizing) the block storage closes the label
+            # mapping too, so the sidecar unlink of a temp spill never
+            # races an open map.
+            storage._state["extra_close"] = (store.close,)
+            labels = store
+            index_of = LazyLabelIndex(store)
         else:
             raise GraphFormatError(
                 f"{path}: block stores no labels (an engine-internal "
@@ -523,6 +714,5 @@ def load_csr(path: str, delete_on_close: bool = False):
     except BaseException:
         storage.close()
         raise
-    return CSRGraph(storage.indptr, storage.adjacency, list(labels)
-                    if not isinstance(labels, range) else labels,
+    return CSRGraph(storage.indptr, storage.adjacency, labels,
                     index_of, source_version=None, storage=storage)

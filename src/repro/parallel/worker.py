@@ -23,6 +23,11 @@ shared arrays:
   ``np.frombuffer`` views of the very same block.  If NumPy turns out to be
   unimportable in the worker (a mixed deployment), the worker silently
   falls back to the interpreted kernel — results are identical either way.
+* ``"native"`` — the compiled block kernel
+  (:meth:`~repro.traversal.native_bfs.NativeBFS.bulk`) over the same
+  zero-copy views.  A worker without a working Numba downgrades silently
+  to the NumPy kernel, and from there (no NumPy either) to the
+  interpreted one — the same ladder ``backend="auto"`` climbs, descended.
 """
 
 from __future__ import annotations
@@ -90,8 +95,23 @@ def _attach(layout: SharedCSRLayout, engine_kind: str) -> None:
     _detach()
     view = SharedCSRView(layout)
     kind = engine_kind
-    bfs: Any
-    if kind == "numpy":
+    bfs: Any = None
+    if kind == "native":
+        try:
+            from repro.traversal.native_bfs import (
+                NativeBFS,
+                native_kernels_enabled,
+            )
+
+            if not native_kernels_enabled():
+                raise ImportError("numba unavailable in worker")
+            indptr, adjacency, _ = view.numpy_views()
+            bfs = NativeBFS.from_arrays(indptr, adjacency)
+        except ImportError:
+            # Silent downgrade, one rung at a time: a Numba-less worker
+            # still runs the vectorized kernel if it has NumPy.
+            kind = "numpy"
+    if kind == "numpy" and bfs is None:
         try:
             from repro.traversal.numpy_bfs import NumpyBFS
 
@@ -99,8 +119,8 @@ def _attach(layout: SharedCSRLayout, engine_kind: str) -> None:
             bfs = NumpyBFS.from_arrays(indptr, adjacency)
         except ImportError:
             kind = "csr"
-            bfs = ArrayBFS(view)
-    else:
+    if bfs is None:
+        kind = "csr"
         bfs = ArrayBFS(view)
     _STATE.update(key=_layout_key(layout), requested=engine_kind, kind=kind,
                   view=view, bfs=bfs)
@@ -121,10 +141,10 @@ def run_chunk(layout: SharedCSRLayout, chunk: List[int], h: int,
         _attach(layout, engine_kind)
     local = Counters()
 
-    if _STATE["kind"] == "numpy":
-        # Vectorized block kernel straight over the shared arrays.  The
-        # alive region is read per call (a vectorized frontier filter), so
-        # no per-stamp mask reinstall is needed on this path.
+    if _STATE["kind"] in ("numpy", "native"):
+        # Block kernel (vectorized or compiled) straight over the shared
+        # arrays.  The alive region is read per call (a frontier filter),
+        # so no per-stamp mask reinstall is needed on this path.
         view: SharedCSRView = _STATE["view"]
         alive_view = view.numpy_views()[2] if use_alive else None
         degrees = _STATE["bfs"].bulk(chunk, h, alive_view, local)

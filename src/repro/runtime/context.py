@@ -57,12 +57,13 @@ class ExecutionContext:
     graph:
         The graph every phase of the computation runs against.
     backend:
-        Backend name (``"dict"`` / ``"csr"`` / ``"numpy"`` / ``"auto"``) or
-        a pre-built engine.  Name-resolved engines are *owned*:
-        :meth:`close` tears them down.  A supplied engine is borrowed and
-        never closed.  ``"auto"`` prefers the vectorized NumPy engine when
-        NumPy is importable and the graph clears the
-        ``KH_CORE_NUMPY_THRESHOLD`` size gate, stepping down to the
+        Backend name (``"dict"`` / ``"csr"`` / ``"numpy"`` / ``"native"`` /
+        ``"auto"``) or a pre-built engine.  Name-resolved engines are
+        *owned*: :meth:`close` tears them down.  A supplied engine is
+        borrowed and never closed.  ``"auto"`` prefers the compiled native
+        engine when Numba is importable and the graph clears the
+        ``KH_CORE_NATIVE_THRESHOLD`` size gate, then the vectorized NumPy
+        engine above ``KH_CORE_NUMPY_THRESHOLD``, stepping down to the
         interpreted CSR engine (and ultimately the dict engine)
         transparently.
     executor:

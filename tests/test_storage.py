@@ -22,6 +22,8 @@ from repro.graph.storage import (
     HEADER_SIZE,
     STATUS_OFFSET,
     BlockFileWriter,
+    LazyLabelIndex,
+    LazyLabelStore,
     MmapCSRStorage,
     estimated_payload_bytes,
     payload_layout,
@@ -394,3 +396,112 @@ class TestFileCSRExport:
             report = core_decomposition_with_report(graph, 2,
                                                     context=context)
         assert report.result.core_index == reference.core_index
+
+
+class TestLazyLabelReopen:
+    """Sidecar-label reopen is O(1): nothing is read until a label is asked."""
+
+    LABELS = ["alpha", 17, "z-9", "beta"]
+
+    def _block(self, tmp_path):
+        path = str(tmp_path / ("g" + BLOCK_SUFFIX))
+        write_block_file(path, INDPTR, ADJ, labels=self.LABELS)
+        return path
+
+    def test_reopen_defers_the_sidecar_read(self, tmp_path):
+        csr = load_csr(self._block(tmp_path))
+        try:
+            store = csr.labels
+            assert isinstance(store, LazyLabelStore)
+            assert store._offsets is None  # untouched: nothing mapped yet
+            assert isinstance(csr.index_of, LazyLabelIndex)
+            assert csr.index_of._index is None
+            # len() comes from the block header, not the sidecar.
+            assert len(store) == 4
+            assert store._offsets is None
+        finally:
+            csr.close()
+
+    def test_random_access_and_iteration(self, tmp_path):
+        csr = load_csr(self._block(tmp_path))
+        try:
+            assert csr.labels[2] == "z-9"
+            assert csr.labels[-1] == "beta"
+            assert list(csr.labels) == self.LABELS
+            with pytest.raises(IndexError):
+                csr.labels[4]
+        finally:
+            csr.close()
+
+    def test_reverse_index_built_on_first_lookup(self, tmp_path):
+        csr = load_csr(self._block(tmp_path))
+        try:
+            index = csr.index_of
+            assert index["z-9"] == 2
+            assert index.get(17) == 1
+            assert index.get("missing") is None
+            assert "alpha" in index and "missing" not in index
+            assert len(index) == 4
+            assert dict(index) == {v: i for i, v in enumerate(self.LABELS)}
+            assert csr.index("beta") == 3
+        finally:
+            csr.close()
+
+    def test_decomposition_over_lazy_labels(self, tmp_path):
+        graph = Graph()
+        for u, v in [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]:
+            graph.add_edge(u, v)
+        reference = core_decomposition(graph, h=2).core_index
+        path = str(tmp_path / ("labeled" + BLOCK_SUFFIX))
+        snapshot = CSRGraph.from_graph(graph)
+        write_block_file(path, list(snapshot.indptr),
+                         list(snapshot.adjacency),
+                         labels=list(snapshot.labels))
+        reopened = load_csr(path)
+        try:
+            view = FrozenGraphView(reopened)
+            assert core_decomposition(view, h=2).core_index == reference
+        finally:
+            reopened.close()
+
+    def test_truncated_sidecar_raises_at_first_access(self, tmp_path):
+        path = self._block(tmp_path)
+        with open(path + ".labels", "w", encoding="utf-8") as fh:
+            fh.write("only\ntwo\n")
+        csr = load_csr(path)  # reopen itself stays O(1) and succeeds
+        try:
+            with pytest.raises(GraphFormatError, match="2 labels for 4"):
+                csr.labels[0]
+        finally:
+            csr.close()
+
+    def test_sidecar_without_trailing_newline(self, tmp_path):
+        path = self._block(tmp_path)
+        with open(path + ".labels", "w", encoding="utf-8") as fh:
+            fh.write("a\nb\nc\nd")  # final label unterminated
+        csr = load_csr(path)
+        try:
+            assert list(csr.labels) == ["a", "b", "c", "d"]
+            assert csr.labels[3] == "d"
+        finally:
+            csr.close()
+
+    def test_storage_close_releases_the_label_mapping(self, tmp_path):
+        csr = load_csr(self._block(tmp_path))
+        store = csr.labels
+        _ = store[0]  # force the mapping open
+        assert store._mm is not None
+        csr.close()
+        assert not store._state  # extra_close drained the finalizer state
+
+    def test_delete_on_close_with_open_label_map(self, tmp_path):
+        path = self._block(tmp_path)
+        csr = load_csr(path, delete_on_close=True)
+        _ = csr.labels[1]
+        csr.close()
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".labels")
+
+    def test_close_before_first_access_is_safe(self, tmp_path):
+        csr = load_csr(self._block(tmp_path))
+        csr.close()  # never touched the labels; nothing to unmap
