@@ -26,6 +26,11 @@ from repro.errors import (
     GraphFormatError,
     DatasetNotFoundError,
     DatasetChecksumError,
+    ResilienceError,
+    WorkerPoolError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    FaultInjectedError,
     SolverTimeoutError,
     ExperimentError,
 )
@@ -51,7 +56,7 @@ from repro.runtime import ExecutionContext
 
 #: Single source of truth alongside pyproject.toml's ``version`` — keep the
 #: two in lockstep when releasing.
-__version__ = "0.10.0"
+__version__ = "0.11.0"
 
 __all__ = [
     "__version__",
@@ -65,6 +70,11 @@ __all__ = [
     "GraphFormatError",
     "DatasetNotFoundError",
     "DatasetChecksumError",
+    "ResilienceError",
+    "WorkerPoolError",
+    "DeadlineExceededError",
+    "ServiceOverloadedError",
+    "FaultInjectedError",
     "SolverTimeoutError",
     "ExperimentError",
     # graph

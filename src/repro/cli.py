@@ -17,6 +17,7 @@ Usage::
     python -m repro datasets fetch caHe                   # real SNAP graph
     python -m repro load big.edges --out big.khcsr        # out-of-core build
     python -m repro big.khcsr --h 2 --summary             # decompose it
+    python -m repro doctor /data --json                   # reclaim crash debris
 
 The input format is a plain edge list (one ``u v`` pair per line, ``#``/``%``
 comments allowed — the SNAP convention) or a ``.khcsr`` CSR block file
@@ -47,6 +48,11 @@ from it (JSON on stdout), ``index refresh`` applies an update stream
 incrementally, and ``index stats`` reports store metadata.  The
 ``datasets`` subcommands list the registry and export byte-stable
 edge-list fixtures.
+
+The ``doctor`` subcommand sweeps crash debris: orphaned ``/dev/shm``
+segments whose owning process died, ``.khcsr`` block files stuck in the
+*building* state, and interrupted index builds — see
+:mod:`repro.resilience.janitor` and ``docs/operations.md``.
 """
 
 from __future__ import annotations
@@ -177,6 +183,21 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--executor", default="thread",
                         choices=("serial", "thread", "process"),
                         help="scheduler for full-recompute bulk passes")
+    parser.add_argument("--request-deadline", type=float, default=None,
+                        help="per-request wall-clock budget in seconds; "
+                             "slow reads get 408, slow handlers 503, both "
+                             "with Retry-After (default: no deadline)")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="update batches allowed to queue behind the "
+                             "writer before new ones are shed with 503 "
+                             "(default: 64)")
+    parser.add_argument("--repeel-budget", type=float, default=None,
+                        help="writer watchdog: an incremental re-peel "
+                             "slower than this many seconds pins the "
+                             "engine to full recomputes (default: off)")
+    parser.add_argument("--grace", type=float, default=5.0,
+                        help="seconds to wait for in-flight connections "
+                             "to drain on SIGTERM/SIGINT (default: 5)")
     parser.add_argument("--verbose", action="store_true",
                         help="print the resolved backend and engine "
                              "configuration")
@@ -249,6 +270,63 @@ def load_main(argv: Sequence[str]) -> int:
     print(f"# wrote {out_path}: {stats.vertices} vertices, "
           f"{stats.edges} edges in {elapsed:.3f}s "
           f"({stats.spill_runs} spill runs)", file=sys.stderr)
+    return 0
+
+
+def build_doctor_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``doctor`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro doctor",
+        description="Reclaim crash debris: orphaned shared-memory "
+                    "segments, .khcsr block files stuck in the building "
+                    "state, and interrupted index builds.",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to sweep for .khcsr / "
+                             ".khidx debris (directories recurse)")
+    parser.add_argument("--shm-dir", default=None,
+                        help="shared-memory mount to sweep for orphaned "
+                             "kh-core segments (default: /dev/shm when "
+                             "present)")
+    parser.add_argument("--min-age", type=float, default=60.0,
+                        help="only reclaim artifacts older than this many "
+                             "seconds, so in-progress builds are never "
+                             "swept (default: 60)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report what would be reclaimed without "
+                             "deleting anything")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON on stdout")
+    return parser
+
+
+def doctor_main(argv: Sequence[str]) -> int:
+    """Entry point for ``python -m repro doctor``."""
+    # Deferred import: the janitor pulls in the storage/sqlite stacks.
+    from repro.resilience.janitor import run_doctor
+
+    parser = build_doctor_parser()
+    args = parser.parse_args(list(argv))
+    try:
+        report = run_doctor(args.paths, shm_dir=args.shm_dir,
+                            min_age=args.min_age, apply=not args.dry_run)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        return _print_json(report.as_dict())
+    verb = "would reclaim" if args.dry_run else "reclaimed"
+    print(f"# scanned {report.segments_checked} shm segment(s), "
+          f"{report.blocks_checked} block file(s), "
+          f"{report.indexes_checked} index(es)", file=sys.stderr)
+    print(f"# {verb} {len(report.reclaimed_segments)} segment(s), "
+          f"{len(report.reclaimed_blocks)} block(s), "
+          f"{len(report.reclaimed_indexes)} index(es); "
+          f"recovered {len(report.recovered_indexes)} WAL(s)",
+          file=sys.stderr)
+    for path in (report.reclaimed_segments + report.reclaimed_blocks
+                 + report.reclaimed_indexes):
+        print(path)
     return 0
 
 
@@ -348,6 +426,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return datasets_main(argv[1:])
     if argv and argv[0] == "load":
         return load_main(argv[1:])
+    if argv and argv[0] == "doctor":
+        return doctor_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -369,6 +449,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 graph, args.h, algorithm=args.algorithm,
                 dataset_name=args.input or "demo",
                 partition_size=args.partition_size, context=context)
+            resilience = context.resilience
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -380,6 +461,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"# backend: {backend} (requested: {args.backend})", file=sys.stderr)
         print(f"# executor: {args.executor}, workers: {workers}",
               file=sys.stderr)
+        if resilience is not None:
+            print(f"# resilience: {resilience.summary()}", file=sys.stderr)
     print(f"# time: {report.seconds:.3f}s, h-BFS visits: {report.visits}", file=sys.stderr)
     print(f"# h-degeneracy: {result.degeneracy}, distinct cores: {result.num_distinct_cores}",
           file=sys.stderr)
@@ -468,6 +551,10 @@ def serve_main(argv: Sequence[str]) -> int:
             service_kwargs["max_batch"] = args.max_batch
         if args.index_path is not None:
             service_kwargs["index_path"] = args.index_path
+        if args.max_pending is not None:
+            service_kwargs["max_pending"] = args.max_pending
+        if args.repeel_budget is not None:
+            service_kwargs["repeel_budget"] = args.repeel_budget
         service = CoreService(graph, h=args.h, backend=backend,
                               relabel=args.relabel, storage=args.storage,
                               fallback_ratio=args.fallback_ratio,
@@ -490,8 +577,17 @@ def serve_main(argv: Sequence[str]) -> int:
               file=sys.stderr, flush=True)
 
     try:
-        asyncio.run(run_app(service, host=args.host, port=args.port,
-                            ready=announce))
+        drained = asyncio.run(run_app(
+            service, host=args.host, port=args.port, ready=announce,
+            request_deadline=args.request_deadline,
+            install_signal_handlers=True, grace=args.grace))
+        if drained is not None:
+            # Signal-triggered graceful shutdown: the drain completed and a
+            # final epoch was published before we got here.
+            snapshot = service.snapshot
+            print(f"# drained {drained} in-flight connection(s); final "
+                  f"epoch generation={snapshot.generation}",
+                  file=sys.stderr)
     except KeyboardInterrupt:
         print("# shutting down", file=sys.stderr)
     except OSError as error:

@@ -45,7 +45,11 @@ import importlib.util
 import os
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.errors import ParameterError
+from repro.errors import (
+    DeadlineExceededError,
+    ParameterError,
+    WorkerPoolError,
+)
 from repro.graph.csr import (
     CSRGraph,
     csr_suitable,
@@ -55,6 +59,7 @@ from repro.graph.csr import (
 from repro.graph.graph import Graph, Vertex
 from repro.graph.views import FrozenGraphView
 from repro.instrumentation import Counters, NULL_COUNTERS
+from repro.resilience.policies import ResilienceReport
 from repro.runtime.workers import resolve_worker_count
 from repro.traversal.array_bfs import AliveMask, ArrayBFS
 from repro.traversal.bfs import h_bounded_neighbors
@@ -174,6 +179,12 @@ class DictEngine:
         if delegate is not None:
             delegate.close()
 
+    @property
+    def resilience(self) -> Optional[ResilienceReport]:
+        """Recovery tally of the process delegate (None before one exists)."""
+        delegate = self._process_delegate
+        return delegate.resilience if delegate is not None else None
+
     # -- traversal primitives ------------------------------------------ #
     def h_degree(self, handle: Vertex, h: int, alive=None,
                  counters: Counters = NULL_COUNTERS) -> int:
@@ -221,7 +232,8 @@ class CSREngine:
     name = "csr"
 
     __slots__ = ("graph", "csr", "_scratch", "built_version", "_shm_pool",
-                 "relabel", "_storage", "_storage_dir", "_owns_csr")
+                 "relabel", "_storage", "_storage_dir", "_owns_csr",
+                 "resilience")
 
     def __init__(self, graph: Graph, csr: Optional[CSRGraph] = None,
                  relabel: Optional[str] = None,
@@ -229,6 +241,9 @@ class CSREngine:
                  storage_dir: Optional[str] = None) -> None:
         self.graph = graph
         self._shm_pool = None
+        #: Recovery tally for this engine's supervised dispatches (all-zero
+        #: on a fault-free run); printed by ``kh-core --verbose``.
+        self.resilience = ResilienceReport()
         #: Cache-locality permutation requested for this engine's snapshots;
         #: re-applied if a refresh ever falls back to a full rebuild.
         self.relabel = relabel
@@ -342,19 +357,38 @@ class CSREngine:
     def _process_pool(self, num_workers: int,
                       start_method: Optional[str] = None):
         """Return the persistent shared-memory executor, (re)building it
-        when the requested worker count changes."""
+        when the requested worker count (or supervision mode) changes.
+
+        By default the raw executor is wrapped in a
+        :class:`~repro.resilience.supervisor.SupervisedExecutor` sharing
+        this engine's :class:`ResilienceReport`; ``KH_CORE_SUPERVISED=0``
+        selects the unsupervised executor (benchmarks measure the
+        supervision overhead against it).
+        """
         from repro.parallel.pool import SharedMemoryExecutor
+        from repro.resilience.supervisor import (
+            SupervisedExecutor,
+            supervision_enabled,
+        )
+        supervised = supervision_enabled()
         pool = self._shm_pool
-        if pool is not None and (pool.closed
-                                 or pool.num_workers != num_workers):
+        if pool is not None and (
+                pool.closed
+                or pool.num_workers != num_workers
+                or isinstance(pool, SupervisedExecutor) != supervised):
             # A failed dispatch tears its executor down; discard it here so
             # the next process request recovers with a fresh pool instead
             # of erroring forever on the cached corpse.
             pool.close()
             pool = None
         if pool is None:
-            pool = SharedMemoryExecutor(num_workers,
-                                        start_method=start_method)
+            if supervised:
+                pool = SupervisedExecutor(num_workers,
+                                          start_method=start_method,
+                                          report=self.resilience)
+            else:
+                pool = SharedMemoryExecutor(num_workers,
+                                            start_method=start_method)
             self._shm_pool = pool
         return pool
 
@@ -447,9 +481,20 @@ class CSREngine:
             indptr = self.csr.indptr
             weights = [indptr[i + 1] - indptr[i] for i in indices]
             pool = self._process_pool(workers)
-            return pool.bulk_h_degrees(self.csr, h, indices, alive=alive,
-                                       counters=counters, weights=weights,
-                                       engine_kind=self.name)
+            try:
+                return pool.bulk_h_degrees(self.csr, h, indices, alive=alive,
+                                           counters=counters, weights=weights,
+                                           engine_kind=self.name)
+            except (WorkerPoolError, DeadlineExceededError):
+                # First rung of the degradation ladder: the supervised pool
+                # exhausted its retry/rebuild budget, so finish this pass
+                # (and run subsequent ones) on threads.  Only the
+                # supervisor raises these, so an unsupervised executor
+                # keeps its historical fail-fast contract.
+                self.resilience.record_downgrade("process", "thread")
+                if counters is not NULL_COUNTERS:
+                    counters.bump("resilience.downgrades")
+                executor = "thread"
 
         if workers <= 1 or len(indices) < 2 or executor == "serial":
             return self._bulk_serial(indices, h, alive, counters)
@@ -459,7 +504,16 @@ class CSREngine:
         def worker(batch, local: Counters) -> Dict[int, int]:
             return self._bulk_worker_batch(batch, h, alive, local)
 
-        return map_batches(indices, workers, worker, counters)
+        try:
+            return map_batches(indices, workers, worker, counters)
+        except RuntimeError:
+            # Last rung: thread creation failed (resource exhaustion).  The
+            # serial kernel needs no scheduler at all, so the pass still
+            # completes.
+            self.resilience.record_downgrade("thread", "serial")
+            if counters is not NULL_COUNTERS:
+                counters.bump("resilience.downgrades")
+            return self._bulk_serial(indices, h, alive, counters)
 
     def _bulk_serial(self, indices: List[int], h: int,
                      alive: Optional[AliveMask],

@@ -104,6 +104,53 @@ class StaleIndexError(CoreIndexError):
     """
 
 
+class ResilienceError(ReproError):
+    """Problem inside the fault-tolerant execution layer (:mod:`repro.resilience`)."""
+
+
+class WorkerPoolError(ResilienceError):
+    """The supervised worker pool exhausted its retry / rebuild budget.
+
+    Raised by :class:`~repro.resilience.supervisor.SupervisedExecutor` when a
+    dispatch cannot be completed within the configured
+    :class:`~repro.resilience.policies.RetryPolicy` — the signal for the
+    engine's degradation ladder to fall back to the thread (then serial)
+    executor instead of failing the decomposition.
+    """
+
+
+class DeadlineExceededError(ResilienceError):
+    """A supervised operation ran past its configured deadline budget."""
+
+    def __init__(self, message: str, budget_seconds: float) -> None:
+        super().__init__(message)
+        self.budget_seconds = budget_seconds
+
+
+class ServiceOverloadedError(ResilienceError):
+    """The query service shed a request under overload (HTTP 503).
+
+    Raised before any engine work happens, so a shed request has no side
+    effects; the HTTP layer maps it to ``503`` with a ``Retry-After`` header.
+    """
+
+
+class FaultInjectedError(ResilienceError):
+    """A deterministic fault-injection point fired (chaos testing only).
+
+    Never raised unless a :class:`~repro.resilience.faults.FaultPlan` is
+    armed (programmatically or via ``KH_CORE_FAULTS``); production runs with
+    no plan armed can never see this error.
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        message = f"injected fault at {site!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.site = site
+
+
 class SolverTimeoutError(ReproError):
     """An exact solver exceeded its configured time budget."""
 

@@ -414,6 +414,20 @@ class BlockFileWriter:
         self._adj_fh.flush()
         os.fsync(self._adj_fh.fileno())
         self._idx_fh.flush()
+        from repro.resilience.faults import should_fire
+
+        if should_fire("block.torn_write"):
+            # Simulated crash in the durability window: everything but the
+            # status flip is on disk, which is exactly the state a real
+            # power cut here leaves behind.  load_csr must reject the file
+            # and `kh-core doctor` must reclaim it.
+            from repro.errors import FaultInjectedError
+
+            self._close_handles()
+            raise FaultInjectedError(
+                "block.torn_write",
+                f"crash before status flip left {self.path} building",
+            )
         self._idx_fh.seek(0)
         self._idx_fh.write(_HEADER_STRUCT.pack(
             MAGIC, STATUS_COMPLETE, flag,

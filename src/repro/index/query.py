@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import time
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import (
@@ -39,11 +40,14 @@ from repro.errors import (
 )
 from repro.graph.graph import Graph
 from repro.index.store import (
+    BUSY_RETRIES,
     KIND_REBUILD,
     CoreIndexStore,
+    configure_connection,
     decode_label,
     encode_label,
     graph_checksum,
+    is_busy_error,
 )
 
 Vertex = Hashable
@@ -75,6 +79,7 @@ class CoreIndexReader:
             raise IndexCorruptionError(
                 f"cannot open index {path!r}: {error}"
             ) from error
+        configure_connection(conn)
         self._store = CoreIndexStore(path, conn)
         self._lock = threading.Lock()
         try:
@@ -102,13 +107,43 @@ class CoreIndexReader:
         self.close()
 
     def _execute(self, sql: str, params: Tuple = ()) -> List[Tuple]:
+        """Run one query with bounded SQLITE_BUSY retries.
+
+        The connection-level busy timeout already makes SQLite wait out a
+        concurrent refresh/checkpoint; the retry loop on top means a read
+        only fails on *sustained* contention, and then as a
+        :class:`CoreIndexError` (retryable) rather than being
+        misclassified as corruption.  The ``sqlite.busy`` fault site lets
+        chaos tests drive this loop deterministically.
+        """
         with self._lock:
-            try:
-                return self._store.connection.execute(sql, params).fetchall()
-            except sqlite3.Error as error:
-                raise IndexCorruptionError(
-                    f"index {self.path!r} failed mid-query: {error}"
-                ) from error
+            delay = 0.01
+            for attempt in range(BUSY_RETRIES + 1):
+                try:
+                    from repro.resilience.faults import should_fire
+
+                    if should_fire("sqlite.busy"):
+                        raise sqlite3.OperationalError("database is locked")
+                    return self._store.connection.execute(
+                        sql, params
+                    ).fetchall()
+                except sqlite3.OperationalError as error:
+                    if not is_busy_error(error):
+                        raise IndexCorruptionError(
+                            f"index {self.path!r} failed mid-query: {error}"
+                        ) from error
+                    if attempt >= BUSY_RETRIES:
+                        raise CoreIndexError(
+                            f"index {self.path!r} stayed locked after "
+                            f"{attempt + 1} attempts: {error}"
+                        ) from error
+                    time.sleep(delay)
+                    delay = min(delay * 2, 0.25)
+                except sqlite3.Error as error:
+                    raise IndexCorruptionError(
+                        f"index {self.path!r} failed mid-query: {error}"
+                    ) from error
+            raise AssertionError("unreachable")
 
     # ------------------------------------------------------------------ #
     # parameter guards

@@ -54,6 +54,64 @@ KIND_REBUILD = "rebuild"
 #: Rows per ``executemany`` batch during bulk loads.
 BATCH_ROWS = 4096
 
+#: How long (ms) a connection waits on SQLITE_BUSY before erroring —
+#: override with ``KH_CORE_SQLITE_BUSY_TIMEOUT_MS``.
+DEFAULT_BUSY_TIMEOUT_MS = 5000
+
+#: Bounded in-library retries layered on top of the busy timeout.
+BUSY_RETRIES = 5
+
+
+def busy_timeout_ms() -> int:
+    """Configured SQLITE_BUSY wait in milliseconds."""
+    raw = os.environ.get("KH_CORE_SQLITE_BUSY_TIMEOUT_MS", "").strip()
+    try:
+        return max(0, int(raw)) if raw else DEFAULT_BUSY_TIMEOUT_MS
+    except ValueError:
+        return DEFAULT_BUSY_TIMEOUT_MS
+
+
+def configure_connection(conn: sqlite3.Connection) -> None:
+    """Apply the busy-timeout pragma every store/reader connection needs.
+
+    Concurrent refresh (writer) + serving (readers) is a supported
+    deployment; without a busy timeout a reader polling during a WAL
+    checkpoint surfaces ``sqlite3.OperationalError: database is locked``.
+    """
+    conn.execute(f"PRAGMA busy_timeout={busy_timeout_ms()}")
+
+
+def is_busy_error(error: sqlite3.OperationalError) -> bool:
+    """Whether an operational error is SQLITE_BUSY/SQLITE_LOCKED contention."""
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
+
+
+def run_with_busy_retry(operation, description: str):
+    """Run ``operation`` with bounded retries on lock contention.
+
+    The busy timeout already makes SQLite wait; this loop adds
+    :data:`BUSY_RETRIES` backed-off attempts on top so a transient
+    writer/checkpoint overlap never surfaces to callers, while a genuinely
+    wedged database still fails with a :class:`CoreIndexError` naming the
+    operation.
+    """
+    delay = 0.01
+    for attempt in range(BUSY_RETRIES + 1):
+        try:
+            return operation()
+        except sqlite3.OperationalError as error:
+            if not is_busy_error(error) or attempt >= BUSY_RETRIES:
+                if is_busy_error(error):
+                    raise CoreIndexError(
+                        f"{description} stayed locked after "
+                        f"{attempt + 1} attempts: {error}"
+                    ) from error
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 0.25)
+    raise AssertionError("unreachable")
+
 _SCHEMA = """
 CREATE TABLE meta (
     key   TEXT PRIMARY KEY,
@@ -231,6 +289,7 @@ class CoreIndexStore:
                 except FileNotFoundError:
                     pass
         conn = sqlite3.connect(path, check_same_thread=False)
+        configure_connection(conn)
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         conn.executescript(_SCHEMA)
@@ -253,10 +312,39 @@ class CoreIndexStore:
         if not os.path.exists(path):
             raise CoreIndexError(f"index file {path!r} does not exist")
         conn = sqlite3.connect(path, check_same_thread=False)
+        configure_connection(conn)
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         store = cls(path, conn)
         store.validate()
+        return store
+
+    @classmethod
+    def open(cls, path: str, verify: bool = True) -> "CoreIndexStore":
+        """Serving-grade open: WAL recovery plus full checksum verification.
+
+        Opening a WAL database replays any committed-but-uncheckpointed
+        frames left by a crashed writer; the explicit
+        ``wal_checkpoint(TRUNCATE)`` then folds them into the main file and
+        truncates the ``-wal`` sidecar, so the recovered state is durable
+        before anything is served from it.  ``verify=True`` (the default)
+        additionally recomputes every layer/graph checksum from the rows —
+        the deep scan that catches torn pages a structural
+        :meth:`validate` cannot.
+        """
+        store = cls.open_rw(path)
+        try:
+            run_with_busy_retry(
+                lambda: store.connection.execute(
+                    "PRAGMA wal_checkpoint(TRUNCATE)"
+                ).fetchone(),
+                f"WAL checkpoint of {path!r}",
+            )
+            if verify:
+                store.verify()
+        except BaseException:
+            store.close()
+            raise
         return store
 
     def close(self) -> None:
@@ -427,7 +515,9 @@ class CoreIndexStore:
         if kind in (KIND_BUILD, KIND_REBUILD):
             self.set_meta("orders_epoch", str(epoch))
         self.set_meta("status", STATUS_COMPLETE)
-        self.connection.commit()
+        run_with_busy_retry(
+            self.connection.commit, f"epoch commit on {self.path!r}"
+        )
         return epoch
 
     # ------------------------------------------------------------------ #

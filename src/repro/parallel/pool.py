@@ -48,12 +48,26 @@ from repro.traversal.array_bfs import AliveMask
 DEFAULT_OVERSUBSCRIPTION = 4
 
 
+def _shutdown_pool(pool: Any) -> None:
+    """Shut a process pool down, tolerating one that already crashed.
+
+    A pool whose workers died abruptly (``BrokenProcessPool``) can raise
+    from ``shutdown()`` while flushing its management pipes; swallowing
+    that here is what guarantees the shm export below it still gets
+    unlinked — a crashed pool must never leak the shared block.
+    """
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
 def _teardown(state: Dict[str, Any]) -> None:
     """Shut the pool down and unlink the export (idempotent, finalizer-safe)."""
     pool = state.get("pool")
     state["pool"] = None
     if pool is not None:
-        pool.shutdown(wait=False, cancel_futures=True)
+        _shutdown_pool(pool)
     export = state.get("export")
     state["export"] = None
     if export is not None:
@@ -150,6 +164,11 @@ class SharedMemoryExecutor:
         self.close()
 
     # -- dispatch ------------------------------------------------------- #
+    @property
+    def oversubscription(self) -> int:
+        """Average chunks per worker targeted by the chunk planner."""
+        return self._oversubscription
+
     def _pool(self) -> ProcessPoolExecutor:
         pool = self._state["pool"]
         if pool is None:
@@ -157,6 +176,47 @@ class SharedMemoryExecutor:
                                        mp_context=self._mp_context)
             self._state["pool"] = pool
         return pool
+
+    def rebuild_pool(self) -> None:
+        """Discard the (typically broken) process pool, keeping the export.
+
+        The next submit lazily spawns a fresh pool against the *same*
+        shared block, so a supervisor can re-dispatch only the unfinished
+        chunks without paying a re-export.
+        """
+        pool = self._state["pool"]
+        self._state["pool"] = None
+        if pool is not None:
+            _shutdown_pool(pool)
+
+    def prepare(self, csr: CSRGraph,
+                alive: Optional[AliveMask] = None) -> tuple:
+        """Export ``csr`` and write the alive region; return dispatch state.
+
+        Returns ``(layout, use_alive, alive_stamp)`` — everything a task
+        descriptor needs.  Factored out of :meth:`bulk_h_degrees` so a
+        supervising wrapper can drive submission and retry itself.
+        """
+        self.ensure_export(csr)
+        export = self._state["export"]
+        use_alive = alive is not None
+        if use_alive:
+            export.write_alive(bytes(alive.mask))
+            self._alive_stamp += 1
+        return export.layout(), use_alive, self._alive_stamp
+
+    def submit_chunk(self, layout: Any, chunk: Sequence[int], h: int,
+                     use_alive: bool, alive_stamp: int,
+                     engine_kind: str = "csr",
+                     fault: Optional[tuple] = None) -> Any:
+        """Submit one chunk to the pool, returning its future.
+
+        ``fault`` is an optional injected-fault directive forwarded to the
+        worker (chaos testing only; see :mod:`repro.resilience.faults`).
+        """
+        return self._pool().submit(run_chunk, layout, list(chunk), h,
+                                   use_alive, alive_stamp, engine_kind,
+                                   fault)
 
     def bulk_h_degrees(self, csr: CSRGraph, h: int,
                        targets: Iterable[int],
@@ -183,22 +243,15 @@ class SharedMemoryExecutor:
         indices = list(targets)
         if not indices:
             return {}
-        self.ensure_export(csr)
-        export = self._state["export"]
-        use_alive = alive is not None
-        if use_alive:
-            export.write_alive(bytes(alive.mask))
-            self._alive_stamp += 1
-        layout = export.layout()
+        layout, use_alive, alive_stamp = self.prepare(csr, alive)
         chunks = chunk_plan(indices,
                             self.num_workers * self._oversubscription,
                             weights=weights)
         merged: Dict[int, int] = {}
         try:
-            pool = self._pool()
             futures = [
-                pool.submit(run_chunk, layout, list(chunk), h, use_alive,
-                            self._alive_stamp, engine_kind)
+                self.submit_chunk(layout, chunk, h, use_alive, alive_stamp,
+                                  engine_kind)
                 for chunk in chunks
             ]
             for future in futures:

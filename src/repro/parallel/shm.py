@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import mmap
 import os
+import secrets
 from multiprocessing import shared_memory
 from typing import Optional, Tuple, Union
 
@@ -60,6 +61,32 @@ SharedCSRLayout = Tuple[str, str, int, int, int, Optional[str]]
 
 _LegacyLayout = Tuple[str, int, int, int]
 
+#: Prefix of every segment this library creates.  The owner pid is encoded
+#: in the name so ``kh-core doctor`` can tell an orphan (owner dead) from a
+#: segment that is merely busy, and reclaim only the former.
+SEGMENT_PREFIX = "khcore"
+
+
+def create_segment(size: int, generation: int) -> shared_memory.SharedMemory:
+    """Create a shared-memory segment named ``khcore-<pid>-<gen>-<token>``.
+
+    Platform-default anonymous names (``psm_...``) are unattributable: a
+    janitor cannot tell whose they are or whether the owner is alive.  The
+    explicit name stays under the POSIX 31-character portability ceiling
+    and retries on the (astronomically unlikely) token collision; if
+    naming keeps colliding the block still gets exported anonymously —
+    resilience never blocks the dispatch path.
+    """
+    for _ in range(16):
+        name = (f"{SEGMENT_PREFIX}-{os.getpid()}-{generation}-"
+                f"{secrets.token_hex(2)}")
+        try:
+            return shared_memory.SharedMemory(create=True, size=size,
+                                              name=name)
+        except FileExistsError:
+            continue
+    return shared_memory.SharedMemory(create=True, size=size)
+
 
 class SharedCSRExport:
     """Parent-side owner of one shared-memory CSR block.
@@ -76,8 +103,7 @@ class SharedCSRExport:
         n = csr.num_vertices
         m2 = len(csr.adjacency)
         _, _, alive_offset, payload_size = payload_layout(n, m2)
-        self.shm = shared_memory.SharedMemory(create=True,
-                                              size=max(1, payload_size))
+        self.shm = create_segment(max(1, payload_size), generation)
         self.name = self.shm.name
         self.num_vertices = n
         self.adjacency_len = m2
@@ -146,8 +172,7 @@ class FileCSRExport:
         self.num_vertices = n
         self.adjacency_len = len(csr.adjacency)
         self.generation = generation
-        self.alive_shm = shared_memory.SharedMemory(create=True,
-                                                    size=max(1, n))
+        self.alive_shm = create_segment(max(1, n), generation)
         #: The one shm segment this export owns (the alive mask).
         self.name = self.alive_shm.name
         if n:

@@ -33,8 +33,11 @@ shared arrays:
 from __future__ import annotations
 
 import atexit
+import os
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import FaultInjectedError
 from repro.instrumentation import Counters
 from repro.parallel.shm import SharedCSRLayout, SharedCSRView
 from repro.traversal.array_bfs import AliveMask, ArrayBFS
@@ -91,8 +94,33 @@ def _layout_key(layout: SharedCSRLayout) -> tuple:
     return (layout[0], layout[1], layout[4])
 
 
+def _execute_fault(fault: Tuple[Any, ...]) -> None:
+    """Act on an injected-fault directive shipped in the task descriptor.
+
+    Directives are decided *parent-side* (one deterministic schedule, not
+    one per respawned worker) and only simulate crashes here: ``kill``
+    dies abruptly mid-task exactly like a segfault or OOM kill would,
+    ``stall`` sleeps past the supervisor's chunk deadline first and then
+    completes normally.
+    """
+    kind = fault[0]
+    if kind == "kill":
+        # os._exit skips atexit/finally — the parent sees the same broken
+        # pipe a SIGKILLed worker produces, breaking the whole pool.
+        os._exit(1)
+    elif kind == "stall":
+        time.sleep(float(fault[1]))
+
+
 def _attach(layout: SharedCSRLayout, engine_kind: str) -> None:
     _detach()
+    from repro.resilience.faults import should_fire
+
+    if should_fire("shm.attach_fail"):
+        # Fires before the view exists, so nothing is half-attached; the
+        # probe counter has advanced, so the supervised retry succeeds.
+        raise FaultInjectedError("shm.attach_fail",
+                                 "simulated shared-memory attach failure")
     view = SharedCSRView(layout)
     kind = engine_kind
     bfs: Any = None
@@ -128,14 +156,20 @@ def _attach(layout: SharedCSRLayout, engine_kind: str) -> None:
 
 def run_chunk(layout: SharedCSRLayout, chunk: List[int], h: int,
               use_alive: bool, alive_stamp: int,
-              engine_kind: str = "csr"
+              engine_kind: str = "csr",
+              fault: Optional[Tuple[Any, ...]] = None
               ) -> Tuple[List[Tuple[int, int]], Counters]:
     """h-degree of every index in ``chunk`` within the shared snapshot.
 
     Returns ``(pairs, counters)`` where ``pairs`` is ``[(index, h-degree)]``
     and ``counters`` is this task's private instrumentation, merged by the
     parent so the reported totals are identical to a serial run.
+
+    ``fault`` is a parent-decided injection directive (``("kill",)`` /
+    ``("stall", seconds)``) used only by the chaos-test harness.
     """
+    if fault is not None:
+        _execute_fault(fault)
     if (_STATE["key"] != _layout_key(layout)
             or _STATE["requested"] != engine_kind):
         _attach(layout, engine_kind)

@@ -1,0 +1,253 @@
+"""Deterministic fault-injection harness for chaos testing.
+
+A :class:`FaultPlan` maps named *injection sites* (compiled into the
+production code paths) to *schedules* deciding which probe occurrences
+fire.  Plans are armed either programmatically (:func:`arm`, or the
+:func:`armed` context manager) or through the ``KH_CORE_FAULTS``
+environment variable, which spawned worker processes re-parse on first
+probe so faults propagate across process boundaries.
+
+With no plan armed every probe is a dict lookup returning ``False`` — the
+harness adds no observable behaviour to production runs.
+
+Spec grammar (``KH_CORE_FAULTS``)::
+
+    site=schedule[;site=schedule...][;seed=N][;stall=SECONDS]
+
+where ``schedule`` is one or more ``|``-separated tokens:
+
+``*``
+    fire on every probe.
+``once``
+    fire on the first probe of each distinct scope (or just the first
+    probe overall when the site is probed without a scope).
+``N``
+    fire on the N-th probe (1-based).
+``N-M``
+    fire on probes N through M inclusive.
+``%K``
+    fire on every K-th probe.
+``~P``
+    fire with probability P, drawn from the plan's seeded RNG.
+
+Example: ``KH_CORE_FAULTS="worker.kill=once;sqlite.busy=1-3;seed=7"``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.errors import ParameterError
+
+#: Environment variable holding a fault-plan spec for this process tree.
+ENV_VAR = "KH_CORE_FAULTS"
+
+#: Every injection site compiled into the library.  Arming an unknown site
+#: raises immediately instead of silently never firing.
+FAULT_SITES = (
+    "worker.kill",  # kill a pool worker (SIGKILL-equivalent os._exit)
+    "worker.stall",  # make a pool worker sleep past its chunk deadline
+    "shm.attach_fail",  # fail a worker's shared-memory attach once
+    "sqlite.busy",  # surface SQLITE_BUSY inside index query retry loops
+    "block.torn_write",  # crash a .khcsr finalize before the status flip
+    "serve.slow_client",  # stretch a request handler past its deadline
+)
+
+#: Default injected stall length in seconds (override with ``stall=``).
+DEFAULT_STALL_SECONDS = 0.25
+
+_TOKEN_RE = re.compile(r"^(\*|once|\d+|\d+-\d+|%\d+|~(?:\d*\.\d+|\d+))$")
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of fault firings per injection site.
+
+    Thread-safe: probe counters are guarded by a lock so sites probed from
+    worker threads (e.g. index readers) stay deterministic per-site.
+    """
+
+    def __init__(
+        self,
+        schedules: Mapping[str, str],
+        seed: int = 0,
+        stall_seconds: float = DEFAULT_STALL_SECONDS,
+    ) -> None:
+        for site in schedules:
+            if site not in FAULT_SITES:
+                raise ParameterError(
+                    f"unknown fault site {site!r}; known sites: "
+                    f"{', '.join(FAULT_SITES)}"
+                )
+        for site, schedule in schedules.items():
+            for token in schedule.split("|"):
+                if not _TOKEN_RE.match(token.strip()):
+                    raise ParameterError(
+                        f"bad schedule token {token!r} for fault site {site!r}"
+                    )
+        self.schedules: Dict[str, str] = dict(schedules)
+        self.seed = int(seed)
+        self.stall_seconds = float(stall_seconds)
+        self._rng = random.Random(self.seed)
+        self._counts: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+        self._seen_scopes: Dict[str, Set[str]] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a ``KH_CORE_FAULTS``-style spec string."""
+        schedules: Dict[str, str] = {}
+        seed = 0
+        stall = DEFAULT_STALL_SECONDS
+        for raw_entry in spec.split(";"):
+            entry = raw_entry.strip()
+            if not entry:
+                continue
+            if "=" not in entry:
+                raise ParameterError(
+                    f"bad fault spec entry {entry!r} (expected name=value)"
+                )
+            name, _, value = entry.partition("=")
+            name = name.strip()
+            value = value.strip()
+            if name == "seed":
+                seed = int(value)
+            elif name == "stall":
+                stall = float(value)
+            else:
+                schedules[name] = value
+        return cls(schedules, seed=seed, stall_seconds=stall)
+
+    def spec(self) -> str:
+        """Serialize back to a spec string suitable for ``KH_CORE_FAULTS``."""
+        parts = [f"{site}={sched}" for site, sched in sorted(self.schedules.items())]
+        parts.append(f"seed={self.seed}")
+        parts.append(f"stall={self.stall_seconds}")
+        return ";".join(parts)
+
+    def should_fire(self, site: str, scope: Optional[str] = None) -> bool:
+        """Advance the probe counter for ``site`` and decide whether to fire."""
+        schedule = self.schedules.get(site)
+        if schedule is None:
+            return False
+        with self._lock:
+            index = self._counts.get(site, 0) + 1
+            self._counts[site] = index
+            fire = any(
+                self._token_matches(token.strip(), site, index, scope)
+                for token in schedule.split("|")
+            )
+            if fire:
+                self._fired[site] = self._fired.get(site, 0) + 1
+            return fire
+
+    def _token_matches(
+        self, token: str, site: str, index: int, scope: Optional[str]
+    ) -> bool:
+        if token == "*":
+            return True
+        if token == "once":
+            seen = self._seen_scopes.setdefault(site, set())
+            key = scope if scope is not None else "<global>"
+            if key in seen:
+                return False
+            seen.add(key)
+            return True
+        if token.startswith("%"):
+            return index % int(token[1:]) == 0
+        if token.startswith("~"):
+            return self._rng.random() < float(token[1:])
+        if "-" in token:
+            low, _, high = token.partition("-")
+            return int(low) <= index <= int(high)
+        return index == int(token)
+
+    def fired(self, site: str) -> int:
+        """Number of times ``site`` has fired so far."""
+        with self._lock:
+            return self._fired.get(site, 0)
+
+    def probes(self, site: str) -> int:
+        """Number of times ``site`` has been probed so far."""
+        with self._lock:
+            return self._counts.get(site, 0)
+
+
+# ``_UNSET`` distinguishes "never looked at the environment yet" from an
+# explicit :func:`disarm`; worker processes resolve the env var lazily on
+# their first probe, so spawned children inherit the parent's armed spec.
+_UNSET = object()
+_active: object = _UNSET
+_active_lock = threading.Lock()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """Return the armed plan, resolving ``KH_CORE_FAULTS`` on first use."""
+    global _active
+    plan = _active
+    if plan is _UNSET:
+        with _active_lock:
+            if _active is _UNSET:
+                spec = os.environ.get(ENV_VAR, "").strip()
+                _active = FaultPlan.parse(spec) if spec else None
+            plan = _active
+    return plan  # type: ignore[return-value]
+
+
+def arm(plan: FaultPlan) -> None:
+    """Install ``plan`` as this process's active fault plan."""
+    global _active
+    _active = plan
+
+
+def disarm() -> None:
+    """Deactivate fault injection in this process."""
+    global _active
+    _active = None
+
+
+def should_fire(site: str, scope: Optional[str] = None) -> bool:
+    """Probe ``site`` against the active plan (``False`` when disarmed)."""
+    plan = active_plan()
+    return plan is not None and plan.should_fire(site, scope=scope)
+
+
+def stall_seconds() -> float:
+    """Injected stall length for the active plan (default when disarmed)."""
+    plan = active_plan()
+    return plan.stall_seconds if plan is not None else DEFAULT_STALL_SECONDS
+
+
+@contextmanager
+def armed(
+    spec_or_plan: "str | FaultPlan",
+) -> Iterator[FaultPlan]:
+    """Arm a fault plan for the duration of a ``with`` block.
+
+    Sets ``KH_CORE_FAULTS`` (so freshly spawned worker processes inherit
+    the schedule) *and* installs the parsed plan in-process (so forked
+    children and same-process probes see it immediately).  Restores both
+    on exit.
+    """
+    global _active
+    plan = (
+        FaultPlan.parse(spec_or_plan)
+        if isinstance(spec_or_plan, str)
+        else spec_or_plan
+    )
+    previous: Tuple[object, Optional[str]] = (_active, os.environ.get(ENV_VAR))
+    os.environ[ENV_VAR] = plan.spec()
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        _active = previous[0]
+        if previous[1] is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous[1]

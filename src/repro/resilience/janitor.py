@@ -1,0 +1,269 @@
+"""Crash janitors behind ``kh-core doctor``.
+
+A crashed process can leave three kinds of debris behind:
+
+* **orphaned shared-memory segments** — ``khcore-<pid>-...`` files under
+  ``/dev/shm`` whose owning pid is gone (a SIGKILLed parent never ran its
+  teardown finalizer);
+* **half-written CSR blocks** — ``.khcsr`` files whose header status byte
+  is still ``building`` (the writer died before the finalize flip), plus
+  their ``.labels`` sidecars;
+* **interrupted index epochs** — ``.khidx`` SQLite stores whose ``meta``
+  status is still ``'building'`` (an initial build that never committed
+  its first epoch), and stale ``-wal`` sidecars on otherwise-complete
+  stores (recovered by a checkpoint, not deleted).
+
+:func:`run_doctor` scans for all three, reclaims what is provably garbage,
+and reports everything it did.  Safety rules: a segment is only reclaimed
+when its owner pid is *dead*; blocks and indexes are only reclaimed when
+older than ``min_age`` seconds (so an in-progress build racing the doctor
+is left alone); ``apply=False`` reports without deleting.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.graph.storage import (
+    BLOCK_SUFFIX,
+    LABELS_SUFFIX,
+    MAGIC,
+    STATUS_BUILDING,
+    STATUS_OFFSET,
+)
+from repro.index.store import (
+    STATUS_BUILDING as INDEX_STATUS_BUILDING,
+    busy_timeout_ms,
+)
+from repro.parallel.shm import SEGMENT_PREFIX
+
+#: File suffix of persistent core-index stores.
+INDEX_SUFFIX = ".khidx"
+
+_SEGMENT_RE = re.compile(rf"^{SEGMENT_PREFIX}-(\d+)-\d+-[0-9a-f]+$")
+
+
+def default_shm_dir() -> Optional[str]:
+    """Where POSIX shared-memory segments appear as files (Linux only)."""
+    return "/dev/shm" if os.path.isdir("/dev/shm") else None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    except OSError:
+        return True  # be conservative: unknown means do not touch
+    return True
+
+
+def _age_seconds(path: str) -> float:
+    try:
+        return time.time() - os.stat(path).st_mtime
+    except OSError:
+        return 0.0
+
+
+def _remove(path: str) -> bool:
+    try:
+        os.remove(path)
+        return True
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False
+
+
+@dataclass
+class DoctorReport:
+    """Everything one :func:`run_doctor` pass found and did."""
+
+    dry_run: bool = False
+    segments_checked: int = 0
+    blocks_checked: int = 0
+    indexes_checked: int = 0
+    reclaimed_segments: List[str] = field(default_factory=list)
+    reclaimed_blocks: List[str] = field(default_factory=list)
+    reclaimed_indexes: List[str] = field(default_factory=list)
+    recovered_indexes: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def total_reclaimed(self) -> int:
+        """Number of artifacts reclaimed (or reclaimable, when dry-run)."""
+        return (
+            len(self.reclaimed_segments)
+            + len(self.reclaimed_blocks)
+            + len(self.reclaimed_indexes)
+        )
+
+    def as_dict(self) -> Dict[str, Union[bool, int, List[str]]]:
+        """Plain-dict view for ``kh-core doctor --json``."""
+        return {
+            "dry_run": self.dry_run,
+            "segments_checked": self.segments_checked,
+            "blocks_checked": self.blocks_checked,
+            "indexes_checked": self.indexes_checked,
+            "reclaimed_segments": list(self.reclaimed_segments),
+            "reclaimed_blocks": list(self.reclaimed_blocks),
+            "reclaimed_indexes": list(self.reclaimed_indexes),
+            "recovered_indexes": list(self.recovered_indexes),
+            "skipped": list(self.skipped),
+            "total_reclaimed": self.total_reclaimed,
+        }
+
+
+def scan_shm_segments(shm_dir: str, min_age: float, apply: bool,
+                      report: DoctorReport) -> None:
+    """Reclaim ``khcore-*`` segments whose owning process is dead."""
+    try:
+        entries = sorted(os.listdir(shm_dir))
+    except OSError:
+        return
+    for entry in entries:
+        match = _SEGMENT_RE.match(entry)
+        if not match:
+            continue
+        report.segments_checked += 1
+        path = os.path.join(shm_dir, entry)
+        pid = int(match.group(1))
+        if _pid_alive(pid):
+            report.skipped.append(f"{path} (owner pid {pid} is alive)")
+            continue
+        if _age_seconds(path) < min_age:
+            report.skipped.append(f"{path} (younger than {min_age:.0f}s)")
+            continue
+        if not apply or _remove(path):
+            report.reclaimed_segments.append(path)
+
+
+def _block_status(path: str) -> Optional[int]:
+    """Header status byte of a ``.khcsr`` block (None when unreadable)."""
+    try:
+        with open(path, "rb") as handle:
+            header = handle.read(STATUS_OFFSET + 1)
+    except OSError:
+        return None
+    if len(header) <= STATUS_OFFSET or not header.startswith(MAGIC):
+        return None
+    return header[STATUS_OFFSET]
+
+
+def scan_block(path: str, min_age: float, apply: bool,
+               report: DoctorReport) -> None:
+    """Reclaim one ``.khcsr`` block if its finalize never completed."""
+    report.blocks_checked += 1
+    status = _block_status(path)
+    if status is None:
+        report.skipped.append(f"{path} (not a readable CSR block)")
+        return
+    if status != STATUS_BUILDING:
+        return
+    if _age_seconds(path) >= min_age:
+        if not apply or _remove(path):
+            report.reclaimed_blocks.append(path)
+            sidecar = path + LABELS_SUFFIX
+            if os.path.exists(sidecar) and apply:
+                _remove(sidecar)
+    else:
+        report.skipped.append(f"{path} (building, younger than "
+                              f"{min_age:.0f}s)")
+
+
+def _index_status(path: str) -> Optional[str]:
+    """``meta.status`` of a ``.khidx`` store (None when unreadable)."""
+    try:
+        conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    except sqlite3.Error:
+        return None
+    try:
+        conn.execute(f"PRAGMA busy_timeout={busy_timeout_ms()}")
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'status'"
+        ).fetchone()
+        return row[0] if row else None
+    except sqlite3.Error:
+        return None
+    finally:
+        conn.close()
+
+
+def scan_index(path: str, min_age: float, apply: bool,
+               report: DoctorReport) -> None:
+    """Reclaim an interrupted index epoch, or recover a healthy WAL."""
+    report.indexes_checked += 1
+    status = _index_status(path)
+    if status is None:
+        report.skipped.append(f"{path} (not a readable core index)")
+        return
+    if status == INDEX_STATUS_BUILDING:
+        if _age_seconds(path) < min_age:
+            report.skipped.append(f"{path} (building, younger than "
+                                  f"{min_age:.0f}s)")
+            return
+        reclaimed = True
+        if apply:
+            for suffix in ("", "-wal", "-shm"):
+                if not _remove(path + suffix) and suffix == "":
+                    reclaimed = False
+        if reclaimed:
+            report.reclaimed_indexes.append(path)
+        return
+    # Complete store: fold any leftover WAL into the main file so a later
+    # read-only open does not depend on recovery it may lack permission for.
+    if os.path.exists(path + "-wal") and os.path.getsize(path + "-wal") > 0:
+        if not apply:
+            report.recovered_indexes.append(path)
+            return
+        try:
+            conn = sqlite3.connect(path)
+            try:
+                conn.execute(f"PRAGMA busy_timeout={busy_timeout_ms()}")
+                conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            finally:
+                conn.close()
+            report.recovered_indexes.append(path)
+        except sqlite3.Error:
+            report.skipped.append(f"{path} (WAL checkpoint failed)")
+
+
+def _walk_targets(paths: Iterable[str]) -> Iterable[str]:
+    """Yield every block/index file under the given files or directories."""
+    for target in paths:
+        if os.path.isfile(target):
+            yield target
+            continue
+        if not os.path.isdir(target):
+            continue
+        for root, _dirs, files in os.walk(target):
+            for name in sorted(files):
+                yield os.path.join(root, name)
+
+
+def run_doctor(paths: Iterable[str], shm_dir: Optional[str] = None,
+               min_age: float = 60.0, apply: bool = True) -> DoctorReport:
+    """One full janitor pass; see the module docstring for the rules.
+
+    ``paths`` are files or directories scanned (recursively) for
+    ``.khcsr`` blocks and ``.khidx`` stores; ``shm_dir`` defaults to
+    ``/dev/shm`` where it exists.  ``apply=False`` is dry-run mode.
+    """
+    report = DoctorReport(dry_run=not apply)
+    directory = shm_dir if shm_dir is not None else default_shm_dir()
+    if directory is not None:
+        scan_shm_segments(directory, min_age, apply, report)
+    for path in _walk_targets(paths):
+        if path.endswith(BLOCK_SUFFIX):
+            scan_block(path, min_age, apply, report)
+        elif path.endswith(INDEX_SUFFIX):
+            scan_index(path, min_age, apply, report)
+    return report

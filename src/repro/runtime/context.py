@@ -170,6 +170,16 @@ class ExecutionContext:
         """Concrete backend name of the resolved engine."""
         return self.engine.name
 
+    @property
+    def resilience(self):
+        """The engine's :class:`ResilienceReport`, or ``None``.
+
+        Only CSR-family engines (which can dispatch to the supervised
+        process pool) carry one; dict engines expose their process
+        delegate's report when they have promoted.
+        """
+        return getattr(self.engine, "resilience", None)
+
     def bulk_h_degrees(self, h: int, targets=None, alive=None,
                        counters: Optional[Counters] = None):
         """Bulk h-degree pass through the context's engine + executor."""

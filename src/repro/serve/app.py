@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Awaitable, Callable, Dict, Optional, Tuple
+import signal
+from typing import Awaitable, Callable, Dict, Optional, Set, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
     EdgeNotFoundError,
     ReproError,
+    ServiceOverloadedError,
     VertexNotFoundError,
 )
 from repro.serve.service import (
@@ -44,14 +46,23 @@ from repro.serve.service import (
 #: Default cap on request body size (bytes); larger uploads get a 413.
 DEFAULT_MAX_BODY = 1_000_000
 
+#: Seconds advertised in ``Retry-After`` on 408/503 responses.
+RETRY_AFTER_SECONDS = 1
+
+#: Default drain budget for graceful shutdown (seconds): in-flight requests
+#: get this long to finish before their connections are cancelled.
+DEFAULT_GRACE = 5.0
+
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -79,6 +90,10 @@ def _error_response(exc: Exception) -> Tuple[int, Dict[str, object]]:
         message = exc.message
     elif isinstance(exc, OversizedBatchError):
         status, message = 413, _message(exc)
+    elif isinstance(exc, ServiceOverloadedError):
+        # Backpressure: shed with an explicit retry hint, before the
+        # generic ReproError branch would misreport it as a client error.
+        status, message = 503, _message(exc)
     elif isinstance(exc, VertexNotFoundError):
         status, message = 404, _message(exc)
     elif isinstance(exc, EdgeNotFoundError):
@@ -149,12 +164,23 @@ class CoreServer:
         host: str = "127.0.0.1",
         port: int = 8742,
         max_body: int = DEFAULT_MAX_BODY,
+        request_deadline: Optional[float] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.max_body = max_body
+        #: Per-request budget (seconds) covering both the read of one
+        #: request (after its first line) and its handler.  ``None``
+        #: disables deadlines (the historical behaviour).
+        self.request_deadline = request_deadline
         self._server: Optional[asyncio.base_events.Server] = None
+        # Connection tasks currently alive, tracked for graceful drain —
+        # ``Server.wait_closed`` semantics vary across Python versions (and
+        # would wait forever on idle keep-alive connections), so the server
+        # tracks and drains its handlers itself.
+        self._active: Set["asyncio.Task[None]"] = set()
+        self._draining = False
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -178,18 +204,50 @@ class CoreServer:
             server.close()
             await server.wait_closed()
 
+    async def drain(self, grace: float = DEFAULT_GRACE) -> int:
+        """Graceful shutdown: stop accepting, let in-flight requests finish.
+
+        New connections are refused immediately; connections mid-request
+        get ``grace`` seconds to complete (their responses are sent with
+        ``Connection: close``), after which stragglers — including idle
+        keep-alive connections blocked waiting for a next request — are
+        cancelled.  Returns the number of connections that were in flight
+        when the drain began.
+        """
+        self._draining = True
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+        active = set(self._active)
+        drained = len(active)
+        if active:
+            _done, stragglers = await asyncio.wait(active, timeout=grace)
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.gather(*stragglers, return_exceptions=True)
+        return drained
+
     # ------------------------------------------------------------------ #
     # connection handling
     # ------------------------------------------------------------------ #
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._active.add(task)
         try:
             while True:
                 request = await self._read_request(reader, writer)
                 if request is None:
                     break
                 method, path, params, body, keep_alive = request
+                if self._draining:
+                    # A request that raced the shutdown still gets served,
+                    # but the connection closes right after so the drain
+                    # completes.
+                    keep_alive = False
                 status, payload = await self._dispatch(method, path, params, body)
                 self._write_response(writer, status, payload, keep_alive)
                 await writer.drain()
@@ -208,6 +266,8 @@ class CoreServer:
             # through to the transport close below.
             pass
         finally:
+            if task is not None:
+                self._active.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -225,6 +285,38 @@ class CoreServer:
         request_line = await reader.readline()
         if not request_line:
             return None
+        if self.request_deadline is None:
+            return await self._read_request_rest(reader, writer, request_line)
+        try:
+            # The wait for the *first* line above is untimed — an idle
+            # keep-alive connection is legitimate.  Once a request has
+            # started arriving, the rest of its head and body must land
+            # within the deadline or the slow client gets a 408.
+            return await asyncio.wait_for(
+                self._read_request_rest(reader, writer, request_line),
+                timeout=self.request_deadline,
+            )
+        except asyncio.TimeoutError:
+            self._write_response(
+                writer,
+                408,
+                {
+                    "error": f"request was not received within the "
+                    f"{self.request_deadline:.3g}s deadline",
+                    "status": 408,
+                },
+                False,
+            )
+            await writer.drain()
+            return None
+
+    async def _read_request_rest(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request_line: bytes,
+    ) -> Optional[Tuple[str, str, Dict[str, object], bytes, bool]]:
+        """Parse headers and body once the request line has arrived."""
         parts = request_line.decode("latin-1", "replace").split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/"):
             self._write_response(
@@ -289,10 +381,18 @@ class CoreServer:
         keep_alive: bool,
     ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
+        # Timeouts and shed load are retryable: tell well-behaved clients
+        # when to come back instead of letting them hammer immediately.
+        retry_after = (
+            f"Retry-After: {RETRY_AFTER_SECONDS}\r\n"
+            if status in (408, 503)
+            else ""
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_after}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
         )
@@ -331,9 +431,41 @@ class CoreServer:
             return 404, {"error": f"unknown path {path}", "status": 404}
         self.service.count_request(path.lstrip("/"))
         try:
-            return await handler(params, body)
+            if self.request_deadline is not None:
+                return await asyncio.wait_for(
+                    self._run_handler(handler, params, body),
+                    timeout=self.request_deadline,
+                )
+            return await self._run_handler(handler, params, body)
+        except asyncio.TimeoutError:
+            # The handler blew its budget (overload, or a pathological
+            # query): shed this request with a retry hint; the engine and
+            # every other connection keep serving.
+            return 503, {
+                "error": f"request exceeded the {self.request_deadline:.3g}s "
+                f"deadline budget",
+                "status": 503,
+            }
         except Exception as exc:  # noqa: BLE001 — mapped to clean JSON
             return _error_response(exc)
+
+    async def _run_handler(
+        self,
+        handler: Callable[
+            [Dict[str, object], bytes],
+            Awaitable[Tuple[int, Dict[str, object]]],
+        ],
+        params: Dict[str, object],
+        body: bytes,
+    ) -> Tuple[int, Dict[str, object]]:
+        """Run one handler, with the ``serve.slow_client`` chaos site inside
+        the deadline scope so tests can force deterministic 503s."""
+        from repro.resilience.faults import active_plan
+
+        plan = active_plan()
+        if plan is not None and plan.should_fire("serve.slow_client"):
+            await asyncio.sleep(plan.stall_seconds)
+        return await handler(params, body)
 
     # ------------------------------------------------------------------ #
     # handlers
@@ -407,19 +539,66 @@ async def run_app(
     host: str = "127.0.0.1",
     port: int = 8742,
     ready: Optional[Callable[[CoreServer], None]] = None,
-) -> None:
+    request_deadline: Optional[float] = None,
+    install_signal_handlers: bool = False,
+    grace: float = DEFAULT_GRACE,
+) -> Optional[int]:
     """Start a server and serve until cancelled (the CLI entry point).
 
     ``ready`` is called with the started server (after the port is bound) —
     the CLI prints the URL there, tests grab the ephemeral port.
+
+    With ``install_signal_handlers=True``, SIGTERM/SIGINT trigger a
+    graceful shutdown instead of an abrupt loop teardown: the listener
+    stops accepting, in-flight requests drain (``grace``-bounded), and one
+    final epoch is published so the last-applied updates are durable in
+    the snapshot before the process exits.  Returns the number of
+    connections drained (None when shutdown was by cancellation).
     """
-    server = CoreServer(service, host=host, port=port)
+    server = CoreServer(service, host=host, port=port,
+                        request_deadline=request_deadline)
+    stop = asyncio.Event()
+    installed = []
+    if install_signal_handlers:
+        # Installed BEFORE the port is announced: a supervisor reacting to
+        # the ready line must never be able to SIGTERM us into the default
+        # (abrupt) disposition.
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-main thread or platform without signal support: run
+                # without graceful signal shutdown rather than failing.
+                pass
     await server.start()
     if ready is not None:
         ready(server)
     try:
+        if installed:
+            serve_task = asyncio.ensure_future(server.serve_forever())
+            stop_task = asyncio.ensure_future(stop.wait())
+            try:
+                await asyncio.wait(
+                    {serve_task, stop_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                for pending in (serve_task, stop_task):
+                    pending.cancel()
+                await asyncio.gather(serve_task, stop_task,
+                                     return_exceptions=True)
+            drained = await server.drain(grace)
+            service.publish_final()
+            return drained
         await server.serve_forever()
     except asyncio.CancelledError:
         pass
     finally:
+        if installed:
+            loop = asyncio.get_running_loop()
+            for signum in installed:
+                loop.remove_signal_handler(signum)
         await server.aclose()
+    return None

@@ -31,12 +31,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.dynamic.engine import DynamicKHCore
 from repro.dynamic.stream import EdgeUpdate, normalize_op
-from repro.errors import ParameterError
+from repro.errors import ParameterError, ServiceOverloadedError
 from repro.graph.graph import Graph
 from repro.serve.snapshot import CoreSnapshot
 
@@ -46,6 +47,12 @@ Vertex = Hashable
 #: batch; larger batches are rejected with :class:`OversizedBatchError`
 #: (HTTP 413) before touching the engine.
 DEFAULT_MAX_BATCH = 1024
+
+#: Default cap on update batches queued behind the single writer thread;
+#: batches past the cap are shed with :class:`~repro.errors.
+#: ServiceOverloadedError` (HTTP 503 + ``Retry-After``) instead of growing
+#: an unbounded queue under sustained overload.
+DEFAULT_MAX_PENDING = 64
 
 
 class OversizedBatchError(ParameterError):
@@ -92,6 +99,15 @@ class CoreService:
         queries from.  Validated at attach time: the index's stored graph
         checksum must match ``graph`` (:class:`~repro.errors.IndexMismatchError`
         otherwise), so a stale or wrong-graph index can never answer.
+    max_pending:
+        Backpressure cap on update batches queued behind the writer thread;
+        batches past the cap are shed with
+        :class:`~repro.errors.ServiceOverloadedError` (HTTP 503).
+    repeel_budget:
+        Writer watchdog budget in seconds.  When an *incremental* re-peel
+        exceeds it, the engine is pinned to full recomputes
+        (``fallback_ratio = 0``) so one pathological cascade cannot stall
+        every later batch behind the same slow path.
     """
 
     def __init__(
@@ -108,9 +124,15 @@ class CoreService:
         max_batch: int = DEFAULT_MAX_BATCH,
         name: str = "graph",
         index_path: Optional[str] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        repeel_budget: Optional[float] = None,
     ) -> None:
         if max_batch < 1:
             raise ParameterError("max_batch must be >= 1")
+        if max_pending < 1:
+            raise ParameterError("max_pending must be >= 1")
+        if repeel_budget is not None and repeel_budget <= 0:
+            raise ParameterError("repeel_budget must be positive")
         engine_kwargs: Dict[str, object] = {}
         if fallback_ratio is not None:
             engine_kwargs["fallback_ratio"] = fallback_ratio
@@ -127,6 +149,13 @@ class CoreService:
         )
         self.name = name
         self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.repeel_budget = repeel_budget
+        #: Update batches admitted but not yet committed (event-loop thread
+        #: only); the gauge behind the :attr:`max_pending` backpressure cap.
+        self._pending = 0
+        self.shed_requests = 0
+        self.watchdog_trips = 0
         self.request_counts: Dict[str, int] = {}
         self._generation = 0
         self._write_lock: Optional[asyncio.Lock] = None
@@ -230,9 +259,23 @@ class CoreService:
         self, updates: Sequence[Tuple[str, Vertex, Vertex]]
     ) -> Dict[str, object]:
         """Apply one batch and publish the next epoch (writer thread only)."""
+        started = time.monotonic()
         summary = self.engine.apply_batch(
             [EdgeUpdate(op, u, v) for op, u, v in updates]
         )
+        elapsed = time.monotonic() - started
+        if (
+            self.repeel_budget is not None
+            and summary.mode == "incremental"
+            and elapsed > self.repeel_budget
+            and self.engine.fallback_ratio != 0.0
+        ):
+            # Watchdog: an incremental re-peel blew its budget, so the
+            # cascade heuristic is mispriced for this workload.  Pin the
+            # engine to full recomputes — bounded, predictable cost —
+            # instead of letting the next batch stall the writer again.
+            self.engine.fallback_ratio = 0.0
+            self.watchdog_trips += 1
         snapshot = self._publish()
         return {
             "mode": summary.mode,
@@ -246,14 +289,31 @@ class CoreService:
     async def apply_updates(
         self, updates: Sequence[Tuple[str, Vertex, Vertex]]
     ) -> Dict[str, object]:
-        """Serialize a batch onto the writer thread; resolves when published."""
+        """Serialize a batch onto the writer thread; resolves when published.
+
+        Applies backpressure first: with :attr:`max_pending` batches already
+        admitted and waiting on the writer, the batch is shed with
+        :class:`~repro.errors.ServiceOverloadedError` (HTTP 503 +
+        ``Retry-After``) before any engine state is touched, so overload
+        degrades into fast rejections instead of an unbounded queue.
+        """
+        if self._pending >= self.max_pending:
+            self.shed_requests += 1
+            raise ServiceOverloadedError(
+                f"{self._pending} update batches already pending "
+                f"(cap {self.max_pending}); retry later"
+            )
         if self._write_lock is None:
             self._write_lock = asyncio.Lock()
         loop = asyncio.get_running_loop()
-        async with self._write_lock:
-            return await loop.run_in_executor(
-                self._writer, self.apply_updates_sync, updates
-            )
+        self._pending += 1
+        try:
+            async with self._write_lock:
+                return await loop.run_in_executor(
+                    self._writer, self.apply_updates_sync, updates
+                )
+        finally:
+            self._pending -= 1
 
     # ------------------------------------------------------------------ #
     # queries (each reads exactly one snapshot)
@@ -322,6 +382,13 @@ class CoreService:
                     "full_recomputes": stats.full_recomputes,
                     "cores_changed": stats.cores_changed,
                     "peak_universe_size": stats.peak_universe_size,
+                },
+                "resilience": {
+                    "pending_updates": self._pending,
+                    "max_pending": self.max_pending,
+                    "shed_requests": self.shed_requests,
+                    "watchdog_trips": self.watchdog_trips,
+                    "repeel_budget": self.repeel_budget,
                 },
             },
         )
@@ -433,6 +500,18 @@ class CoreService:
     def count_request(self, kind: str) -> None:
         """Tally one served request (event-loop thread only)."""
         self.request_counts[kind] = self.request_counts.get(kind, 0) + 1
+
+    def publish_final(self) -> CoreSnapshot:
+        """Publish one last epoch during graceful shutdown.
+
+        Routed through the writer executor so it serializes behind any
+        batch still committing when the drain started — the final published
+        epoch therefore reflects every update the service acknowledged.
+        No-op (returns the current epoch) once the service is closed.
+        """
+        if self.closed:
+            return self._snapshot
+        return self._writer.submit(self._publish).result()
 
     # ------------------------------------------------------------------ #
     # lifecycle

@@ -452,6 +452,38 @@ class TestCorruption:
         with pytest.raises(IndexCorruptionError, match="schema version"):
             CoreIndexReader(path)
 
+    def test_serving_grade_open_recovers_wal_and_verifies(self, tmp_path):
+        from repro.index.store import CoreIndexStore
+
+        path = self.build(tmp_path)
+        # Simulate a crashed writer: a committed WAL frame nobody
+        # checkpointed (the writing connection is still open, as it would
+        # be at crash time).
+        conn = sqlite3.connect(path)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA wal_checkpoint(PASSIVE)")
+            conn.execute("INSERT INTO meta (key, value) "
+                         "VALUES ('probe', 'x')")
+            conn.commit()
+            with CoreIndexStore.open(path) as store:
+                assert store.connection is not None
+            # The checkpoint folded and truncated the sidecar.
+            wal = path + "-wal"
+            assert not os.path.exists(wal) or os.path.getsize(wal) == 0
+        finally:
+            conn.close()
+
+    def test_serving_grade_open_rejects_tampered_rows(self, tmp_path):
+        from repro.index.store import CoreIndexStore
+
+        path = self.build(tmp_path)
+        with sqlite3.connect(path) as conn:
+            conn.execute("DELETE FROM edges WHERE u = 1")
+            conn.commit()
+        with pytest.raises(IndexCorruptionError):
+            CoreIndexStore.open(path)
+
     def test_flipped_core_row_fails_deep_verify(self, tmp_path):
         path = self.build(tmp_path)
         with sqlite3.connect(path) as conn:

@@ -1,0 +1,220 @@
+"""Service-hardening tests: deadlines, backpressure, watchdog, shutdown.
+
+The HTTP-level pieces (408/503 + ``Retry-After``, slow-read deadlines)
+run against a real server on an ephemeral port; the service-level pieces
+(update backpressure, the re-peel watchdog, final-epoch publication) call
+:class:`~repro.serve.service.CoreService` directly.  The subprocess
+SIGTERM drain test lives in ``test_serve_shutdown.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ParameterError, ServiceOverloadedError
+from repro.graph import generators as gen
+from repro.serve import CoreServer, CoreService
+
+
+def _service(**kwargs) -> CoreService:
+    return CoreService(gen.relaxed_caveman_graph(3, 6, 0.2, seed=9), h=2,
+                       **kwargs)
+
+
+async def _raw_exchange(port, payload: bytes, settle: float = 0.0) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(payload)
+        await writer.drain()
+        if settle:
+            await asyncio.sleep(settle)
+        return await reader.read(65536)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def _status_and_headers(raw: bytes):
+    head, _, _body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+class TestRequestDeadline:
+    def test_slow_read_gets_408_with_retry_after(self):
+        service = _service()
+
+        async def _main():
+            server = await CoreServer(service, port=0,
+                                      request_deadline=0.2).start()
+            try:
+                # Request line arrives, headers never finish: the deadline
+                # covers everything after the (idle-tolerant) first line.
+                raw = await _raw_exchange(
+                    server.port, b"GET /cores HTTP/1.1\r\n", settle=1.0)
+                status, headers = _status_and_headers(raw)
+                assert status == 408
+                assert headers.get("retry-after") == "1"
+            finally:
+                await server.aclose()
+
+        try:
+            asyncio.run(_main())
+        finally:
+            service.close()
+
+    def test_fast_request_unaffected_by_deadline(self):
+        service = _service()
+
+        async def _main():
+            server = await CoreServer(service, port=0,
+                                      request_deadline=5.0).start()
+            try:
+                raw = await _raw_exchange(
+                    server.port,
+                    b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                    b"Connection: close\r\n\r\n",
+                    settle=0.05)
+                status, headers = _status_and_headers(raw)
+                assert status == 200
+                assert "retry-after" not in headers
+            finally:
+                await server.aclose()
+
+        try:
+            asyncio.run(_main())
+        finally:
+            service.close()
+
+
+class TestBackpressure:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            _service(max_pending=0)
+        with pytest.raises(ParameterError):
+            _service(repeel_budget=0.0)
+
+    def test_excess_concurrent_batches_are_shed(self):
+        service = _service(max_pending=1)
+
+        async def _main():
+            updates = [("insert", 0, 17)]
+            results = await asyncio.gather(
+                *(service.apply_updates(updates) for _ in range(6)),
+                return_exceptions=True)
+            applied = [r for r in results if isinstance(r, dict)]
+            shed = [r for r in results
+                    if isinstance(r, ServiceOverloadedError)]
+            assert applied, "at least one batch must get through"
+            assert shed, "the cap must shed the concurrent surplus"
+            assert len(applied) + len(shed) == 6
+
+        try:
+            asyncio.run(_main())
+            stats = service.query_stats()["resilience"]
+            assert stats["shed_requests"] == service.shed_requests >= 1
+            assert stats["pending_updates"] == 0
+            assert stats["max_pending"] == 1
+        finally:
+            service.close()
+
+    def test_shed_batch_has_no_side_effects(self):
+        service = _service(max_pending=1)
+        try:
+            before = service.snapshot.generation
+            service._pending = 1  # simulate an in-flight batch
+            with pytest.raises(ServiceOverloadedError):
+                asyncio.run(service.apply_updates([("insert", 0, 17)]))
+            service._pending = 0
+            assert service.snapshot.generation == before
+        finally:
+            service.close()
+
+
+class TestWatchdog:
+    def test_slow_incremental_repeel_trips_to_full_recompute(self):
+        # fallback_ratio=1.0 keeps every batch on the incremental path;
+        # a sub-measurable budget guarantees the first batch exceeds it.
+        service = _service(repeel_budget=1e-9, fallback_ratio=1.0)
+        try:
+            first = service.apply_updates_sync([("insert", 0, 17)])
+            assert first["mode"] == "incremental"
+            assert service.watchdog_trips == 1
+            assert service.engine.fallback_ratio == 0.0
+            second = service.apply_updates_sync([("insert", 1, 16)])
+            assert second["mode"] == "full"
+            # Already pinned: no double-counting.
+            assert service.watchdog_trips == 1
+            assert service.query_stats()["resilience"]["watchdog_trips"] == 1
+        finally:
+            service.close()
+
+    def test_fast_repeel_never_trips(self):
+        service = _service(repeel_budget=60.0, fallback_ratio=1.0)
+        try:
+            summary = service.apply_updates_sync([("insert", 0, 17)])
+            assert summary["mode"] == "incremental"
+            assert service.watchdog_trips == 0
+            assert service.engine.fallback_ratio == 1.0
+        finally:
+            service.close()
+
+
+class TestFinalEpoch:
+    def test_publish_final_bumps_generation(self):
+        service = _service()
+        try:
+            before = service.snapshot.generation
+            snapshot = service.publish_final()
+            assert snapshot.generation == before + 1
+            assert service.snapshot is snapshot
+        finally:
+            service.close()
+
+    def test_publish_final_after_close_is_noop(self):
+        service = _service()
+        service.close()
+        snapshot = service.publish_final()
+        assert snapshot is service.snapshot
+
+
+class TestDrain:
+    def test_drain_reports_inflight_and_stops_keepalive(self):
+        service = _service()
+
+        async def _main():
+            server = await CoreServer(service, port=0).start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            try:
+                writer.write(b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                             b"Connection: keep-alive\r\n\r\n")
+                await writer.drain()
+                await reader.readline()  # response under way
+                drained = await server.drain(grace=1.0)
+                assert drained >= 1
+                # The listener is gone: new connections are refused.
+                with pytest.raises(OSError):
+                    await asyncio.open_connection("127.0.0.1", server.port)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+                await server.aclose()
+
+        try:
+            asyncio.run(_main())
+        finally:
+            service.close()

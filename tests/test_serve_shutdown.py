@@ -1,0 +1,69 @@
+"""Graceful-shutdown test: SIGTERM against a real ``kh-core serve`` process.
+
+Spawns the CLI in a subprocess, waits for the ready line, delivers
+SIGTERM, and asserts the documented contract: exit code 0, the drain
+message on stderr, and a final epoch published before exit.  This is the
+in-repo version of the CI smoke (``tests-chaos`` leg), kept as a test so
+the contract breaks loudly offline too.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+def _spawn_server():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--demo", "--port", "0",
+         "--grace", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True)
+
+
+def _wait_for_ready(proc, deadline=30.0):
+    """Read stderr until the '# serving on' announcement (line-buffered)."""
+    start = time.time()
+    while time.time() - start < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        if "# serving on" in line:
+            return line
+    pytest.fail("server never announced readiness")
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_and_exits_zero(self):
+        proc = _spawn_server()
+        try:
+            _wait_for_ready(proc)
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, stderr
+        assert "drained" in stderr
+        assert "final epoch" in stderr
+
+    def test_sigint_also_exits_zero(self):
+        proc = _spawn_server()
+        try:
+            _wait_for_ready(proc)
+            proc.send_signal(signal.SIGINT)
+            stdout, stderr = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, stderr
